@@ -1,0 +1,44 @@
+// Command bhssair runs the virtual RF medium: the networked replacement for
+// the paper's coax-and-T-connector testbed. Transmitters (bhsstx, bhssjam)
+// and receivers (bhssrx) connect over TCP; the hub sums their IQ streams
+// with per-port gain, adds the channel's AWGN and broadcasts the mixture.
+//
+// Usage:
+//
+//	bhssair -listen 127.0.0.1:4200 -noise 0.01
+package main
+
+import (
+	"flag"
+	"log"
+
+	"bhss/internal/iqstream"
+)
+
+func main() {
+	var (
+		listen = flag.String("listen", "127.0.0.1:4200", "listen address")
+		noise  = flag.Float64("noise", 0.01, "AWGN floor variance per sample")
+		block  = flag.Int("block", 4096, "mixing block size in samples")
+		seed   = flag.Uint64("seed", 1, "noise seed")
+		quiet  = flag.Bool("quiet", false, "suppress connection logs")
+	)
+	flag.Parse()
+
+	cfg := iqstream.HubConfig{
+		BlockSize: *block,
+		NoiseVar:  *noise,
+		Seed:      *seed,
+	}
+	if !*quiet {
+		cfg.Logf = log.Printf
+	}
+	hub, err := iqstream.NewHub(*listen, cfg)
+	if err != nil {
+		log.Fatalf("bhssair: %v", err)
+	}
+	log.Printf("virtual air hub listening on %s (noise %.4g, block %d)", hub.Addr(), *noise, *block)
+	if err := hub.Serve(); err != nil {
+		log.Fatalf("bhssair: %v", err)
+	}
+}

@@ -1,0 +1,143 @@
+// Command bhssbench regenerates the tables and figures of "Jamming
+// Mitigation by Randomized Bandwidth Hopping" (CoNEXT 2015).
+//
+// Usage:
+//
+//	bhssbench -exp fig7            # one experiment
+//	bhssbench -exp all             # everything (minutes at -scale quick)
+//	bhssbench -exp fig13 -scale full -csv out.csv
+//
+// Experiments: fig5, fig7, fig8, fig9, fig10, fig11, fig13, fig14, table1,
+// table1opt, table2, patternstats, ablation-dwell, ablation-taps.
+// Theoretical figures (7-11, table1) are instant; the measured ones (13,
+// 14, table2, ablations) drive the full sample-level pipeline and take
+// seconds to minutes depending on -scale.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"bhss/internal/experiment"
+)
+
+func main() {
+	var (
+		exp     = flag.String("exp", "all", "experiment id (fig5..fig14, table1, table1opt, table2, patternstats, ablation-dwell, ablation-taps, all)")
+		scale   = flag.String("scale", "quick", "measurement scale: quick or full")
+		csvPath = flag.String("csv", "", "also write raw series to this CSV file")
+		seed    = flag.Uint64("seed", 1, "experiment seed")
+		frames  = flag.Int("frames", 0, "override frames per measurement point")
+		list    = flag.Bool("list", false, "list experiments and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println(`experiments (paper artifact -> runtime class):
+  table1          hop pattern distributions + §6.4.1 averages  (instant)
+  table1opt       Monte Carlo maximin re-derivation            (instant)
+  patternstats    alias of table1                              (instant)
+  fig5            hopping waveform and per-hop spectrum        (instant)
+  fig7, fig8      SNR improvement bound (+ zoom)               (instant)
+  fig9            BER vs Eb/N0, BHSS vs DSSS/FHSS              (instant)
+  fig10           BER vs jammer bandwidth                      (instant)
+  fig11           normalized throughput vs Eb/N0               (instant)
+  fig13           measured power advantage vs bandwidth ratio  (minutes)
+  fig14           measured power advantage per hop pattern     (minutes)
+  table2          hopping signal vs hopping jammer             (minutes)
+  ablation-dwell  power advantage vs symbols per hop           (minutes)
+  ablation-taps   power advantage vs filter tap budget         (minutes)
+  all             everything above`)
+		return
+	}
+
+	var sc experiment.Scale
+	switch *scale {
+	case "quick":
+		sc = experiment.QuickScale()
+	case "full":
+		sc = experiment.FullScale()
+	default:
+		fmt.Fprintf(os.Stderr, "unknown scale %q\n", *scale)
+		os.Exit(2)
+	}
+	sc.Seed = *seed
+	if *frames > 0 {
+		sc.Frames = *frames
+	}
+
+	ids := strings.Split(*exp, ",")
+	if *exp == "all" {
+		ids = []string{
+			"table1", "table1opt", "patternstats", "fig5", "fig7", "fig8",
+			"fig9", "fig10", "fig11", "fig13", "fig14", "table2",
+		}
+	}
+	var allResults []experiment.Result
+	for _, id := range ids {
+		res, err := run(strings.TrimSpace(id), sc)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", id, err)
+			os.Exit(1)
+		}
+		if err := res.Render(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "render: %v\n", err)
+			os.Exit(1)
+		}
+		allResults = append(allResults, res)
+	}
+	if *csvPath != "" {
+		f, err := os.Create(*csvPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "csv: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		for _, res := range allResults {
+			if err := res.WriteCSV(f); err != nil {
+				fmt.Fprintf(os.Stderr, "csv: %v\n", err)
+				os.Exit(1)
+			}
+		}
+		fmt.Printf("raw series written to %s\n", *csvPath)
+	}
+}
+
+func run(id string, sc experiment.Scale) (experiment.Result, error) {
+	switch id {
+	case "fig5":
+		return experiment.Fig5(sc.Seed), nil
+	case "fig7":
+		return experiment.Fig7(), nil
+	case "fig8":
+		return experiment.Fig8(), nil
+	case "fig9":
+		return experiment.Fig9(), nil
+	case "fig10":
+		return experiment.Fig10(), nil
+	case "fig11":
+		return experiment.Fig11(), nil
+	case "fig13":
+		return experiment.Fig13(sc, nil)
+	case "fig14":
+		return experiment.Fig14(sc, nil)
+	case "table1":
+		return experiment.Table1(), nil
+	case "table1opt":
+		return experiment.OptimizedParabolic(20000, sc.Seed), nil
+	case "patternstats":
+		// Table1 already reports the §6.4.1 averages alongside the
+		// distributions; alias kept for the DESIGN.md index.
+		return experiment.Table1(), nil
+	case "table2":
+		return experiment.Table2(sc)
+	case "ablation-dwell":
+		return experiment.AblationHopDwell(sc, nil)
+	case "ablation-taps":
+		return experiment.AblationFilterTaps(sc, nil)
+	default:
+		return experiment.Result{}, fmt.Errorf("unknown experiment %q", id)
+	}
+}

@@ -1,0 +1,90 @@
+// Command bhssjam is a networked jammer: it connects to a bhssair hub and
+// streams interference of a configurable kind and power, reproducing the
+// attacker of the paper's testbed.
+//
+// Usage:
+//
+//	bhssjam -hub 127.0.0.1:4200 -kind bandlimited -bw 2.5 -power 20
+//	bhssjam -kind hopping -pattern exponential -power 20
+//	bhssjam -kind sweep -bw 10 -period 65536
+package main
+
+import (
+	"flag"
+	"log"
+
+	"bhss/internal/hop"
+	"bhss/internal/iqstream"
+	"bhss/internal/jammer"
+	"bhss/internal/stats"
+)
+
+func main() {
+	var (
+		hubAddr = flag.String("hub", "127.0.0.1:4200", "bhssair hub address")
+		kind    = flag.String("kind", "bandlimited", "jammer kind: bandlimited, tone, sweep, hopping, pulsed")
+		bwMHz   = flag.Float64("bw", 2.5, "jammer bandwidth in MHz (sweep: span)")
+		rate    = flag.Float64("rate", 20, "sample rate in MHz")
+		powerDB = flag.Float64("power", 20, "jammer power in dB relative to a unit signal")
+		pattern = flag.String("pattern", "linear", "hopping jammer pattern")
+		period  = flag.Int("period", 65536, "sweep period / pulse period / hop dwell in samples")
+		duty    = flag.Float64("duty", 0.5, "pulsed jammer duty cycle")
+		seed    = flag.Uint64("seed", 7, "jammer noise seed")
+		blocks  = flag.Int("blocks", 0, "number of 4096-sample blocks to emit (0 = forever)")
+	)
+	flag.Parse()
+
+	power := stats.FromDB(*powerDB)
+	var src jammer.Source
+	var err error
+	switch *kind {
+	case "bandlimited":
+		src, err = jammer.NewBandlimited(*bwMHz / *rate, power, *seed)
+	case "tone":
+		src, err = jammer.NewTone(0, power)
+	case "sweep":
+		src, err = jammer.NewSweep(*bwMHz / *rate, *period, power)
+	case "pulsed":
+		var inner jammer.Source
+		inner, err = jammer.NewBandlimited(*bwMHz / *rate, power, *seed)
+		if err == nil {
+			src, err = jammer.NewPulsed(inner, *duty, *period)
+		}
+	case "hopping":
+		var p hop.Pattern
+		switch *pattern {
+		case "linear":
+			p = hop.Linear
+		case "exponential":
+			p = hop.Exponential
+		case "parabolic":
+			p = hop.Parabolic
+		default:
+			log.Fatalf("bhssjam: unknown pattern %q", *pattern)
+		}
+		var dist hop.Distribution
+		dist, err = hop.NewDistribution(p, hop.DefaultBandwidths())
+		if err == nil {
+			src, err = jammer.NewHopping(dist, *rate, *period, power, *seed)
+		}
+	default:
+		log.Fatalf("bhssjam: unknown kind %q", *kind)
+	}
+	if err != nil {
+		log.Fatalf("bhssjam: %v", err)
+	}
+
+	client, err := iqstream.DialTx(*hubAddr, 0)
+	if err != nil {
+		log.Fatalf("bhssjam: dial: %v", err)
+	}
+	defer client.Close()
+
+	log.Printf("jamming: %s, %.3f MHz, %.1f dB", *kind, *bwMHz, *powerDB)
+	const block = 4096
+	for i := 0; *blocks == 0 || i < *blocks; i++ {
+		if err := client.Send(src.Emit(block)); err != nil {
+			log.Fatalf("bhssjam: send: %v", err)
+		}
+	}
+}

@@ -1,0 +1,120 @@
+// Command bhssrx is a networked BHSS receiver: it connects to a bhssair
+// hub, accumulates the mixed IQ stream, and attempts burst acquisition via
+// preamble correlation whenever the stream pauses (bursty traffic) or the
+// capture window fills. Decoded frames and link statistics go to stdout.
+//
+// Usage:
+//
+//	bhssrx -hub 127.0.0.1:4200 -seed 42 -pattern parabolic -count 100
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"bhss/internal/core"
+	"bhss/internal/hop"
+	"bhss/internal/iqstream"
+)
+
+func main() {
+	var (
+		hubAddr = flag.String("hub", "127.0.0.1:4200", "bhssair hub address")
+		seed    = flag.Uint64("seed", 42, "pre-shared link seed")
+		pattern = flag.String("pattern", "linear", "hopping pattern: fixed, linear, exponential, parabolic")
+		count   = flag.Int("count", 10, "frames to receive before reporting (0 = forever)")
+		idleMS  = flag.Int("idle", 150, "stream-idle time in ms after which a decode is attempted")
+	)
+	flag.Parse()
+
+	var p hop.Pattern
+	switch *pattern {
+	case "fixed":
+		p = hop.Fixed
+	case "linear":
+		p = hop.Linear
+	case "exponential":
+		p = hop.Exponential
+	case "parabolic":
+		p = hop.Parabolic
+	default:
+		log.Fatalf("bhssrx: unknown pattern %q", *pattern)
+	}
+	cfg := core.DefaultConfig(*seed)
+	cfg.Pattern = p
+	cfg.Sync = core.PreambleSync
+	rx, err := core.NewReceiver(cfg)
+	if err != nil {
+		log.Fatalf("bhssrx: %v", err)
+	}
+	client, err := iqstream.DialRx(*hubAddr)
+	if err != nil {
+		log.Fatalf("bhssrx: dial: %v", err)
+	}
+	defer client.Close()
+
+	blocks := make(chan []complex128, 64)
+	go func() {
+		defer close(blocks)
+		for {
+			block, err := client.Recv()
+			if err != nil {
+				return
+			}
+			blocks <- block
+		}
+	}()
+
+	// The worst-case burst: a max-length frame entirely on the narrowest
+	// bandwidth. Beyond twice that, the head of the window cannot be part
+	// of a still-incomplete burst and stale samples are dropped.
+	const worstSamples = (2*127 + 16) * 16 * 128
+	var window []complex128
+	received, lost := 0, 0
+	idle := time.Duration(*idleMS) * time.Millisecond
+
+	log.Printf("receiving with %s hopping (seed %d)", p, *seed)
+	streamOpen := true
+	for streamOpen && (*count == 0 || received+lost < *count) {
+		attempt := false
+		select {
+		case block, ok := <-blocks:
+			if !ok {
+				streamOpen = false
+				attempt = len(window) > 0
+				break
+			}
+			window = append(window, block...)
+			if len(window) >= worstSamples {
+				attempt = true
+			}
+		case <-time.After(idle):
+			attempt = len(window) > 0
+		}
+		if !attempt {
+			continue
+		}
+		got, stats, err := rx.DecodeBurst(window)
+		switch {
+		case err == nil:
+			received++
+			fmt.Printf("frame %d: %q (metric %.1f, offset %d)\n",
+				received+lost, got, stats.MeanMetric, stats.AcquisitionOffset)
+			window = window[:0]
+		case errors.Is(err, core.ErrNoPreamble):
+			// No burst here yet; cap the window so it cannot grow
+			// without bound on a silent-but-noisy channel.
+			if len(window) > 2*worstSamples {
+				window = append(window[:0:0], window[len(window)-worstSamples:]...)
+			}
+		default:
+			lost++
+			log.Printf("frame lost: %v", err)
+			window = window[:0]
+		}
+	}
+	fmt.Printf("received %d frames, lost %d\n", received, lost)
+}

@@ -1,0 +1,78 @@
+// Command bhsstx is a networked BHSS transmitter: it connects to a bhssair
+// hub and sends framed payloads as bandwidth-hopping bursts.
+//
+// Usage:
+//
+//	bhsstx -hub 127.0.0.1:4200 -seed 42 -pattern parabolic \
+//	       -count 100 -payload "telemetry frame" -gain 0
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"bhss/internal/core"
+	"bhss/internal/hop"
+	"bhss/internal/iqstream"
+)
+
+func patternByName(name string) (hop.Pattern, error) {
+	switch name {
+	case "fixed":
+		return hop.Fixed, nil
+	case "linear":
+		return hop.Linear, nil
+	case "exponential":
+		return hop.Exponential, nil
+	case "parabolic":
+		return hop.Parabolic, nil
+	default:
+		return 0, fmt.Errorf("unknown pattern %q", name)
+	}
+}
+
+func main() {
+	var (
+		hubAddr = flag.String("hub", "127.0.0.1:4200", "bhssair hub address")
+		seed    = flag.Uint64("seed", 42, "pre-shared link seed")
+		pattern = flag.String("pattern", "linear", "hopping pattern: fixed, linear, exponential, parabolic")
+		count   = flag.Int("count", 10, "number of frames to send (0 = forever)")
+		payload = flag.String("payload", "bandwidth hopping spread spectrum", "frame payload")
+		gainDB  = flag.Float64("gain", 0, "transmit gain in dB at the hub port")
+		gapMS   = flag.Int("gap", 50, "inter-frame gap in milliseconds")
+	)
+	flag.Parse()
+
+	p, err := patternByName(*pattern)
+	if err != nil {
+		log.Fatalf("bhsstx: %v", err)
+	}
+	cfg := core.DefaultConfig(*seed)
+	cfg.Pattern = p
+	tx, err := core.NewTransmitter(cfg)
+	if err != nil {
+		log.Fatalf("bhsstx: %v", err)
+	}
+	client, err := iqstream.DialTx(*hubAddr, *gainDB)
+	if err != nil {
+		log.Fatalf("bhsstx: dial: %v", err)
+	}
+	defer client.Close()
+
+	log.Printf("transmitting %q frames with %s hopping (seed %d)", *payload, p, *seed)
+	for i := 0; *count == 0 || i < *count; i++ {
+		burst, err := tx.EncodeFrame([]byte(*payload))
+		if err != nil {
+			log.Fatalf("bhsstx: encode: %v", err)
+		}
+		if err := client.Send(burst.Samples); err != nil {
+			log.Fatalf("bhsstx: send: %v", err)
+		}
+		log.Printf("frame %d: %d samples over %d hops", i, len(burst.Samples), len(burst.Segments))
+		if *gapMS > 0 {
+			time.Sleep(time.Duration(*gapMS) * time.Millisecond)
+		}
+	}
+}

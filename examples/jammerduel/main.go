@@ -1,0 +1,76 @@
+// Jammer duel: both the transmitter and the jammer hop their bandwidths
+// randomly (the end game of the paper's §6.4.3 / Table 2). This example
+// plays the three Table-1 patterns against each other and prints the
+// packet-delivery matrix at a fixed link budget, a faster proxy for the
+// paper's power-advantage matrix.
+//
+// Run:
+//
+//	go run ./examples/jammerduel
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"bhss"
+)
+
+func main() {
+	patterns := []bhss.Pattern{bhss.LinearPattern, bhss.ExponentialPattern, bhss.ParabolicPattern}
+	const (
+		frames     = 24
+		jamPowerDB = 13.0
+		snrBoostDB = 0.0 // unit-power signal
+	)
+
+	fmt.Println("packet delivery [%] — rows: signal pattern, columns: jammer pattern")
+	fmt.Printf("%-14s", "")
+	for _, jp := range patterns {
+		fmt.Printf("%12s", jp)
+	}
+	fmt.Println()
+
+	rowMin := map[bhss.Pattern]float64{}
+	for _, sp := range patterns {
+		fmt.Printf("%-14s", sp)
+		rowMin[sp] = 101
+		for _, jp := range patterns {
+			cfg := bhss.DefaultConfig(31337)
+			cfg.Pattern = sp
+
+			dist, err := bhss.NewDistribution(jp, bhss.DefaultBandwidths())
+			if err != nil {
+				log.Fatal(err)
+			}
+			jam, err := bhss.NewHoppingJammer(dist, 20, 8192, 20, uint64(17*int(jp)+3))
+			if err != nil {
+				log.Fatal(err)
+			}
+			link, err := bhss.NewSimLink(cfg, bhss.ChannelModel{NoiseVar: 0.01, Seed: uint64(100*int(sp) + int(jp))}, jam)
+			if err != nil {
+				log.Fatal(err)
+			}
+			plr, err := link.Run([]byte("duel"), frames)
+			if err != nil {
+				log.Fatal(err)
+			}
+			delivery := (1 - plr) * 100
+			fmt.Printf("%11.0f%%", delivery)
+			if delivery < rowMin[sp] {
+				rowMin[sp] = delivery
+			}
+		}
+		fmt.Println()
+	}
+	best, bestVal := patterns[0], -1.0
+	for _, sp := range patterns {
+		if rowMin[sp] > bestVal {
+			bestVal = rowMin[sp]
+			best = sp
+		}
+	}
+	fmt.Printf("\nmost robust signal pattern (maximin delivery): %s (worst case %.0f%%)\n", best, bestVal)
+	fmt.Println("the paper's conclusion: the hop pattern matchup matters by several dB,")
+	fmt.Println("and a jammer facing an adaptive BHSS link is forced to hop as well.")
+}

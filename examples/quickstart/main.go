@@ -1,0 +1,67 @@
+// Quickstart: send frames over a jammed channel with a conventional
+// fixed-bandwidth DSSS link and with a bandwidth-hopping (BHSS) link, and
+// compare packet loss.
+//
+// The jammer transmits band-limited noise 13 dB above the signal, matched
+// to the fixed link's 2.5 MHz bandwidth — the attack that renders excision
+// filtering alone useless (case (iii) of the paper). The BHSS link hops its
+// bandwidth with the parabolic pattern of Table 1, so most hops present the
+// jammer with a bandwidth offset its power cannot cover, and the receiver
+// filters it out before despreading.
+//
+// Run:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"bhss"
+)
+
+func main() {
+	const (
+		frames    = 40
+		jamPower  = 20.0 // 13 dB above the unit signal
+		jamBWMHz  = 2.5
+		sampleMHz = 20.0
+	)
+
+	runLink := func(name string, cfg bhss.Config) float64 {
+		jam, err := bhss.NewBandlimitedJammer(jamBWMHz, sampleMHz, jamPower, 99)
+		if err != nil {
+			log.Fatal(err)
+		}
+		link, err := bhss.NewSimLink(cfg, bhss.ChannelModel{NoiseVar: 0.01, Seed: 7}, jam)
+		if err != nil {
+			log.Fatal(err)
+		}
+		plr, err := link.Run([]byte("quickstart payload"), frames)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-28s packet loss %5.1f%%\n", name, plr*100)
+		return plr
+	}
+
+	fixed := bhss.DefaultConfig(0x5eed)
+	fixed.Pattern = bhss.FixedPattern
+	fixed.Bandwidths = []float64{jamBWMHz} // jammer-matched: the worst case
+	plrFixed := runLink("fixed 2.5 MHz DSSS:", fixed)
+
+	hopping := bhss.DefaultConfig(0x5eed)
+	hopping.Pattern = bhss.ParabolicPattern
+	plrHop := runLink("BHSS (parabolic hopping):", hopping)
+
+	fmt.Println()
+	switch {
+	case plrFixed > 0.9 && plrHop < 0.5:
+		fmt.Println("the matched jammer kills the fixed link; bandwidth hopping keeps the channel alive.")
+	case plrHop < plrFixed:
+		fmt.Println("bandwidth hopping reduced the packet loss under jamming.")
+	default:
+		fmt.Println("unexpected outcome — try a different seed.")
+	}
+}

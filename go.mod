@@ -1,0 +1,3 @@
+module bhss
+
+go 1.22

@@ -1,0 +1,165 @@
+// Package channel models the paper's experimental medium. The authors
+// connected transmitter, jammer and receiver over SMA coax, attenuators and
+// a T-connector (Figure 12) and argue the result "can be modeled as additive
+// white Gaussian noise (AWGN) channels"; this package implements exactly
+// that: per-port attenuation, signal summation, AWGN, and — because the
+// SDRs ran on free, unsynchronized oscillators — optional carrier frequency,
+// phase and sampling-time offsets.
+package channel
+
+import (
+	"fmt"
+	"math"
+
+	"bhss/internal/dsp"
+	"bhss/internal/prng"
+)
+
+// AWGN is an additive white Gaussian noise source of the given total
+// (complex) variance per sample.
+type AWGN struct {
+	src      *prng.Source
+	variance float64
+	amp      float64
+}
+
+// NewAWGN returns a noise source with the given per-sample variance,
+// deterministic in seed.
+func NewAWGN(variance float64, seed uint64) *AWGN {
+	if variance < 0 {
+		panic(fmt.Sprintf("channel: negative noise variance %v", variance))
+	}
+	return &AWGN{src: prng.New(seed), variance: variance, amp: math.Sqrt(variance)}
+}
+
+// Variance returns the configured per-sample noise variance.
+func (a *AWGN) Variance() float64 { return a.variance }
+
+// Add adds noise to x in place.
+func (a *AWGN) Add(x []complex128) {
+	if a.variance == 0 {
+		return
+	}
+	g := complex(a.amp, 0)
+	for i := range x {
+		x[i] += a.src.ComplexNorm() * g
+	}
+}
+
+// Sample returns one noise sample (used by streaming paths).
+func (a *AWGN) Sample() complex128 {
+	if a.variance == 0 {
+		return 0
+	}
+	return a.src.ComplexNorm() * complex(a.amp, 0)
+}
+
+// Attenuate scales x in place by the given attenuation in dB (positive
+// values reduce power), modeling the inline attenuators of the testbed.
+func Attenuate(x []complex128, dB float64) {
+	dsp.Scale(x, math.Pow(10, -dB/20))
+}
+
+// Gain scales x in place by the given gain in dB (positive values increase
+// power), modeling the SDR transmit gain setting.
+func Gain(x []complex128, dB float64) {
+	dsp.Scale(x, math.Pow(10, dB/20))
+}
+
+// Impairments models the front-end offsets between two free-running SDRs.
+type Impairments struct {
+	// CFO is the carrier frequency offset in cycles per sample.
+	CFO float64
+	// Phase is the initial carrier phase offset in radians.
+	Phase float64
+	// Delay is a possibly fractional sample delay (>= 0).
+	Delay float64
+	// ClockSkewPPM is the sample-clock rate mismatch in parts per million
+	// (positive: the receiver's clock runs fast, so the signal appears
+	// stretched). The testbed's TCXOs are a few ppm, which accumulates to
+	// well under one sample over a burst — the receiver's ideal chip
+	// timing model depends on exactly this property (see the package
+	// test TestRealisticSkewIsSubChipPerBurst).
+	ClockSkewPPM float64
+}
+
+// Apply returns a new slice with the impairments applied to x
+// (resampling and delay first, then the frequency/phase rotation).
+func (im Impairments) Apply(x []complex128) []complex128 {
+	out := append([]complex128(nil), x...)
+	if im.ClockSkewPPM != 0 {
+		out = resample(out, 1+im.ClockSkewPPM*1e-6)
+	}
+	if im.Delay != 0 {
+		out = dsp.FractionalDelay(out, im.Delay)
+	}
+	if im.CFO != 0 || im.Phase != 0 {
+		dsp.Mix(out, im.CFO, im.Phase)
+	}
+	return out
+}
+
+// resample stretches x by the given rate factor using linear interpolation,
+// keeping the output length equal to the input (the tail repeats the last
+// sample if the stretched signal runs out early).
+func resample(x []complex128, rate float64) []complex128 {
+	out := make([]complex128, len(x))
+	if len(x) == 0 {
+		return out
+	}
+	for i := range out {
+		t := float64(i) / rate
+		j := int(t)
+		if j >= len(x)-1 {
+			out[i] = x[len(x)-1]
+			continue
+		}
+		frac := t - float64(j)
+		out[i] = x[j]*complex(1-frac, 0) + x[j+1]*complex(frac, 0)
+	}
+	return out
+}
+
+// Combine sums any number of sample streams (the T-connector). The output
+// length is the longest input; shorter inputs are treated as silent after
+// they end.
+func Combine(streams ...[]complex128) []complex128 {
+	var n int
+	for _, s := range streams {
+		if len(s) > n {
+			n = len(s)
+		}
+	}
+	out := make([]complex128, n)
+	for _, s := range streams {
+		for i, v := range s {
+			out[i] += v
+		}
+	}
+	return out
+}
+
+// Link bundles the full path from one transmitter port to the receiver:
+// attenuation, impairments, then (at the receiver) noise is added once for
+// the combined signal — use Combine plus AWGN.Add for multi-port setups.
+type Link struct {
+	AttenuationDB float64
+	Impairments   Impairments
+}
+
+// Transmit pushes a burst through the link and returns the received
+// samples (no noise; add it after combining).
+func (l Link) Transmit(x []complex128) []complex128 {
+	out := l.Impairments.Apply(x)
+	Attenuate(out, l.AttenuationDB)
+	return out
+}
+
+// NoiseVarForSNR returns the AWGN variance that realizes the given SNR (dB)
+// for a signal of the given average power.
+func NoiseVarForSNR(signalPower, snrDB float64) float64 {
+	if signalPower < 0 {
+		panic("channel: negative signal power")
+	}
+	return signalPower / math.Pow(10, snrDB/10)
+}

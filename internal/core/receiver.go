@@ -1,0 +1,651 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/cmplx"
+
+	"bhss/internal/dsp"
+	"bhss/internal/dsss"
+	"bhss/internal/frame"
+	"bhss/internal/hop"
+	"bhss/internal/pulse"
+	"bhss/internal/spectral"
+	"bhss/internal/tracking"
+)
+
+// FilterDecision names the control logic's choice for one hop (§4.2).
+type FilterDecision int
+
+const (
+	// FilterNone: jammer absent, weak, or bandwidth-matched — despreading
+	// alone must carry the hop (Figure 3).
+	FilterNone FilterDecision = iota
+	// FilterLowPass: the jammer is wider than the signal; suppress
+	// everything outside the signal band (Figure 2, eq. (4)).
+	FilterLowPass
+	// FilterExcision: the jammer is narrower than the signal; whiten the
+	// spectrum with the PSD-reciprocal filter (Figure 1, eq. (3)).
+	FilterExcision
+)
+
+// String names the decision.
+func (d FilterDecision) String() string {
+	switch d {
+	case FilterNone:
+		return "none"
+	case FilterLowPass:
+		return "low-pass"
+	case FilterExcision:
+		return "excision"
+	default:
+		return "unknown"
+	}
+}
+
+// HopReport is the receiver's diagnostic record for one hop.
+type HopReport struct {
+	BandwidthMHz   float64
+	SamplesPerChip int
+	Decision       FilterDecision
+	// InBandPower and OutBandPower summarize the PSD estimate relative
+	// to the hop's signal band.
+	InBandPower, OutBandPower float64
+	// PeakToMedian is the in-band narrow-band interference indicator.
+	PeakToMedian float64
+}
+
+// RxStats aggregates the diagnostics of one decoded burst.
+type RxStats struct {
+	Hops []HopReport
+	// MeanMetric is the average winning-correlator output across symbols
+	// (16 is a clean match).
+	MeanMetric float64
+	// AcquisitionOffset is the detected burst start (PreambleSync only).
+	AcquisitionOffset int
+	// CFO is the estimated carrier offset in cycles/sample
+	// (PreambleSync only).
+	CFO float64
+}
+
+// Decode errors beyond those of package frame.
+var (
+	// ErrTruncatedBurst flags fewer samples than one hop of one symbol.
+	ErrTruncatedBurst = errors.New("core: burst shorter than one symbol")
+	// ErrNoPreamble flags a failed acquisition in PreambleSync mode.
+	ErrNoPreamble = errors.New("core: preamble not found")
+)
+
+// Receiver is the BHSS receiver of Figure 6.
+type Receiver struct {
+	cfg    Config
+	dist   hop.Distribution
+	spsTab []int
+	frame  uint64
+
+	pulseCache map[int][]float64
+	lpfCache   map[int]*dsp.FIR
+	shapeCache map[[2]int][]float64
+}
+
+// NewReceiver returns a receiver for the configuration. Construct it from
+// the same Config as the transmitter.
+func NewReceiver(cfg Config) (*Receiver, error) {
+	dist, spsTab, err := cfg.normalize()
+	if err != nil {
+		return nil, err
+	}
+	r := &Receiver{
+		cfg: cfg, dist: dist, spsTab: spsTab,
+		pulseCache: map[int][]float64{},
+		lpfCache:   map[int]*dsp.FIR{},
+		shapeCache: map[[2]int][]float64{},
+	}
+	if cfg.EnableFilter {
+		// "We pre-compute the taps of all possible low-pass filters in
+		// advance" (§6.1).
+		for _, sps := range spsTab {
+			r.lowPass(sps)
+		}
+	}
+	return r, nil
+}
+
+// FrameCounter returns the number of frames consumed so far.
+func (r *Receiver) FrameCounter() uint64 { return r.frame }
+
+// SkipFrame advances the frame counter without decoding (call when a frame
+// is known to be lost before reaching the receiver, to stay in lockstep).
+func (r *Receiver) SkipFrame() { r.frame++ }
+
+func (r *Receiver) pulseTaps(sps int) []float64 {
+	if g, ok := r.pulseCache[sps]; ok {
+		return g
+	}
+	g := pulse.Taps(r.cfg.Shape, sps)
+	r.pulseCache[sps] = g
+	return g
+}
+
+// lowPass returns the cached channel-select filter for a hop bandwidth.
+func (r *Receiver) lowPass(sps int) *dsp.FIR {
+	if f, ok := r.lpfCache[sps]; ok {
+		return f
+	}
+	// Keep the half-sine main lobe (~1.5/sps two-sided) while cutting the
+	// out-of-band jammer. Sharper transitions need more taps; the tap
+	// budget mirrors the paper's hardware cap.
+	cutoff := 0.75 / float64(sps)
+	if cutoff >= 0.5 {
+		cutoff = 0.499
+	}
+	f := dsp.LowPassForAttenuation(cutoff, 60, cutoff/2, r.cfg.FilterTaps)
+	r.lpfCache[sps] = f
+	return f
+}
+
+// hopFilterCtx carries what estimateHop learned to filterHop.
+type hopFilterCtx struct {
+	psd   []float64 // lightly smoothed PSD for filter design
+	shape []float64 // expected signal spectrum, unit peak, floored
+	refN  float64   // shape-normalized in-band signal level
+}
+
+// estimateHop runs the spectral analysis of §4.2 for one hop segment and
+// returns the filter decision plus the design context.
+func (r *Receiver) estimateHop(seg []complex128, sps int) (FilterDecision, hopFilterCtx, HopReport) {
+	report := HopReport{SamplesPerChip: sps}
+	// Resolution adapts to the hop: aim for ~32 bins across the signal
+	// band (in-band bins = K * 1.5/sps) so an in-band notch can be much
+	// narrower than the band, bounded by the configured cap, the filter
+	// tap budget (the notch has K-1 taps) and the hop length.
+	k := dsp.NextPow2(32 * sps)
+	if k < 256 {
+		k = 256
+	}
+	if k > r.cfg.PSDSegment {
+		k = r.cfg.PSDSegment
+	}
+	for k > r.cfg.FilterTaps+1 {
+		k >>= 1
+	}
+	// Insist on at least ~3 half-overlapped Welch segments: a single
+	// periodogram's per-bin scatter (even smoothed) is indistinguishable
+	// from narrow-band structure.
+	for k > len(seg)/2 {
+		k >>= 1
+	}
+	if k < 16 {
+		return FilterNone, hopFilterCtx{}, report
+	}
+	est := spectral.Welch(k)
+	raw, err := est.PSD(seg)
+	if err != nil {
+		return FilterNone, hopFilterCtx{}, report
+	}
+	// Light smoothing tames the per-bin scatter of short-capture
+	// periodograms without diluting a narrow jammer's peak. The excision
+	// *design* smooths even less so the notch stays as narrow as the
+	// jammer. A spurious excision triggered by residual scatter is benign:
+	// the notch only touches bins far above the expected signal level.
+	psd := dsp.SmoothPSD(raw, 3)
+	detect := dsp.SmoothPSD(raw, 5)
+	signalBW := 1.5 / float64(sps) // half-sine main lobe, two-sided
+	if signalBW > 1 {
+		signalBW = 1
+	}
+	// Band powers integrate many raw bins and are robust without
+	// smoothing; smoothing would smear a very narrow signal beyond its
+	// own band and fake out-of-band power.
+	inBand := spectral.BandPower(raw, signalBW)
+	total := spectral.BandPower(raw, 1)
+	outBand := total - inBand
+	report.InBandPower = inBand
+	report.OutBandPower = outBand
+
+	// Shape-normalized narrow-band indicator: dividing the in-band PSD by
+	// the known pulse spectrum |G(f)|² flattens the signal's own spectral
+	// peak, so any residual structure is interference. The reference is a
+	// low quantile of the normalized bins — still signal-anchored when
+	// the jammer covers up to ~half of the band (the eq. (11) excision
+	// region extends almost to the matched bandwidth).
+	shape := r.pulseShapeGain(sps, k)
+	normBins := make([]float64, 0, k)
+	half := signalBW / 2
+	for i, p := range detect {
+		f := float64(i) / float64(k)
+		if f >= 0.5 {
+			f -= 1
+		}
+		if f >= -half && f <= half {
+			normBins = append(normBins, p/shape[i])
+		}
+	}
+	refN := quantileLevel(normBins, signalQuantile)
+	report.PeakToMedian = peakToQuantile(normBins, signalQuantile)
+
+	ctx := hopFilterCtx{psd: psd, shape: shape, refN: refN}
+	switch {
+	case signalBW < 1 && outBand > r.cfg.WidebandExcessRatio*inBand:
+		report.Decision = FilterLowPass
+		return FilterLowPass, ctx, report
+	case report.PeakToMedian > r.cfg.ExcisionPeakRatio:
+		report.Decision = FilterExcision
+		return FilterExcision, ctx, report
+	default:
+		report.Decision = FilterNone
+		return FilterNone, ctx, report
+	}
+}
+
+// pulseShapeGain returns (and caches) the expected power spectrum of the
+// hop's chip pulse over k FFT bins: |G(f)|² with unit peak, floored at 5%
+// so out-of-band bins keep a usable excision target.
+func (r *Receiver) pulseShapeGain(sps, k int) []float64 {
+	key := [2]int{sps, k}
+	if g, ok := r.shapeCache[key]; ok {
+		return g
+	}
+	taps := r.pulseTaps(sps)
+	buf := make([]complex128, k)
+	for i, t := range taps {
+		buf[i%k] += complex(t, 0)
+	}
+	dsp.FFT(buf)
+	shape := make([]float64, k)
+	var peak float64
+	for i, v := range buf {
+		shape[i] = real(v)*real(v) + imag(v)*imag(v)
+		if shape[i] > peak {
+			peak = shape[i]
+		}
+	}
+	if peak == 0 {
+		peak = 1
+	}
+	const floor = 0.05
+	for i := range shape {
+		shape[i] /= peak
+		if shape[i] < floor {
+			shape[i] = floor
+		}
+	}
+	r.shapeCache[key] = shape
+	return shape
+}
+
+// inBandBins extracts the PSD bins within the two-sided band bw (un-shifted
+// ordering in, contiguous slice out).
+func inBandBins(psd []float64, bw float64) []float64 {
+	k := len(psd)
+	half := bw / 2
+	out := make([]float64, 0, k)
+	for i, p := range psd {
+		f := float64(i) / float64(k)
+		if f >= 0.5 {
+			f -= 1
+		}
+		if f >= -half && f <= half {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// filterHop applies the decided filter to the hop's samples.
+func (r *Receiver) filterHop(seg []complex128, sps int, decision FilterDecision, ctx hopFilterCtx) []complex128 {
+	switch decision {
+	case FilterLowPass:
+		return r.lowPass(sps).ApplyFast(seg)
+	case FilterExcision:
+		// Notch-floor variant of the eq. (3) whitening filter with a
+		// shaped target: each bin is allowed the signal's expected level
+		// at that frequency (refN · |G(f)|²); anything above is jamming
+		// and gets pushed well below it.
+		target := make([]float64, len(ctx.psd))
+		for i := range target {
+			target[i] = ctx.refN * ctx.shape[i]
+		}
+		return dsp.ShapedNotchFIR(ctx.psd, target, r.cfg.ExcisionPeakRatio).ApplyFast(seg)
+	default:
+		return seg
+	}
+}
+
+// signalQuantile is the in-band PSD quantile used as the "signal level"
+// reference for excision detection and notch design. A value below 0.5
+// keeps the reference anchored on the un-jammed bins even when the jammer
+// occupies a large fraction of the band.
+const signalQuantile = 0.35
+
+// quantileLevel returns the q-quantile of xs (0 for empty input).
+func quantileLevel(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	cp := append([]float64(nil), xs...)
+	for i := 1; i < len(cp); i++ {
+		for j := i; j > 0 && cp[j] < cp[j-1]; j-- {
+			cp[j], cp[j-1] = cp[j-1], cp[j]
+		}
+	}
+	idx := int(q * float64(len(cp)))
+	if idx >= len(cp) {
+		idx = len(cp) - 1
+	}
+	return cp[idx]
+}
+
+// peakToQuantile returns max(xs) / quantileLevel(xs, q) (0 when empty,
+// +Inf when the quantile is zero but the peak is not).
+func peakToQuantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var peak float64
+	for _, v := range xs {
+		if v > peak {
+			peak = v
+		}
+	}
+	ref := quantileLevel(xs, q)
+	if ref == 0 {
+		if peak == 0 {
+			return 0
+		}
+		return math.Inf(1)
+	}
+	return peak / ref
+}
+
+// DecodeBurst decodes one burst whose samples begin exactly at the frame
+// start (IdealSync) or contain it (PreambleSync). It advances the frame
+// counter whether or not decoding succeeds, keeping the seed streams in
+// lockstep with the transmitter. The returned stats are valid even when an
+// error is returned.
+func (r *Receiver) DecodeBurst(samples []complex128) ([]byte, *RxStats, error) {
+	fr := r.frame
+	r.frame++
+	stats := &RxStats{}
+
+	if r.cfg.Sync == PreambleSync {
+		offset, cfo, phase, err := r.acquire(samples, fr)
+		if err != nil {
+			// No burst in this capture: give the frame counter back so a
+			// streaming receiver stays in lockstep with the transmitter
+			// while it scans for the next burst.
+			r.frame = fr
+			return nil, stats, err
+		}
+		stats.AcquisitionOffset = offset
+		stats.CFO = cfo
+		aligned := append([]complex128(nil), samples[offset:]...)
+		dsp.Mix(aligned, -cfo, -phase)
+		samples = aligned
+	}
+
+	sched, err := hop.NewSchedule(r.dist, deriveSeed(r.cfg.Seed, fr, purposeHopPlan), r.cfg.SymbolsPerHop)
+	if err != nil {
+		return nil, stats, err
+	}
+	scramblerSeed := deriveSeed(r.cfg.Seed, fr, purposeScrambler)
+
+	// The carrier loop persists across hops (Figure 6 places it after the
+	// filters); its bandwidth is retuned per hop so the per-chip dynamics
+	// stay constant across samples-per-chip changes. It must *acquire*
+	// the channel phase — the prototype's free-running oscillators give
+	// an arbitrary offset — which is exactly what strong unfiltered
+	// jamming prevents.
+	// A fixed per-sample loop bandwidth: wide enough to track the
+	// residual carrier offset of free-running oscillators, narrow enough
+	// to stay quiet on a clean channel. Under jamming the loop's
+	// decision-directed error turns into noise and the tracked carrier
+	// walks away — the vulnerability the pre-despreading filters protect.
+	const carrierLoopBW = 0.0005
+	// maxTrackedCFO bounds the coarse acquisition search (cycles/sample).
+	const maxTrackedCFO = 2e-4
+	var loop *tracking.Costas
+	if r.cfg.TrackingLoops {
+		loop, err = tracking.NewCostas(carrierLoopBW)
+		if err != nil {
+			return nil, stats, err
+		}
+	}
+
+	var chips []complex128
+	totalSymbols := -1 // unknown until the length byte is decoded
+	maxSymbols := frame.EncodedSymbols(frame.MaxPayload)
+	samplePos := 0
+	rotation := complex(1, 0)
+
+	for {
+		collected := len(chips) / dsss.ComplexChipsPerSymbol
+		if totalSymbols >= 0 && collected >= totalSymbols {
+			break
+		}
+		if collected >= maxSymbols {
+			break
+		}
+		bwIdx := sched.Next()
+		sps := r.spsTab[bwIdx]
+		nSym := r.cfg.SymbolsPerHop
+		if totalSymbols >= 0 && collected+nSym > totalSymbols {
+			nSym = totalSymbols - collected
+		}
+		segLen := nSym * dsss.ComplexChipsPerSymbol * sps
+		if samplePos+segLen > len(samples) {
+			// Clamp to the whole symbols that remain in the capture.
+			avail := (len(samples) - samplePos) / (dsss.ComplexChipsPerSymbol * sps)
+			if avail <= 0 {
+				break
+			}
+			nSym = avail
+			segLen = nSym * dsss.ComplexChipsPerSymbol * sps
+		}
+		seg := samples[samplePos : samplePos+segLen]
+		samplePos += segLen
+
+		var report HopReport
+		if r.cfg.EnableFilter {
+			decision, ctx, rep := r.estimateHop(seg, sps)
+			report = rep
+			seg = r.filterHop(seg, sps, decision, ctx)
+		} else {
+			report = HopReport{SamplesPerChip: sps, Decision: FilterNone}
+		}
+		report.BandwidthMHz = r.dist.Bandwidths[bwIdx]
+		stats.Hops = append(stats.Hops, report)
+
+		if loop != nil {
+			if len(stats.Hops) == 1 {
+				// Coarse CFO acquisition on the first (filtered) hop:
+				// the 4th-power spectral line of QPSK preloads the
+				// loop's frequency. Under unsuppressed strong jamming
+				// the line drowns and the estimate is useless — part
+				// of the vulnerability the filters protect.
+				loop.SetFrequency(tracking.CoarseCFOInRange(seg, maxTrackedCFO))
+			}
+			tracked := append([]complex128(nil), seg...)
+			loop.Process(tracked)
+			seg = tracked
+		}
+
+		chips = append(chips, pulse.Demodulate(seg, r.pulseTaps(sps), 0)...)
+
+		if totalSymbols < 0 && len(chips) >= frame.HeaderSymbols*dsss.ComplexChipsPerSymbol {
+			rot, total := r.resolveHeader(chips, scramblerSeed)
+			rotation = rot
+			totalSymbols = total
+		}
+	}
+	if len(chips) < dsss.ComplexChipsPerSymbol {
+		return nil, stats, ErrTruncatedBurst
+	}
+	if rotation != 1 {
+		for i := range chips {
+			chips[i] *= rotation
+		}
+	}
+	whole := len(chips) / dsss.ComplexChipsPerSymbol * dsss.ComplexChipsPerSymbol
+	despreader := dsss.NewDespreader(scramblerSeed)
+	symbols, metrics, err := despreader.Despread(chips[:whole])
+	if err != nil {
+		return nil, stats, fmt.Errorf("core: %w", err)
+	}
+	var metricSum float64
+	for _, m := range metrics {
+		metricSum += m
+	}
+	stats.MeanMetric = metricSum / float64(len(symbols))
+	payload, err := frame.Decode(symbols)
+	if err != nil {
+		return nil, stats, err
+	}
+	return payload, stats, nil
+}
+
+// resolveHeader despreads the header chips and returns the QPSK rotation
+// correction and the frame's total symbol count. A carrier loop locks to
+// the constellation only modulo π/2; the known all-zero preamble resolves
+// the ambiguity (without tracking loops only the identity rotation is
+// tried). When the length byte is unreadable the maximum frame length is
+// assumed and the CRC check rejects the frame downstream.
+func (r *Receiver) resolveHeader(chips []complex128, scramblerSeed uint64) (complex128, int) {
+	headerChips := chips[:frame.HeaderSymbols*dsss.ComplexChipsPerSymbol]
+	rotations := []complex128{1}
+	if r.cfg.TrackingLoops {
+		rotations = []complex128{1, complex(0, 1), -1, complex(0, -1)}
+	}
+	maxSymbols := frame.EncodedSymbols(frame.MaxPayload)
+	bestRot := complex(1, 0)
+	bestScore := math.Inf(-1)
+	bestTotal := maxSymbols
+	buf := make([]complex128, len(headerChips))
+	for _, rot := range rotations {
+		for i, c := range headerChips {
+			buf[i] = c * rot
+		}
+		d := dsss.NewDespreader(scramblerSeed)
+		syms, metrics, err := d.Despread(buf)
+		if err != nil {
+			continue
+		}
+		// Majority of the preamble symbols must be zero; the first one
+		// or two may be lost while the loop pulls in.
+		nPre := frame.PreambleBytes * frame.SymbolsPerByte
+		zeros := 0
+		for _, s := range syms[:nPre] {
+			if s == 0 {
+				zeros++
+			}
+		}
+		var score float64
+		for _, m := range metrics {
+			score += m
+		}
+		if zeros*4 >= nPre*3 {
+			score += 1e6 // preamble match dominates the metric sum
+		}
+		if score > bestScore {
+			bestScore = score
+			bestRot = rot
+			bestTotal = maxSymbols
+			if n, ok := peekLength(syms); ok {
+				bestTotal = frame.EncodedSymbols(n)
+			}
+		}
+	}
+	return bestRot, bestTotal
+}
+
+// peekLength extracts the length byte from the decoded header symbols.
+func peekLength(symbols []int) (int, bool) {
+	lo := symbols[(frame.PreambleBytes+1)*frame.SymbolsPerByte]
+	hi := symbols[(frame.PreambleBytes+1)*frame.SymbolsPerByte+1]
+	if lo < 0 || lo > 15 || hi < 0 || hi > 15 {
+		return 0, false
+	}
+	n := lo | hi<<4
+	if n > frame.MaxPayload {
+		return 0, false
+	}
+	return n, true
+}
+
+// acquire locates the frame start within the capture by correlating against
+// the known preamble waveform of frame fr, and estimates carrier phase and
+// a coarse CFO from the correlation (PreambleSync mode).
+func (r *Receiver) acquire(samples []complex128, fr uint64) (offset int, cfo, phase float64, err error) {
+	tmpl, err := r.preambleTemplate(fr)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	if len(samples) < len(tmpl) {
+		return 0, 0, 0, ErrNoPreamble
+	}
+	// Cross-correlate: peak of |conv(samples, reverse(conj(tmpl)))|.
+	rev := make([]complex128, len(tmpl))
+	for i, v := range tmpl {
+		rev[len(tmpl)-1-i] = complex(real(v), -imag(v))
+	}
+	corr := dsp.ConvolveFFT(samples, rev)
+	// Valid offsets: template fully inside the capture. In the full
+	// convolution, offset o corresponds to index o + len(tmpl) - 1.
+	best, bestMag := -1, 0.0
+	for o := 0; o+len(tmpl) <= len(samples); o++ {
+		c := corr[o+len(tmpl)-1]
+		m := real(c)*real(c) + imag(c)*imag(c)
+		if m > bestMag {
+			bestMag = m
+			best = o
+		}
+	}
+	if best < 0 {
+		return 0, 0, 0, ErrNoPreamble
+	}
+	tmplEnergy := dsp.Energy(tmpl)
+	segEnergy := dsp.Energy(samples[best : best+len(tmpl)])
+	if segEnergy == 0 || bestMag < 0.05*tmplEnergy*segEnergy {
+		return 0, 0, 0, ErrNoPreamble
+	}
+	// Phase from the whole-template correlation; CFO from the phase drift
+	// between the two template halves.
+	seg := samples[best : best+len(tmpl)]
+	half := len(tmpl) / 2
+	c1 := dsp.DotConj(seg[:half], tmpl[:half])
+	c2 := dsp.DotConj(seg[half:], tmpl[half:2*half])
+	phase = cmplx.Phase(c1)
+	dphi := cmplx.Phase(c2 * cmplx.Conj(c1))
+	cfo = dphi / (2 * math.Pi * float64(half))
+	return best, cfo, phase, nil
+}
+
+// preambleTemplate rebuilds the transmit waveform of the preamble symbols
+// of frame fr (everything up to the SFD is known a priori).
+func (r *Receiver) preambleTemplate(fr uint64) ([]complex128, error) {
+	nPre := frame.PreambleBytes * frame.SymbolsPerByte
+	sched, err := hop.NewSchedule(r.dist, deriveSeed(r.cfg.Seed, fr, purposeHopPlan), r.cfg.SymbolsPerHop)
+	if err != nil {
+		return nil, err
+	}
+	spreader := dsss.NewSpreader(deriveSeed(r.cfg.Seed, fr, purposeScrambler))
+	var out []complex128
+	symPos := 0
+	for symPos < nPre {
+		bwIdx := sched.Next()
+		sps := r.spsTab[bwIdx]
+		n := r.cfg.SymbolsPerHop
+		if symPos+n > nPre {
+			n = nPre - symPos
+		}
+		zeros := make([]int, n)
+		chips, err := spreader.Spread(zeros)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pulse.Modulate(chips, r.pulseTaps(sps))...)
+		symPos += n
+	}
+	return out, nil
+}

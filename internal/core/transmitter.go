@@ -1,0 +1,168 @@
+package core
+
+import (
+	"fmt"
+
+	"bhss/internal/dsss"
+	"bhss/internal/frame"
+	"bhss/internal/hop"
+	"bhss/internal/prng"
+	"bhss/internal/pulse"
+)
+
+// HopSegment records one hop of a transmitted burst: which bandwidth was
+// used and which sample/symbol span it covers. Receivers regenerate the
+// identical segmentation from the shared seed.
+type HopSegment struct {
+	// BandwidthIndex indexes the distribution's bandwidth set.
+	BandwidthIndex int
+	// BandwidthMHz is the hop's occupied bandwidth.
+	BandwidthMHz float64
+	// SamplesPerChip realizes the bandwidth at the fixed sampling rate.
+	SamplesPerChip int
+	// StartSymbol and NumSymbols give the span in DSSS symbols.
+	StartSymbol, NumSymbols int
+	// StartSample and NumSamples give the span in burst samples.
+	StartSample, NumSamples int
+}
+
+// Burst is one transmitted frame: the samples plus the hop segmentation
+// (the latter is diagnostic; a receiver never needs it over the air).
+type Burst struct {
+	Samples  []complex128
+	Segments []HopSegment
+	// Payload is the carried payload (diagnostic).
+	Payload []byte
+}
+
+// deriveSeed expands the pre-shared seed into independent sub-seeds for the
+// scrambler and the hop schedule of one frame. Both sides call it with the
+// same frame counter, so a lost frame cannot desynchronize the next one.
+func deriveSeed(seed uint64, counter uint64, purpose uint64) uint64 {
+	s := prng.New(seed ^ (counter * 0x9e3779b97f4a7c15) ^ (purpose * 0xbf58476d1ce4e5b9))
+	return s.Uint64()
+}
+
+const (
+	purposeScrambler = 1
+	purposeHopPlan   = 2
+)
+
+// Transmitter is the BHSS transmitter of Figure 4: spreading, scrambling,
+// and pulse shaping with a randomly hopped pulse duration.
+type Transmitter struct {
+	cfg    Config
+	dist   hop.Distribution
+	spsTab []int
+	frame  uint64
+	// pulse taps per samples-per-chip value, cached.
+	pulseCache map[int][]float64
+}
+
+// NewTransmitter returns a transmitter for the configuration.
+func NewTransmitter(cfg Config) (*Transmitter, error) {
+	dist, spsTab, err := cfg.normalize()
+	if err != nil {
+		return nil, err
+	}
+	return &Transmitter{cfg: cfg, dist: dist, spsTab: spsTab, pulseCache: map[int][]float64{}}, nil
+}
+
+// FrameCounter returns the number of frames encoded so far.
+func (t *Transmitter) FrameCounter() uint64 { return t.frame }
+
+// pulseTaps returns (and caches) the pulse shape for a samples-per-chip
+// value — the transmitter's g(αt) table.
+func (t *Transmitter) pulseTaps(sps int) []float64 {
+	if g, ok := t.pulseCache[sps]; ok {
+		return g
+	}
+	g := pulse.Taps(t.cfg.Shape, sps)
+	t.pulseCache[sps] = g
+	return g
+}
+
+// planHops draws the hop plan for nSymbols symbols of frame fr.
+func planHops(cfg Config, dist hop.Distribution, fr uint64, nSymbols int) ([]int, error) {
+	sched, err := hop.NewSchedule(dist, deriveSeed(cfg.Seed, fr, purposeHopPlan), cfg.SymbolsPerHop)
+	if err != nil {
+		return nil, err
+	}
+	return sched.PlanHops(nSymbols), nil
+}
+
+// EncodeFrame frames, spreads, scrambles and pulse-shapes one payload,
+// advancing the frame counter. The returned burst carries the samples to
+// put on the air.
+func (t *Transmitter) EncodeFrame(payload []byte) (*Burst, error) {
+	symbols, err := frame.Encode(payload)
+	if err != nil {
+		return nil, err
+	}
+	fr := t.frame
+	t.frame++
+
+	plan, err := planHops(t.cfg, t.dist, fr, len(symbols))
+	if err != nil {
+		return nil, err
+	}
+	spreader := dsss.NewSpreader(deriveSeed(t.cfg.Seed, fr, purposeScrambler))
+
+	burst := &Burst{Payload: append([]byte(nil), payload...)}
+	symPos := 0
+	samplePos := 0
+	for _, bwIdx := range plan {
+		n := t.cfg.SymbolsPerHop
+		if symPos+n > len(symbols) {
+			n = len(symbols) - symPos
+		}
+		chips, err := spreader.Spread(symbols[symPos : symPos+n])
+		if err != nil {
+			return nil, fmt.Errorf("core: %w", err)
+		}
+		sps := t.spsTab[bwIdx]
+		seg := pulse.Modulate(chips, t.pulseTaps(sps))
+		burst.Segments = append(burst.Segments, HopSegment{
+			BandwidthIndex: bwIdx,
+			BandwidthMHz:   t.dist.Bandwidths[bwIdx],
+			SamplesPerChip: sps,
+			StartSymbol:    symPos,
+			NumSymbols:     n,
+			StartSample:    samplePos,
+			NumSamples:     len(seg),
+		})
+		burst.Samples = append(burst.Samples, seg...)
+		symPos += n
+		samplePos += len(seg)
+	}
+	return burst, nil
+}
+
+// BurstLength returns the number of samples EncodeFrame will produce for a
+// payload of n bytes on the next frame (it depends on the hop draw, so the
+// frame counter is consumed read-only via a copy of the schedule).
+func (t *Transmitter) BurstLength(payloadBytes int) (int, error) {
+	nSymbols := frame.EncodedSymbols(payloadBytes)
+	plan, err := planHops(t.cfg, t.dist, t.frame, nSymbols)
+	if err != nil {
+		return 0, err
+	}
+	total := 0
+	symPos := 0
+	for _, bwIdx := range plan {
+		n := t.cfg.SymbolsPerHop
+		if symPos+n > nSymbols {
+			n = nSymbols - symPos
+		}
+		total += n * dsss.ComplexChipsPerSymbol * t.spsTab[bwIdx]
+		symPos += n
+	}
+	return total, nil
+}
+
+// AverageBandwidth returns the expected occupied bandwidth of the
+// configured distribution in MHz.
+func (t *Transmitter) AverageBandwidth() float64 { return t.dist.AverageBandwidth() }
+
+// Distribution returns the transmitter's hop distribution.
+func (t *Transmitter) Distribution() hop.Distribution { return t.dist }

@@ -1,0 +1,296 @@
+package dsp
+
+import (
+	"math"
+	"math/cmplx"
+	"testing"
+	"testing/quick"
+)
+
+func TestFIRProcessMatchesApply(t *testing.T) {
+	taps := []complex128{0.25, 0.5, 0.25}
+	x := randSignal(100, 42)
+
+	f1 := NewFIR(taps)
+	streamed := f1.Process(x)
+
+	full := Convolve(x, taps)
+	for i := range streamed {
+		if !cEq(streamed[i], full[i], 1e-12) {
+			t.Fatalf("sample %d: streamed %v, conv %v", i, streamed[i], full[i])
+		}
+	}
+}
+
+func TestFIRProcessAcrossBlocks(t *testing.T) {
+	taps := []complex128{1, -0.5, 0.25, 0.1}
+	x := randSignal(64, 7)
+
+	whole := NewFIR(taps).Process(x)
+
+	f := NewFIR(taps)
+	part := append(f.Process(x[:10]), f.Process(x[10:40])...)
+	part = append(part, f.Process(x[40:])...)
+
+	for i := range whole {
+		if !cEq(whole[i], part[i], 1e-12) {
+			t.Fatalf("block-split output diverges at %d", i)
+		}
+	}
+}
+
+func TestFIRReset(t *testing.T) {
+	taps := []complex128{1, 1}
+	f := NewFIR(taps)
+	f.Process([]complex128{5})
+	f.Reset()
+	out := f.Process([]complex128{1})
+	if !cEq(out[0], 1, 1e-15) {
+		t.Fatalf("after Reset, output = %v, want 1 (no history)", out[0])
+	}
+}
+
+func TestApplyFastMatchesApply(t *testing.T) {
+	taps := make([]complex128, 31)
+	for i := range taps {
+		taps[i] = complex(math.Sin(float64(i)), math.Cos(float64(2*i)))
+	}
+	x := randSignal(500, 3)
+	f := NewFIR(taps)
+	a := f.Apply(x)
+	b := f.ApplyFast(x)
+	for i := range a {
+		if !cEq(a[i], b[i], 1e-8) {
+			t.Fatalf("sample %d: direct %v, fft %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestConvolveFFTMatchesDirectProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		x := randSignal(65, seed)
+		h := randSignal(17, seed^0xabc)
+		d := Convolve(x, h)
+		ft := ConvolveFFT(x, h)
+		if len(d) != len(ft) {
+			return false
+		}
+		for i := range d {
+			if !cEq(d[i], ft[i], 1e-7) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConvolveIdentity(t *testing.T) {
+	x := randSignal(20, 9)
+	out := Convolve(x, []complex128{1})
+	for i := range x {
+		if out[i] != x[i] {
+			t.Fatal("convolution with unit impulse must be identity")
+		}
+	}
+}
+
+func TestConvolveEmpty(t *testing.T) {
+	if Convolve(nil, []complex128{1}) != nil || ConvolveFFT([]complex128{1}, nil) != nil {
+		t.Fatal("empty convolution should be nil")
+	}
+}
+
+func TestLowPassFIRPassesAndStops(t *testing.T) {
+	f := LowPassFIR(0.1, 101, Hamming, 0)
+	// DC gain ~1.
+	if g := f.GainAt(0); math.Abs(g-1) > 1e-6 {
+		t.Fatalf("DC gain = %v, want 1", g)
+	}
+	// In-band tone nearly unity.
+	if g := f.GainAt(0.05); math.Abs(g-1) > 0.05 {
+		t.Fatalf("pass-band gain at 0.05 = %v", g)
+	}
+	// Stop band strongly attenuated.
+	if g := f.GainAt(0.25); g > 1e-3 {
+		t.Fatalf("stop-band gain at 0.25 = %v, want < 1e-3", g)
+	}
+}
+
+func TestLowPassFIRFiltersWidebandNoise(t *testing.T) {
+	// Mix a low-frequency tone with a high-frequency tone and verify the
+	// filter keeps the former and kills the latter.
+	const n = 4096
+	x := make([]complex128, n)
+	for i := range x {
+		low := cmplx.Exp(complex(0, 2*math.Pi*0.02*float64(i)))
+		high := cmplx.Exp(complex(0, 2*math.Pi*0.35*float64(i)))
+		x[i] = low + high
+	}
+	f := LowPassFIR(0.1, 129, Blackman, 0)
+	y := f.Apply(x)
+	// Power of y should be close to the power of the low tone alone (1.0).
+	p := Power(y[200 : n-200])
+	if math.Abs(p-1) > 0.1 {
+		t.Fatalf("filtered power = %v, want ~1 (high tone removed)", p)
+	}
+}
+
+func TestLowPassForAttenuationMeetsSpec(t *testing.T) {
+	f := LowPassForAttenuation(0.125, 60, 0.02, 0)
+	// Check attenuation past the transition band.
+	for _, fr := range []float64{0.16, 0.2, 0.3, 0.45} {
+		g := f.GainAt(fr)
+		if DBg := 10 * math.Log10(g); DBg > -55 {
+			t.Fatalf("gain at %v = %v dB, want <= -55 dB", fr, DBg)
+		}
+	}
+	if g := f.GainAt(0.05); math.Abs(g-1) > 0.05 {
+		t.Fatalf("pass-band gain = %v", g)
+	}
+}
+
+func TestLowPassForAttenuationRespectsMaxTaps(t *testing.T) {
+	f := LowPassForAttenuation(0.125, 80, 0.001, 201)
+	if f.Len() > 201 {
+		t.Fatalf("filter has %d taps, cap was 201", f.Len())
+	}
+}
+
+func TestLowPassPanicsOnBadCutoff(t *testing.T) {
+	for _, c := range []float64{0, 0.5, -0.1, 0.9} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("cutoff %v should panic", c)
+				}
+			}()
+			LowPassFIR(c, 11, Hamming, 0)
+		}()
+	}
+}
+
+func TestWhiteningFIRNotchesJammerBand(t *testing.T) {
+	// Construct a PSD with a strong narrow-band bump and verify the
+	// whitening filter attenuates exactly there.
+	const k = 256
+	psd := make([]float64, k)
+	for i := range psd {
+		psd[i] = 1
+	}
+	// Jammer occupies bins 10..20 (positive low frequencies) with 30 dB.
+	for i := 10; i <= 20; i++ {
+		psd[i] = 1000
+	}
+	f := WhiteningFIR(psd, 1e-6)
+	resp := f.FrequencyResponse(k)
+	jam := cmplx.Abs(resp[15])
+	clean := cmplx.Abs(resp[100])
+	if jam >= clean/5 {
+		t.Fatalf("whitening response: |H_jam|=%v not well below |H_clean|=%v", jam, clean)
+	}
+}
+
+func TestWhiteningFIRFlatPSDIsAllpass(t *testing.T) {
+	const k = 128
+	psd := make([]float64, k)
+	for i := range psd {
+		psd[i] = 2.5
+	}
+	f := WhiteningFIR(psd, 1e-6)
+	resp := f.FrequencyResponse(k)
+	for i, r := range resp {
+		if math.Abs(cmplx.Abs(r)-1) > 1e-6 {
+			t.Fatalf("bin %d gain %v, want 1 for flat PSD", i, cmplx.Abs(r))
+		}
+	}
+}
+
+func TestWhiteningFIRSuppressesToneInTime(t *testing.T) {
+	// End-to-end: wide PN-like noise plus a strong tone; after whitening
+	// the tone should carry far less of the total power.
+	const n = 4096
+	x := randSignal(n, 5)
+	tone := make([]complex128, n)
+	for i := range tone {
+		tone[i] = 20 * cmplx.Exp(complex(0, 2*math.Pi*0.2*float64(i)))
+	}
+	mixed := make([]complex128, n)
+	for i := range mixed {
+		mixed[i] = x[i] + tone[i]
+	}
+	// Estimate PSD crudely with one periodogram at K bins.
+	const k = 256
+	psd := make([]float64, k)
+	for blk := 0; blk+k <= n; blk += k {
+		seg := append([]complex128(nil), mixed[blk:blk+k]...)
+		FFT(seg)
+		for i, v := range seg {
+			psd[i] += real(v)*real(v) + imag(v)*imag(v)
+		}
+	}
+	f := WhiteningFIR(psd, 1e-6)
+	y := f.Apply(mixed)
+	// Residual power at the tone frequency must be greatly reduced.
+	probe := make([]complex128, n)
+	for i := range probe {
+		probe[i] = cmplx.Exp(complex(0, -2*math.Pi*0.2*float64(i)))
+	}
+	var before, after complex128
+	for i := 0; i < n; i++ {
+		before += mixed[i] * probe[i]
+		after += y[i] * probe[i]
+	}
+	rb := cmplx.Abs(before) / float64(n)
+	ra := cmplx.Abs(after) / float64(n)
+	if ra > rb/10 {
+		t.Fatalf("tone amplitude before=%v after=%v, want >=10x suppression", rb, ra)
+	}
+}
+
+func TestWhiteningFIRPanicsOnEmptyPSD(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("empty PSD should panic")
+		}
+	}()
+	WhiteningFIR(nil, 0)
+}
+
+func TestFrequencyResponseMatchesGainAt(t *testing.T) {
+	f := LowPassFIR(0.2, 33, Hann, 0)
+	const nfft = 64
+	resp := f.FrequencyResponse(nfft)
+	for k := 0; k < nfft; k++ {
+		freq := float64(k) / nfft
+		if freq >= 0.5 {
+			freq -= 1
+		}
+		want := f.GainAt(freq)
+		got := real(resp[k])*real(resp[k]) + imag(resp[k])*imag(resp[k])
+		if math.Abs(got-want) > 1e-9*(1+want) {
+			t.Fatalf("bin %d: |H|^2 = %v, GainAt = %v", k, got, want)
+		}
+	}
+}
+
+func BenchmarkFIRApplyFast64k(b *testing.B) {
+	f := LowPassFIR(0.1, 257, Blackman, 0)
+	x := randSignal(65536, 1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		f.ApplyFast(x)
+	}
+}
+
+func BenchmarkFIRProcess4k(b *testing.B) {
+	f := LowPassFIR(0.1, 129, Blackman, 0)
+	x := randSignal(4096, 1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		f.Reset()
+		f.Process(x)
+	}
+}

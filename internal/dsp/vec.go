@@ -1,0 +1,204 @@
+// Package dsp implements the digital signal processing substrate the BHSS
+// system is built on: complex vector arithmetic, FFTs, spectral windows,
+// FIR filter design (including the paper's PSD-reciprocal excision filter,
+// eq. (3)), direct and overlap-save convolution, frequency mixing and
+// fractional delay. Everything is written against the standard library only;
+// the blocks mirror what the paper's GNU Radio flowgraph instantiated.
+package dsp
+
+import "math"
+
+// Scale multiplies every element of x by a real gain, in place.
+func Scale(x []complex128, gain float64) {
+	g := complex(gain, 0)
+	for i := range x {
+		x[i] *= g
+	}
+}
+
+// AddTo adds src into dst element-wise: dst[i] += src[i]. The slices must
+// have identical lengths; extra elements of the longer slice are ignored.
+func AddTo(dst, src []complex128) {
+	n := len(dst)
+	if len(src) < n {
+		n = len(src)
+	}
+	for i := 0; i < n; i++ {
+		dst[i] += src[i]
+	}
+}
+
+// Power returns the average power (mean |x|^2) of the signal.
+func Power(x []complex128) float64 {
+	if len(x) == 0 {
+		return 0
+	}
+	var p float64
+	for _, v := range x {
+		p += real(v)*real(v) + imag(v)*imag(v)
+	}
+	return p / float64(len(x))
+}
+
+// Energy returns the total energy (sum |x|^2) of the signal.
+func Energy(x []complex128) float64 {
+	var e float64
+	for _, v := range x {
+		e += real(v)*real(v) + imag(v)*imag(v)
+	}
+	return e
+}
+
+// Normalize scales x in place to unit average power and returns the applied
+// gain. A zero-power signal is left untouched with gain 1.
+func Normalize(x []complex128) float64 {
+	p := Power(x)
+	if p == 0 {
+		return 1
+	}
+	g := 1 / math.Sqrt(p)
+	Scale(x, g)
+	return g
+}
+
+// Conj returns a new slice holding the complex conjugate of x.
+func Conj(x []complex128) []complex128 {
+	out := make([]complex128, len(x))
+	for i, v := range x {
+		out[i] = complex(real(v), -imag(v))
+	}
+	return out
+}
+
+// DotConj returns sum(a[i] * conj(b[i])) over the common prefix, the complex
+// correlation inner product used by despreaders and preamble detectors.
+func DotConj(a, b []complex128) complex128 {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	var accRe, accIm float64
+	for i := 0; i < n; i++ {
+		ar, ai := real(a[i]), imag(a[i])
+		br, bi := real(b[i]), imag(b[i])
+		accRe += ar*br + ai*bi
+		accIm += ai*br - ar*bi
+	}
+	return complex(accRe, accIm)
+}
+
+// Mix multiplies x in place by a complex exponential of the given normalized
+// frequency (cycles per sample) and initial phase (radians), returning the
+// phase after the last sample. Chaining calls with the returned phase keeps
+// the oscillator continuous across buffers.
+func Mix(x []complex128, freq, phase float64) float64 {
+	// Use a recurrence with periodic renormalization to avoid per-sample
+	// sincos calls while keeping the oscillator numerically on the unit
+	// circle.
+	step := complex(math.Cos(2*math.Pi*freq), math.Sin(2*math.Pi*freq))
+	osc := complex(math.Cos(phase), math.Sin(phase))
+	for i := range x {
+		x[i] *= osc
+		osc *= step
+		if i&1023 == 1023 {
+			mag := math.Hypot(real(osc), imag(osc))
+			osc = complex(real(osc)/mag, imag(osc)/mag)
+		}
+	}
+	return phase + 2*math.Pi*freq*float64(len(x))
+}
+
+// MaxAbs returns the largest magnitude in x.
+func MaxAbs(x []complex128) float64 {
+	var m float64
+	for _, v := range x {
+		a := math.Hypot(real(v), imag(v))
+		if a > m {
+			m = a
+		}
+	}
+	return m
+}
+
+// ArgMaxAbs returns the index of the sample with the largest magnitude, or
+// -1 for an empty slice.
+func ArgMaxAbs(x []complex128) int {
+	idx := -1
+	var m float64
+	for i, v := range x {
+		a := real(v)*real(v) + imag(v)*imag(v)
+		if idx == -1 || a > m {
+			m = a
+			idx = i
+		}
+	}
+	return idx
+}
+
+// Decimate returns every factor-th sample of x starting at offset. It is the
+// receiver's rate reduction after low-pass filtering. factor must be >= 1.
+func Decimate(x []complex128, factor, offset int) []complex128 {
+	if factor < 1 {
+		panic("dsp: decimation factor must be >= 1")
+	}
+	if offset < 0 {
+		offset = 0
+	}
+	if offset >= len(x) {
+		return nil
+	}
+	out := make([]complex128, 0, (len(x)-offset+factor-1)/factor)
+	for i := offset; i < len(x); i += factor {
+		out = append(out, x[i])
+	}
+	return out
+}
+
+// Upsample inserts factor-1 zeros after every sample of x (zero stuffing),
+// the transmitter-side dual of Decimate.
+func Upsample(x []complex128, factor int) []complex128 {
+	if factor < 1 {
+		panic("dsp: upsample factor must be >= 1")
+	}
+	out := make([]complex128, len(x)*factor)
+	for i, v := range x {
+		out[i*factor] = v
+	}
+	return out
+}
+
+// FractionalDelay delays x by a (possibly fractional) number of samples
+// using linear interpolation, returning a slice of the same length. Samples
+// shifted in from before the signal are zero. It models small propagation
+// and sampling-clock offsets between free-running SDRs.
+func FractionalDelay(x []complex128, delay float64) []complex128 {
+	if delay < 0 {
+		panic("dsp: negative delay")
+	}
+	out := make([]complex128, len(x))
+	whole := int(delay)
+	frac := delay - float64(whole)
+	for i := range out {
+		j := i - whole
+		switch {
+		case j < 0:
+			out[i] = 0
+		case frac == 0:
+			out[i] = x[j]
+		case j == 0:
+			out[i] = x[0] * complex(1-frac, 0)
+		default:
+			out[i] = x[j]*complex(1-frac, 0) + x[j-1]*complex(frac, 0)
+		}
+	}
+	return out
+}
+
+// Sinc returns sin(pi x)/(pi x) with Sinc(0) = 1.
+func Sinc(x float64) float64 {
+	if x == 0 {
+		return 1
+	}
+	px := math.Pi * x
+	return math.Sin(px) / px
+}

@@ -1,0 +1,239 @@
+package dsss
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"bhss/internal/dsp"
+	"bhss/internal/prng"
+)
+
+func TestSpreadDespreadRoundTrip(t *testing.T) {
+	symbols := []int{0, 1, 7, 8, 15, 3, 3, 12}
+	sp := NewSpreader(77)
+	chips, err := sp.Spread(symbols)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(chips) != len(symbols)*ComplexChipsPerSymbol {
+		t.Fatalf("chip count %d", len(chips))
+	}
+	de := NewDespreader(77)
+	got, metrics, err := de.Despread(chips)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range symbols {
+		if got[i] != symbols[i] {
+			t.Fatalf("symbol %d: got %d want %d", i, got[i], symbols[i])
+		}
+		if math.Abs(metrics[i]-16) > 1e-9 {
+			t.Fatalf("clean metric %v, want 16", metrics[i])
+		}
+	}
+}
+
+func TestSpreadRejectsBadSymbol(t *testing.T) {
+	sp := NewSpreader(1)
+	if _, err := sp.Spread([]int{16}); err == nil {
+		t.Fatal("symbol 16 should error")
+	}
+	if _, err := sp.Spread([]int{-1}); err == nil {
+		t.Fatal("symbol -1 should error")
+	}
+}
+
+func TestDespreadRejectsPartialSymbol(t *testing.T) {
+	de := NewDespreader(1)
+	if _, _, err := de.Despread(make([]complex128, 17)); err == nil {
+		t.Fatal("partial symbol should error")
+	}
+}
+
+func TestScramblingMakesStreamsDiffer(t *testing.T) {
+	// Same symbols, different seeds -> different chip streams.
+	symbols := []int{5, 5, 5, 5}
+	a, _ := NewSpreader(1).Spread(symbols)
+	b, _ := NewSpreader(2).Spread(symbols)
+	same := 0
+	for i := range a {
+		if a[i] == b[i] {
+			same++
+		}
+	}
+	if same > len(a)*3/4 {
+		t.Fatalf("different seeds produced %d/%d identical chips", same, len(a))
+	}
+}
+
+func TestScramblingWhitensRepeatedSymbols(t *testing.T) {
+	// Repeating one symbol must not produce a periodic chip stream: the
+	// autocorrelation at the symbol period should be far below the peak.
+	symbols := make([]int, 64)
+	chips, _ := NewSpreader(3).Spread(symbols)
+	peak := real(dsp.DotConj(chips, chips))
+	lag := ComplexChipsPerSymbol
+	shifted := chips[lag:]
+	off := dsp.DotConj(shifted, chips[:len(shifted)])
+	if math.Hypot(real(off), imag(off)) > peak/4 {
+		t.Fatalf("chip stream periodic despite scrambling: off=%v peak=%v", off, peak)
+	}
+}
+
+func TestDespreadSurvivesNoise(t *testing.T) {
+	src := prng.New(9)
+	symbols := make([]int, 100)
+	for i := range symbols {
+		symbols[i] = src.Intn(16)
+	}
+	chips, _ := NewSpreader(42).Spread(symbols)
+	// Add noise at 0 dB SNR per chip: despreading gain should still give
+	// near-perfect decisions (metric margin ~ sqrt(16) above noise).
+	noisy := make([]complex128, len(chips))
+	for i, c := range chips {
+		noisy[i] = c + src.ComplexNorm()
+	}
+	got, _, err := NewDespreader(42).Despread(noisy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	errors := 0
+	for i := range symbols {
+		if got[i] != symbols[i] {
+			errors++
+		}
+	}
+	if errors > 2 {
+		t.Fatalf("%d/100 symbol errors at 0 dB chip SNR, want <= 2", errors)
+	}
+}
+
+func TestDespreadWrongSeedFails(t *testing.T) {
+	symbols := []int{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12}
+	chips, _ := NewSpreader(100).Spread(symbols)
+	got, _, err := NewDespreader(101).Despread(chips)
+	if err != nil {
+		t.Fatal(err)
+	}
+	correct := 0
+	for i := range symbols {
+		if got[i] == symbols[i] {
+			correct++
+		}
+	}
+	if correct > len(symbols)/2 {
+		t.Fatalf("wrong seed decoded %d/%d symbols", correct, len(symbols))
+	}
+}
+
+func TestSkipSymbolsKeepsSync(t *testing.T) {
+	symbols := []int{4, 9, 2, 14, 0, 7}
+	chips, _ := NewSpreader(55).Spread(symbols)
+	de := NewDespreader(55)
+	de.SkipSymbols(2)
+	got, _, err := de.Despread(chips[2*ComplexChipsPerSymbol:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range symbols[2:] {
+		if got[i] != want {
+			t.Fatalf("after skip, symbol %d: got %d want %d", i, got[i], want)
+		}
+	}
+}
+
+func TestStreamingSpreadMatchesOneShot(t *testing.T) {
+	symbols := []int{3, 1, 4, 1, 5, 9, 2, 6}
+	whole, _ := NewSpreader(8).Spread(symbols)
+	sp := NewSpreader(8)
+	a, _ := sp.Spread(symbols[:3])
+	b, _ := sp.Spread(symbols[3:])
+	part := append(a, b...)
+	for i := range whole {
+		if whole[i] != part[i] {
+			t.Fatalf("streaming spread diverges at chip %d", i)
+		}
+	}
+}
+
+func TestExpectedChipsMatchesSpreader(t *testing.T) {
+	symbols := []int{0, 0, 0, 0, 10, 7}
+	want, _ := NewSpreader(123).Spread(symbols)
+	got, err := ExpectedChips(123, symbols)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ExpectedChips diverges at %d", i)
+		}
+	}
+}
+
+func TestQuickRoundTripRandomSymbols(t *testing.T) {
+	f := func(seed uint64, raw []byte) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		if len(raw) > 64 {
+			raw = raw[:64]
+		}
+		symbols := make([]int, len(raw))
+		for i, b := range raw {
+			symbols[i] = int(b & 0x0F)
+		}
+		chips, err := NewSpreader(seed).Spread(symbols)
+		if err != nil {
+			return false
+		}
+		got, _, err := NewDespreader(seed).Despread(chips)
+		if err != nil {
+			return false
+		}
+		for i := range symbols {
+			if got[i] != symbols[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestChipStreamUnitPower(t *testing.T) {
+	symbols := make([]int, 256)
+	src := prng.New(4)
+	for i := range symbols {
+		symbols[i] = src.Intn(16)
+	}
+	chips, _ := NewSpreader(11).Spread(symbols)
+	if p := dsp.Power(chips); math.Abs(p-1) > 1e-9 {
+		t.Fatalf("chip power %v, want 1", p)
+	}
+}
+
+func BenchmarkSpread(b *testing.B) {
+	symbols := make([]int, 1024)
+	sp := NewSpreader(1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := sp.Spread(symbols); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDespread(b *testing.B) {
+	symbols := make([]int, 1024)
+	chips, _ := NewSpreader(1).Spread(symbols)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		de := NewDespreader(1)
+		if _, _, err := de.Despread(chips); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,344 @@
+package experiment
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+
+	"bhss/internal/core"
+	"bhss/internal/hop"
+	"bhss/internal/stats"
+)
+
+// tinyScale keeps unit-test runtimes low; the shapes under test survive
+// the reduced averaging.
+func tinyScale() Scale {
+	s := QuickScale()
+	s.Frames = 10
+	s.SNRTolDB = 2
+	s.FilterTaps = 257
+	return s
+}
+
+func TestPacketLossMonotoneInSNR(t *testing.T) {
+	sc := tinyScale()
+	tr := Trial{
+		Config:    fixedLinkConfig(2.5, sc, true),
+		NewJammer: FixedJammer(0.5, 30),
+		Scale:     sc,
+	}
+	low, err := tr.PacketLoss(-5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	high, err := tr.PacketLoss(45, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if low < high {
+		t.Fatalf("PLR should fall with SNR: %v -> %v", low, high)
+	}
+	if high > 0.2 {
+		t.Fatalf("PLR at 45 dB = %v, want near 0", high)
+	}
+	if low < 0.8 {
+		t.Fatalf("PLR at -5 dB = %v, want near 1", low)
+	}
+}
+
+func TestPacketLossUnjammedCleanAtModerateSNR(t *testing.T) {
+	sc := tinyScale()
+	tr := Trial{Config: fixedLinkConfig(2.5, sc, true), Scale: sc}
+	plr, err := tr.PacketLoss(20, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plr > 0.1 {
+		t.Fatalf("clean 20 dB PLR = %v", plr)
+	}
+}
+
+func TestMinSNRFindsThreshold(t *testing.T) {
+	sc := tinyScale()
+	tr := Trial{Config: fixedLinkConfig(2.5, sc, true), Scale: sc}
+	snr, err := tr.MinSNR()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// An unjammed link at noise var 0.01 should decode somewhere in the
+	// single-digit dB range (despreading gain 9 dB + 16-ary margin).
+	if snr < sc.SNRLoDB || snr > 20 {
+		t.Fatalf("unjammed minimal SNR %v dB out of plausible range", snr)
+	}
+}
+
+func TestPowerAdvantagePositiveForNarrowbandJammer(t *testing.T) {
+	// Wide signal + narrow strong jammer: the excision filter must buy a
+	// clearly positive power advantage.
+	sc := tinyScale()
+	jam := FixedJammer(0.15625/20.0, sc.JammerPower)
+	filtered := Trial{
+		Config: fixedLinkConfig(10, sc, true), NewJammer: jam,
+		RandomPhase: true, Scale: sc,
+	}
+	plain := filtered
+	plain.Config = fixedLinkConfig(10, sc, false)
+	adv, err := PowerAdvantage(filtered, plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if adv < 5 {
+		t.Fatalf("excision power advantage %v dB, want clearly positive", adv)
+	}
+}
+
+func TestFig7Landmarks(t *testing.T) {
+	res := Fig7()
+	if res.ID != "fig7" || len(res.Series) != 3 || len(res.Tables) != 1 {
+		t.Fatalf("unexpected fig7 shape: %+v", res.ID)
+	}
+	// The 20 dBm series should start near 20 dB at ratio 0.01 and return
+	// to ~20 dB at ratio 100 (the asymmetric bathtub of Figure 7).
+	s := res.Series[1]
+	if math.Abs(s.Y[0]-20) > 1 {
+		t.Fatalf("γ at ratio %v = %v dB, want ~20", s.X[0], s.Y[0])
+	}
+	last := len(s.Y) - 1
+	if math.Abs(s.Y[last]-20) > 1 {
+		t.Fatalf("γ at ratio %v = %v dB, want ~20", s.X[last], s.Y[last])
+	}
+	// γ = 0 dB near the matched ratio.
+	mid := len(s.Y) / 2
+	if s.Y[mid] > 1 {
+		t.Fatalf("γ at matched ratio = %v dB, want ~0", s.Y[mid])
+	}
+}
+
+func TestFig8ZoomRange(t *testing.T) {
+	res := Fig8()
+	for _, s := range res.Series {
+		if s.X[0] != 0.5 || s.X[len(s.X)-1] != 2 {
+			t.Fatalf("fig8 ratios span %v..%v, want 0.5..2", s.X[0], s.X[len(s.X)-1])
+		}
+	}
+}
+
+func TestFig9SeriesOrdering(t *testing.T) {
+	res := Fig9()
+	// Series: DSSS, fixed ratios 1,0.3,0.1,0.03,0.01, random.
+	if len(res.Series) != 7 {
+		t.Fatalf("fig9 series count %d", len(res.Series))
+	}
+	at15 := func(s Series) float64 {
+		for i, x := range s.X {
+			if x == 15 {
+				return s.Y[i]
+			}
+		}
+		t.Fatalf("series %s has no Eb/N0=15 point", s.Name)
+		return 0
+	}
+	dsss := at15(res.Series[0])
+	bj001 := at15(res.Series[5])
+	random := at15(res.Series[6])
+	if !(bj001 < random && random < dsss) {
+		t.Fatalf("fig9 ordering broken: bj=0.01 %v, random %v, dsss %v", bj001, random, dsss)
+	}
+}
+
+func TestFig10CurvesPeakInside(t *testing.T) {
+	res := Fig10()
+	for _, s := range res.Series {
+		maxI := 0
+		for i, y := range s.Y {
+			if y > s.Y[maxI] {
+				maxI = i
+			}
+		}
+		if maxI == 0 {
+			t.Fatalf("%s: BER maximum at the grid edge", s.Name)
+		}
+	}
+}
+
+func TestFig11BHSSBeatsDSSS(t *testing.T) {
+	res := Fig11()
+	dsss := res.Series[0]
+	random := res.Series[1]
+	for i := range dsss.Y {
+		if random.Y[i]+1e-9 < dsss.Y[i] {
+			t.Fatalf("at Eb/N0=%v BHSS random %v below DSSS %v",
+				dsss.X[i], random.Y[i], dsss.Y[i])
+		}
+	}
+}
+
+func TestTable1MatchesPaper(t *testing.T) {
+	res := Table1()
+	if len(res.Tables) != 1 || len(res.Tables[0].Rows) != 3 {
+		t.Fatalf("table1 shape wrong")
+	}
+	// The exponential row's first probability is 50.4%.
+	var expRow []string
+	for _, row := range res.Tables[0].Rows {
+		if row[0] == "exponential" {
+			expRow = row
+		}
+	}
+	if expRow == nil || expRow[1] != "50.4" {
+		t.Fatalf("exponential row %v, want first prob 50.4", expRow)
+	}
+}
+
+func TestOptimizedParabolicEdgeHeavy(t *testing.T) {
+	res := OptimizedParabolic(3000, 7)
+	if len(res.Series) != 2 {
+		t.Fatalf("expected paper + derived series")
+	}
+	derived := res.Series[1]
+	edges := derived.Y[0] + derived.Y[len(derived.Y)-1]
+	mid := derived.Y[len(derived.Y)/2]
+	if edges < mid {
+		t.Fatalf("derived distribution not edge-heavy: %v", derived.Y)
+	}
+}
+
+func TestFig5SegmentsFollowHopPlan(t *testing.T) {
+	res := Fig5(3)
+	if len(res.Tables) != 1 || len(res.Tables[0].Rows) == 0 {
+		t.Fatal("fig5 produced no hop rows")
+	}
+	if len(res.Series) < 3 {
+		t.Fatal("fig5 should include waveform and PSD series")
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	res := Result{
+		ID: "x", Caption: "demo",
+		Tables: []Table{{
+			Title:   "t",
+			Columns: []string{"a", "bb"},
+			Rows:    [][]string{{"1", "2"}, {"333", "4"}},
+		}},
+		Series: []Series{{Name: "s,1", X: []float64{1}, Y: []float64{2}}},
+	}
+	var buf bytes.Buffer
+	if err := res.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "== x: demo ==") || !strings.Contains(out, "333") {
+		t.Fatalf("render output:\n%s", out)
+	}
+	buf.Reset()
+	if err := res.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"s,1",1,2`) {
+		t.Fatalf("csv output:\n%s", buf.String())
+	}
+}
+
+func TestFig13SmallSubset(t *testing.T) {
+	if testing.Short() {
+		t.Skip("measured experiment")
+	}
+	sc := tinyScale()
+	res, err := Fig13(sc, []float64{10, 0.625})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Ratios: 16, 1, 1, 1/16 -> three rows; matched ratio ~0 dB, offset
+	// ratios clearly positive.
+	if len(res.Tables[0].Rows) != 3 {
+		t.Fatalf("expected 3 ratio rows, got %d", len(res.Tables[0].Rows))
+	}
+	m := res.Series[0]
+	if len(m.X) != 3 {
+		t.Fatalf("measured series %v", m)
+	}
+	low, matched, high := m.Y[0], m.Y[1], m.Y[2]
+	if math.Abs(matched) > 6 {
+		t.Fatalf("matched-bandwidth advantage %v dB, want ~0", matched)
+	}
+	if low < 4 || high < 4 {
+		t.Fatalf("offset advantages %v / %v dB, want clearly positive", low, high)
+	}
+}
+
+func TestTrialErrorsPropagate(t *testing.T) {
+	sc := tinyScale()
+	bad := Trial{Config: core.Config{}, Scale: sc}
+	if _, err := bad.PacketLoss(10, 1); err == nil {
+		t.Fatal("invalid config should error")
+	}
+	if _, err := bad.MinSNR(); err != stats.ErrNoThreshold {
+		// FindThreshold sees a permanently-false predicate.
+		t.Fatalf("err = %v, want ErrNoThreshold", err)
+	}
+}
+
+func TestScalePresets(t *testing.T) {
+	q, f := QuickScale(), FullScale()
+	if f.Frames <= q.Frames || f.SNRTolDB >= q.SNRTolDB {
+		t.Fatal("FullScale should average more and resolve finer")
+	}
+}
+
+func TestFixedJammerFactory(t *testing.T) {
+	mk := FixedJammer(0.25, 4)
+	j, err := mk(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j.Power() != 4 {
+		t.Fatalf("power %v", j.Power())
+	}
+	if _, err := FixedJammer(0, 1)(1); err == nil {
+		t.Fatal("invalid bandwidth should error")
+	}
+}
+
+func TestHopPatternConfigsValid(t *testing.T) {
+	sc := tinyScale()
+	for _, p := range []hop.Pattern{hop.Linear, hop.Exponential, hop.Parabolic} {
+		cfg := hoppingLinkConfig(p, sc)
+		if _, err := core.NewTransmitter(cfg); err != nil {
+			t.Fatalf("%v: %v", p, err)
+		}
+	}
+}
+
+func TestForEachRunsAllAndPropagatesError(t *testing.T) {
+	var mu sync.Mutex
+	seen := map[int]bool{}
+	err := forEach(37, func(i int) error {
+		mu.Lock()
+		seen[i] = true
+		mu.Unlock()
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != 37 {
+		t.Fatalf("ran %d of 37 cells", len(seen))
+	}
+	wantErr := errors.New("cell failure")
+	err = forEach(8, func(i int) error {
+		if i == 5 {
+			return wantErr
+		}
+		return nil
+	})
+	if !errors.Is(err, wantErr) {
+		t.Fatalf("err = %v, want the cell failure", err)
+	}
+	if err := forEach(0, func(int) error { return nil }); err != nil {
+		t.Fatalf("empty forEach: %v", err)
+	}
+}

@@ -1,0 +1,379 @@
+package experiment
+
+import (
+	"fmt"
+	"sort"
+
+	"bhss/internal/core"
+	"bhss/internal/frame"
+	"bhss/internal/hop"
+	"bhss/internal/jammer"
+)
+
+// testbedCFO is the quasi-static oscillator offset applied in all measured
+// experiments (cycles/sample at the normalized 20 MS/s rate). It sits well
+// inside the carrier loop's clean lock range but beyond its jamming-
+// collapsed lock range.
+const testbedCFO = 9e-5
+
+// fixedLinkConfig returns the link config for a non-hopping signal at the
+// given bandwidth, with the testbed's vulnerable tracking loops enabled.
+func fixedLinkConfig(bwMHz float64, sc Scale, enableFilter bool) core.Config {
+	cfg := core.DefaultConfig(sc.Seed)
+	cfg.Pattern = hop.Fixed
+	cfg.Bandwidths = []float64{bwMHz}
+	cfg.EnableFilter = enableFilter
+	cfg.TrackingLoops = true
+	cfg.FilterTaps = sc.FilterTaps
+	return cfg
+}
+
+// hoppingLinkConfig returns the BHSS link config for a hop pattern. The
+// dwell is set so a frame spans two hops: the bandwidth still hops *during*
+// each packet (the paper's defining property), while a single unluckily
+// matched hop does not doom almost every frame — at the 50% packet-loss
+// threshold the advantage of hopping materializes only when the majority of
+// frames avoid the jammer-matched bandwidth (see AblationHopDwell).
+func hoppingLinkConfig(p hop.Pattern, sc Scale) core.Config {
+	cfg := core.DefaultConfig(sc.Seed)
+	cfg.Pattern = p
+	cfg.EnableFilter = true
+	cfg.TrackingLoops = true
+	cfg.FilterTaps = sc.FilterTaps
+	cfg.SymbolsPerHop = frame.EncodedSymbols(sc.PayloadBytes) / 2
+	if cfg.SymbolsPerHop < 1 {
+		cfg.SymbolsPerHop = 1
+	}
+	return cfg
+}
+
+// Fig13 reproduces Figure 13: the measured power advantage of interference
+// filtering for fixed bandwidth offsets. For every signal/jammer bandwidth
+// constellation the minimal SNR reaching <50% packet loss is measured with
+// and without the suppression filters; constellations sharing a bandwidth
+// ratio are averaged, and the theoretical bound is reported alongside.
+// bandwidths selects the signal/jammer bandwidth set (nil = the paper's
+// seven).
+func Fig13(sc Scale, bandwidths []float64) (Result, error) {
+	if bandwidths == nil {
+		bandwidths = hop.DefaultBandwidths()
+	}
+	const sampleRate = 20.0
+	type cell struct {
+		bp, bj float64
+	}
+	var cells []cell
+	for _, bp := range bandwidths {
+		for _, bj := range bandwidths {
+			cells = append(cells, cell{bp, bj})
+		}
+	}
+	advs := make([]float64, len(cells))
+	err := forEach(len(cells), func(i int) error {
+		bp, bj := cells[i].bp, cells[i].bj
+		jam := FixedJammer(bj/sampleRate, sc.JammerPower)
+		filtered := Trial{
+			Config:      fixedLinkConfig(bp, sc, true),
+			NewJammer:   jam,
+			RandomPhase: true, CFO: testbedCFO,
+			Scale: sc,
+		}
+		plain := filtered
+		plain.Config = fixedLinkConfig(bp, sc, false)
+		adv, err := PowerAdvantage(filtered, plain)
+		if err != nil {
+			return fmt.Errorf("fig13 bp=%v bj=%v: %w", bp, bj, err)
+		}
+		advs[i] = adv
+		return nil
+	})
+	if err != nil {
+		return Result{}, err
+	}
+	type acc struct {
+		sum float64
+		n   int
+	}
+	byRatio := map[float64]*acc{}
+	for i, c := range cells {
+		ratio := round2(c.bp / c.bj)
+		if byRatio[ratio] == nil {
+			byRatio[ratio] = &acc{}
+		}
+		byRatio[ratio].sum += advs[i]
+		byRatio[ratio].n++
+	}
+	ratios := make([]float64, 0, len(byRatio))
+	for r := range byRatio {
+		ratios = append(ratios, r)
+	}
+	sort.Float64s(ratios)
+
+	res := Result{
+		ID:      "fig13",
+		Caption: "measured power advantage vs bandwidth ratio, with theoretical bound",
+	}
+	tab := Table{
+		Title:   "power advantage [dB] (avg over constellations of equal ratio)",
+		Columns: []string{"Bp/Bj", "measured[dB]", "bound[dB]", "constellations"},
+	}
+	measured := Series{Name: "power advantage (measured)"}
+	bound := TheoreticalBoundSeries(sc.JammerPower, ratios)
+	for i, r := range ratios {
+		a := byRatio[r]
+		avg := a.sum / float64(a.n)
+		tab.Rows = append(tab.Rows, []string{
+			f3(r), f2(avg), f2(bound.Y[i]), fmt.Sprintf("%d", a.n),
+		})
+		measured.X = append(measured.X, r)
+		measured.Y = append(measured.Y, avg)
+	}
+	// The full constellation matrix (the paper's "49 bandwidth offset
+	// constellations"), rows = signal bandwidth, columns = jammer
+	// bandwidth.
+	matrix := Table{
+		Title:   "power advantage [dB] per constellation (rows: B_p, cols: B_j, MHz)",
+		Columns: []string{"Bp\\Bj"},
+	}
+	for _, bj := range bandwidths {
+		matrix.Columns = append(matrix.Columns, f3(bj))
+	}
+	idx := 0
+	for _, bp := range bandwidths {
+		row := []string{f3(bp)}
+		for range bandwidths {
+			row = append(row, f2(advs[idx]))
+			idx++
+		}
+		matrix.Rows = append(matrix.Rows, row)
+	}
+	res.Tables = []Table{tab, matrix}
+	res.Series = []Series{measured, bound}
+	return res, nil
+}
+
+// baselineTrial is the §6.4.2 reference: the same code base with hopping
+// disabled, signal and jammer both at the maximum bandwidth (10 MHz).
+func baselineTrial(sc Scale) Trial {
+	return Trial{
+		Config:      fixedLinkConfig(10, sc, true),
+		NewJammer:   FixedJammer(10.0/20.0, sc.JammerPower),
+		RandomPhase: true, CFO: testbedCFO,
+		Scale: sc,
+	}
+}
+
+// Fig14 reproduces Figure 14: the power advantage of the linear,
+// exponential and parabolic hopping patterns over the fixed-bandwidth
+// receiver, against jammers of each fixed bandwidth.
+func Fig14(sc Scale, jammerBWs []float64) (Result, error) {
+	if jammerBWs == nil {
+		jammerBWs = hop.DefaultBandwidths()
+	}
+	const sampleRate = 20.0
+	patterns := []hop.Pattern{hop.Linear, hop.Exponential, hop.Parabolic}
+
+	base := baselineTrial(sc)
+	baseSNR, err := base.MinSNR()
+	if err != nil {
+		return Result{}, fmt.Errorf("fig14 baseline: %w", err)
+	}
+
+	res := Result{
+		ID:      "fig14",
+		Caption: "power advantage vs jammer bandwidth for the three hopping patterns",
+	}
+	tab := Table{
+		Title:   "power advantage [dB] over the fixed 10 MHz reference",
+		Columns: []string{"jammer BW [MHz]", "linear", "exponential", "parabolic"},
+	}
+	series := make([]Series, len(patterns))
+	for i, p := range patterns {
+		series[i].Name = p.String()
+	}
+	advs := make([][]float64, len(jammerBWs))
+	for i := range advs {
+		advs[i] = make([]float64, len(patterns))
+	}
+	err = forEach(len(jammerBWs)*len(patterns), func(k int) error {
+		bi, pi := k/len(patterns), k%len(patterns)
+		bj, p := jammerBWs[bi], patterns[pi]
+		t := Trial{
+			Config:      hoppingLinkConfig(p, sc),
+			NewJammer:   FixedJammer(bj/sampleRate, sc.JammerPower),
+			RandomPhase: true, CFO: testbedCFO,
+			Scale: sc,
+		}
+		snr, err := t.MinSNR()
+		if err != nil {
+			return fmt.Errorf("fig14 %v bj=%v: %w", p, bj, err)
+		}
+		advs[bi][pi] = baseSNR - snr
+		return nil
+	})
+	if err != nil {
+		return Result{}, err
+	}
+	for bi, bj := range jammerBWs {
+		row := []string{f3(bj)}
+		for pi := range patterns {
+			adv := advs[bi][pi]
+			row = append(row, f2(adv))
+			series[pi].X = append(series[pi].X, bj)
+			series[pi].Y = append(series[pi].Y, adv)
+		}
+		tab.Rows = append(tab.Rows, row)
+	}
+	res.Tables = []Table{tab}
+	res.Series = series
+	return res, nil
+}
+
+// Table2 reproduces Table 2: the power advantage for the nine combinations
+// of signal and jammer bandwidth hopping patterns.
+func Table2(sc Scale) (Result, error) {
+	const sampleRate = 20.0
+	patterns := []hop.Pattern{hop.Linear, hop.Exponential, hop.Parabolic}
+
+	base := baselineTrial(sc)
+	baseSNR, err := base.MinSNR()
+	if err != nil {
+		return Result{}, fmt.Errorf("table2 baseline: %w", err)
+	}
+
+	res := Result{
+		ID:      "table2",
+		Caption: "power advantage [dB] for signal × jammer hopping patterns",
+	}
+	tab := Table{
+		Title:   "rows: signal pattern, columns: jammer pattern",
+		Columns: []string{"signal\\jammer", "linear", "exponential", "parabolic"},
+	}
+	bws := hop.DefaultBandwidths()
+	// Jammer hops on roughly the same dwell as the signal (half a frame
+	// at the mean samples-per-chip).
+	jammerDwell := frame.EncodedSymbols(sc.PayloadBytes) / 2 * 16 * 16
+	advs := make([][]float64, len(patterns))
+	for i := range advs {
+		advs[i] = make([]float64, len(patterns))
+	}
+	err = forEach(len(patterns)*len(patterns), func(k int) error {
+		si, ji := k/len(patterns), k%len(patterns)
+		sp, jp := patterns[si], patterns[ji]
+		jdist, err := hop.NewDistribution(jp, bws)
+		if err != nil {
+			return err
+		}
+		mk := func(seed uint64) (jammer.Source, error) {
+			return jammer.NewHopping(jdist, sampleRate, jammerDwell, sc.JammerPower, seed)
+		}
+		t := Trial{
+			Config:      hoppingLinkConfig(sp, sc),
+			NewJammer:   mk,
+			RandomPhase: true, CFO: testbedCFO,
+			Scale: sc,
+		}
+		snr, err := t.MinSNR()
+		if err != nil {
+			return fmt.Errorf("table2 %v vs %v: %w", sp, jp, err)
+		}
+		advs[si][ji] = baseSNR - snr
+		return nil
+	})
+	if err != nil {
+		return Result{}, err
+	}
+	for si, sp := range patterns {
+		row := []string{sp.String()}
+		s := Series{Name: sp.String()}
+		for ji := range patterns {
+			adv := advs[si][ji]
+			row = append(row, f2(adv))
+			s.X = append(s.X, float64(ji))
+			s.Y = append(s.Y, adv)
+		}
+		tab.Rows = append(tab.Rows, row)
+		res.Series = append(res.Series, s)
+	}
+	res.Tables = []Table{tab}
+	return res, nil
+}
+
+// AblationHopDwell measures how the power advantage against a fixed
+// mid-band jammer depends on the hop dwell (symbols per hop) — the design
+// choice §6.1 discusses (hopping must outpace the jammer's reaction time;
+// DESIGN.md lists this as an ablation target).
+func AblationHopDwell(sc Scale, dwells []int) (Result, error) {
+	if dwells == nil {
+		dwells = []int{1, 2, 4, 8, 16}
+	}
+	base := baselineTrial(sc)
+	baseSNR, err := base.MinSNR()
+	if err != nil {
+		return Result{}, err
+	}
+	res := Result{
+		ID:      "ablation-dwell",
+		Caption: "power advantage vs symbols per hop (parabolic pattern, 2.5 MHz jammer)",
+	}
+	tab := Table{Title: "power advantage [dB]", Columns: []string{"symbols/hop", "advantage[dB]"}}
+	s := Series{Name: "advantage"}
+	for _, d := range dwells {
+		cfg := hoppingLinkConfig(hop.Parabolic, sc)
+		cfg.SymbolsPerHop = d
+		t := Trial{
+			Config:      cfg,
+			NewJammer:   FixedJammer(2.5/20.0, sc.JammerPower),
+			RandomPhase: true, CFO: testbedCFO,
+			Scale: sc,
+		}
+		snr, err := t.MinSNR()
+		if err != nil {
+			return Result{}, fmt.Errorf("dwell %d: %w", d, err)
+		}
+		adv := baseSNR - snr
+		tab.Rows = append(tab.Rows, []string{fmt.Sprintf("%d", d), f2(adv)})
+		s.X = append(s.X, float64(d))
+		s.Y = append(s.Y, adv)
+	}
+	res.Tables = []Table{tab}
+	res.Series = []Series{s}
+	return res, nil
+}
+
+// AblationFilterTaps measures the excision/low-pass gain as a function of
+// the receiver's filter tap budget (the paper's hardware capped it at
+// 3181), against a wideband jammer on a narrow fixed link.
+func AblationFilterTaps(sc Scale, taps []int) (Result, error) {
+	if taps == nil {
+		taps = []int{65, 129, 257, 513, 1025}
+	}
+	res := Result{
+		ID:      "ablation-taps",
+		Caption: "power advantage vs filter tap budget (0.625 MHz link, 10 MHz jammer)",
+	}
+	tab := Table{Title: "power advantage [dB]", Columns: []string{"taps", "advantage[dB]"}}
+	s := Series{Name: "advantage"}
+	for _, n := range taps {
+		scN := sc
+		scN.FilterTaps = n
+		filtered := Trial{
+			Config:      fixedLinkConfig(0.625, scN, true),
+			NewJammer:   FixedJammer(10.0/20.0, sc.JammerPower),
+			RandomPhase: true, CFO: testbedCFO,
+			Scale: scN,
+		}
+		plain := filtered
+		plain.Config = fixedLinkConfig(0.625, scN, false)
+		adv, err := PowerAdvantage(filtered, plain)
+		if err != nil {
+			return Result{}, fmt.Errorf("taps %d: %w", n, err)
+		}
+		tab.Rows = append(tab.Rows, []string{fmt.Sprintf("%d", n), f2(adv)})
+		s.X = append(s.X, float64(n))
+		s.Y = append(s.Y, adv)
+	}
+	res.Tables = []Table{tab}
+	res.Series = []Series{s}
+	return res, nil
+}

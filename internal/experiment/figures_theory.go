@@ -1,0 +1,356 @@
+package experiment
+
+import (
+	"math"
+
+	"bhss/internal/core"
+	"bhss/internal/dsp"
+	"bhss/internal/hop"
+	"bhss/internal/spectral"
+	"bhss/internal/stats"
+	"bhss/internal/theory"
+)
+
+// Fig7 reproduces Figure 7: the upper bound on the SNR improvement factor γ
+// versus the bandwidth ratio B_p/B_j for jammer powers of 10, 20 and
+// 30 dBm at σ²ₙ = 0.01, over ratios 10⁻²…10².
+func Fig7() Result {
+	return gammaBoundFigure("fig7",
+		"upper bound on SNR improvement factor vs bandwidth ratio (σ²n=0.01)",
+		stats.Logspace(-2, 2, 41))
+}
+
+// Fig8 reproduces Figure 8, the zoom of Figure 7 over ratios 0.5…2.
+func Fig8() Result {
+	return gammaBoundFigure("fig8",
+		"zoomed upper bound on SNR improvement factor (ratios 0.5..2)",
+		stats.Linspace(0.5, 2, 31))
+}
+
+func gammaBoundFigure(id, caption string, ratios []float64) Result {
+	const noiseVar = 0.01
+	powersDBm := []float64{10, 20, 30}
+	res := Result{ID: id, Caption: caption}
+	tab := Table{
+		Title:   "γ [dB] by B_p/B_j",
+		Columns: []string{"Bp/Bj", "ρj=10dBm", "ρj=20dBm", "ρj=30dBm"},
+	}
+	series := make([]Series, len(powersDBm))
+	for i, p := range powersDBm {
+		series[i].Name = f1(p) + " dBm"
+	}
+	for _, ratio := range ratios {
+		row := []string{f3(ratio)}
+		for i, pDBm := range powersDBm {
+			rho0 := stats.FromDB(pDBm)
+			gamma := theory.GammaBound(rho0, noiseVar, ratio, 1)
+			db := stats.DB(gamma)
+			row = append(row, f2(db))
+			series[i].X = append(series[i].X, ratio)
+			series[i].Y = append(series[i].Y, db)
+		}
+		tab.Rows = append(tab.Rows, row)
+	}
+	res.Tables = []Table{tab}
+	res.Series = series
+	return res
+}
+
+// fig9Model builds the §5.3 analytic link: hopping range 100,
+// SJR −20 dB (ρ0 = 100), processing gain 20 dB.
+func fig9Model() theory.HopModel {
+	bws, probs := theory.UniformLogHops(100, 25)
+	return theory.HopModel{
+		Bandwidths: bws, Probs: probs,
+		Rho0: 100, L: 100,
+		Mode: theory.AverageVariance,
+	}
+}
+
+// Fig9 reproduces Figure 9: bit error probability of BHSS versus DSSS/FHSS
+// against fixed and random jammer bandwidths, over Eb/N0 = 0..20 dB.
+func Fig9() Result {
+	m := fig9Model()
+	ebNos := stats.Linspace(0, 20, 21)
+	fixedRatios := []float64{1, 0.3, 0.1, 0.03, 0.01}
+	res := Result{
+		ID:      "fig9",
+		Caption: "BER vs Eb/N0: DSSS/FHSS vs BHSS (SJR −20 dB, L=20 dB, hop range 100)",
+	}
+	cols := []string{"Eb/N0[dB]", "DSSS/FHSS"}
+	series := []Series{{Name: "DSSS/FHSS"}}
+	for _, r := range fixedRatios {
+		cols = append(cols, "BHSS Bj/max="+f2(r))
+		series = append(series, Series{Name: "BHSS Bj/max=" + f2(r)})
+	}
+	cols = append(cols, "BHSS Bj=random")
+	series = append(series, Series{Name: "BHSS Bj=random"})
+
+	jb, jp := theory.UniformLogHops(100, 25)
+	tab := Table{Title: "bit error rate", Columns: cols}
+	for _, db := range ebNos {
+		ebNo := stats.FromDB(db)
+		row := []string{f1(db)}
+		dsss := theory.FixedBWBER(100, 100, ebNo)
+		row = append(row, e2(dsss))
+		series[0].X = append(series[0].X, db)
+		series[0].Y = append(series[0].Y, dsss)
+		for i, r := range fixedRatios {
+			ber := m.BERFixedJammer(r, ebNo)
+			row = append(row, e2(ber))
+			series[1+i].X = append(series[1+i].X, db)
+			series[1+i].Y = append(series[1+i].Y, ber)
+		}
+		rnd := m.BERRandomJammer(jb, jp, ebNo)
+		row = append(row, e2(rnd))
+		last := len(series) - 1
+		series[last].X = append(series[last].X, db)
+		series[last].Y = append(series[last].Y, rnd)
+		tab.Rows = append(tab.Rows, row)
+	}
+	res.Tables = []Table{tab}
+	res.Series = series
+	return res
+}
+
+// Fig10 reproduces Figure 10: BHSS bit error probability versus the jammer
+// bandwidth for SJR −10, −15 and −20 dB at a fixed Eb/N0.
+func Fig10() Result {
+	const ebNoDB = 14
+	bws, probs := theory.UniformLogHops(100, 25)
+	sjrs := []float64{-10, -15, -20}
+	ratios := stats.Logspace(-2, 0, 25)
+	res := Result{
+		ID:      "fig10",
+		Caption: "BER vs jammer bandwidth Bj/max(Bp) for SJR −10/−15/−20 dB (hop range 100, L=20 dB)",
+	}
+	tab := Table{Title: "bit error rate", Columns: []string{"Bj/max(Bp)", "SJR=-10dB", "SJR=-15dB", "SJR=-20dB"}}
+	series := make([]Series, len(sjrs))
+	for i, s := range sjrs {
+		series[i].Name = "SJR=" + f1(s) + "dB"
+	}
+	ebNo := stats.FromDB(ebNoDB)
+	for _, r := range ratios {
+		row := []string{f3(r)}
+		for i, sjr := range sjrs {
+			m := theory.HopModel{
+				Bandwidths: bws, Probs: probs,
+				Rho0: stats.FromDB(-sjr), L: 100,
+				Mode: theory.AverageVariance,
+			}
+			ber := m.BERFixedJammer(r, ebNo)
+			row = append(row, e2(ber))
+			series[i].X = append(series[i].X, r)
+			series[i].Y = append(series[i].Y, ber)
+		}
+		tab.Rows = append(tab.Rows, row)
+	}
+	res.Tables = []Table{tab}
+	res.Series = series
+	return res
+}
+
+// Fig11 reproduces Figure 11: normalized throughput versus Eb/N0 for
+// 500-byte packets, BHSS against fixed and random jammers versus the
+// rate-equalized DSSS/FHSS baseline (L = 25.4 dB).
+func Fig11() Result {
+	m := fig9Model()
+	const nBits = 500 * 8
+	lDSSS := stats.FromDB(25.4)
+	ebNos := stats.Linspace(-5, 30, 36)
+	fixedRatios := []float64{1, 0.3, 0.1, 0.03, 0.01}
+	jb, jp := theory.UniformLogHops(100, 25)
+
+	res := Result{
+		ID:      "fig11",
+		Caption: "normalized throughput vs Eb/N0 (SJR −20 dB, N=500 B, L_DSSS=25.4 dB)",
+	}
+	cols := []string{"Eb/N0[dB]", "DSSS/FHSS", "BHSS random"}
+	for _, r := range fixedRatios {
+		cols = append(cols, "BHSS Bj/max="+f2(r))
+	}
+	series := []Series{{Name: "DSSS/FHSS"}, {Name: "BHSS random"}}
+	for _, r := range fixedRatios {
+		series = append(series, Series{Name: "BHSS Bj/max=" + f2(r)})
+	}
+	tab := Table{Title: "normalized throughput", Columns: cols}
+	for _, db := range ebNos {
+		ebNo := stats.FromDB(db)
+		row := []string{f1(db)}
+		dsss := theory.FixedBWThroughput(lDSSS, 100, ebNo, nBits)
+		rnd := m.ThroughputRandomJammer(jb, jp, ebNo, nBits)
+		row = append(row, f3(dsss), f3(rnd))
+		series[0].X = append(series[0].X, db)
+		series[0].Y = append(series[0].Y, dsss)
+		series[1].X = append(series[1].X, db)
+		series[1].Y = append(series[1].Y, rnd)
+		for i, r := range fixedRatios {
+			tp := m.ThroughputFixedJammer(r, ebNo, nBits)
+			row = append(row, f3(tp))
+			series[2+i].X = append(series[2+i].X, db)
+			series[2+i].Y = append(series[2+i].Y, tp)
+		}
+		tab.Rows = append(tab.Rows, row)
+	}
+	res.Tables = []Table{tab}
+	res.Series = series
+	return res
+}
+
+// Table1 reproduces Table 1: the per-bandwidth probabilities of the linear,
+// exponential and parabolic hopping patterns, plus the §6.4.1 average
+// bandwidth and throughput figures.
+func Table1() Result {
+	bws := hop.DefaultBandwidths()
+	patterns := []hop.Pattern{hop.Linear, hop.Exponential, hop.Parabolic}
+	res := Result{
+		ID:      "table1",
+		Caption: "random distributions for the hopping patterns (percent per bandwidth)",
+	}
+	cols := []string{"Bandwidth[MHz]"}
+	for _, b := range bws {
+		cols = append(cols, f3(b))
+	}
+	cols = append(cols, "avg BW[MHz]", "avg rate[kb/s]")
+	tab := Table{Title: "hop distributions", Columns: cols}
+	for _, p := range patterns {
+		d, err := hop.NewDistribution(p, bws)
+		if err != nil {
+			continue
+		}
+		row := []string{p.String()}
+		s := Series{Name: p.String()}
+		for i, prob := range d.Probs {
+			row = append(row, f1(prob*100))
+			s.X = append(s.X, bws[i])
+			s.Y = append(s.Y, prob)
+		}
+		row = append(row, f2(d.AverageBandwidth()), f1(d.AverageThroughput(8)*1000))
+		tab.Rows = append(tab.Rows, row)
+		res.Series = append(res.Series, s)
+	}
+	res.Tables = []Table{tab}
+	return res
+}
+
+// OptimizedParabolic re-derives the parabolic pattern the way §6.4.1
+// describes: a Monte Carlo maximin search over the γ-bound payoff, reported
+// next to the paper's Table 1 row.
+func OptimizedParabolic(iters int, seed uint64) Result {
+	bws := hop.DefaultBandwidths()
+	payoff := func(bp, bj float64) float64 {
+		return stats.DB(theory.GammaBound(100, 0.01, bp, bj))
+	}
+	opt, err := hop.OptimizeMaximin(bws, payoff, iters, seed)
+	res := Result{
+		ID:      "table1opt",
+		Caption: "Monte Carlo maximin re-derivation of the parabolic pattern",
+	}
+	if err != nil {
+		return res
+	}
+	paper, _ := hop.NewDistribution(hop.Parabolic, bws)
+	cols := []string{"pattern"}
+	for _, b := range bws {
+		cols = append(cols, f3(b))
+	}
+	cols = append(cols, "maximin payoff[dB]")
+	tab := Table{Title: "derived vs paper parabolic distribution", Columns: cols}
+	for _, entry := range []struct {
+		name string
+		d    hop.Distribution
+	}{{"paper", paper}, {"derived", opt}} {
+		row := []string{entry.name}
+		for _, p := range entry.d.Probs {
+			row = append(row, f1(p*100))
+		}
+		row = append(row, f2(hop.MinExpectedPayoff(entry.d, bws, payoff)))
+		tab.Rows = append(tab.Rows, row)
+		s := Series{Name: entry.name}
+		for i, p := range entry.d.Probs {
+			s.X = append(s.X, bws[i])
+			s.Y = append(s.Y, p)
+		}
+		res.Series = append(res.Series, s)
+	}
+	res.Tables = []Table{tab}
+	return res
+}
+
+// Fig5 reproduces Figure 5: the waveform and per-hop spectrum of a burst
+// whose bandwidth hops during the transmission. It returns the I/Q
+// waveform as series plus one PSD series per hop.
+func Fig5(seed uint64) Result {
+	cfg := core.DefaultConfig(seed)
+	cfg.EnableFilter = false
+	res := Result{
+		ID:      "fig5",
+		Caption: "waveform and spectrum of a bandwidth-hopping transmission",
+	}
+	tx, err := core.NewTransmitter(cfg)
+	if err != nil {
+		return res
+	}
+	burst, err := tx.EncodeFrame([]byte("figure five waveform"))
+	if err != nil {
+		return res
+	}
+	wave := Series{Name: "I"}
+	waveQ := Series{Name: "Q"}
+	for i, v := range burst.Samples {
+		wave.X = append(wave.X, float64(i))
+		wave.Y = append(wave.Y, real(v))
+		waveQ.X = append(waveQ.X, float64(i))
+		waveQ.Y = append(waveQ.Y, imag(v))
+	}
+	res.Series = append(res.Series, wave, waveQ)
+
+	tab := Table{
+		Title:   "per-hop occupied bandwidth",
+		Columns: []string{"hop", "bandwidth[MHz]", "samples/chip", "occupied BW (measured, MHz)"},
+	}
+	for i, seg := range burst.Segments {
+		s := burst.Samples[seg.StartSample : seg.StartSample+seg.NumSamples]
+		k := dsp.NextPow2(len(s)) / 2
+		if k > 256 {
+			k = 256
+		}
+		if k < 16 {
+			continue
+		}
+		psd, err := spectral.Welch(k).PSD(s)
+		if err != nil {
+			continue
+		}
+		occ := spectral.OccupiedBandwidth(psd, 0.9) * cfg.SampleRate
+		tab.Rows = append(tab.Rows, []string{
+			f1(float64(i)), f3(seg.BandwidthMHz),
+			f1(float64(seg.SamplesPerChip)), f3(occ),
+		})
+		ps := Series{Name: "hop" + f1(float64(i)) + " PSD"}
+		shifted := dsp.FFTShiftFloat(psd)
+		freqs := dsp.BinFrequencies(len(psd))
+		for b := range shifted {
+			ps.X = append(ps.X, freqs[b]*cfg.SampleRate)
+			ps.Y = append(ps.Y, shifted[b])
+		}
+		res.Series = append(res.Series, ps)
+	}
+	res.Tables = []Table{tab}
+	return res
+}
+
+// TheoreticalBoundSeries returns the Figure 13 overlay: the γ bound at the
+// experiment's jammer power across the measured bandwidth ratios.
+func TheoreticalBoundSeries(jammerPower float64, ratios []float64) Series {
+	s := Series{Name: "theoretical bound"}
+	for _, r := range ratios {
+		s.X = append(s.X, r)
+		s.Y = append(s.Y, stats.DB(theory.GammaBound(jammerPower, 0.01, r, 1)))
+	}
+	return s
+}
+
+// round2 rounds to two decimals (stable table rendering for map-ordered
+// ratios).
+func round2(v float64) float64 { return math.Round(v*100) / 100 }

@@ -1,0 +1,23 @@
+package experiment
+
+import (
+	"os"
+	"testing"
+)
+
+func TestDebugHeadline(t *testing.T) {
+	if os.Getenv("BHSS_HEADLINE") == "" {
+		t.Skip("manual")
+	}
+	sc := tinyScale()
+	res, err := Fig14(sc, []float64{10, 2.5, 0.625, 0.15625})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res.Render(os.Stdout)
+	res2, err := Table2(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res2.Render(os.Stdout)
+}

@@ -1,0 +1,39 @@
+package experiment
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"bhss/internal/channel"
+	"bhss/internal/core"
+	"bhss/internal/stats"
+)
+
+func TestDebugRatio4(t *testing.T) {
+	sc := tinyScale()
+	sc.FilterTaps = 1025
+	cfg := fixedLinkConfig(0.625, sc, true)
+	cfg.FilterTaps = 1025
+	for _, trk := range []bool{true, false} {
+		cfg.TrackingLoops = trk
+		tx, _ := core.NewTransmitter(cfg)
+		rx, _ := core.NewReceiver(cfg)
+		jam, _ := FixedJammer(0.15625/20.0, sc.JammerPower)(5)
+		burst, _ := tx.EncodeFrame(make([]byte, 8))
+		g := math.Sqrt(sc.NoiseVar) * stats.AmplitudeFromDB(30)
+		rxS := append([]complex128(nil), burst.Samples...)
+		for i := range rxS {
+			rxS[i] *= complex(g, 0)
+		}
+		im := channel.Impairments{Phase: 1.1, CFO: testbedCFO}
+		rxS = im.Apply(rxS)
+		j := jam.Emit(len(rxS))
+		for i := range rxS {
+			rxS[i] += j[i]
+		}
+		channel.NewAWGN(sc.NoiseVar, 6).Add(rxS)
+		got, st, err := rx.DecodeBurst(rxS)
+		fmt.Printf("tracking=%v: got=%q err=%v metric=%.2f dec0=%v p2m0=%.1f\n", trk, got, err, st.MeanMetric, st.Hops[0].Decision, st.Hops[0].PeakToMedian)
+	}
+}

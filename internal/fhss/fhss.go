@@ -1,0 +1,154 @@
+// Package fhss implements the frequency hopping spread spectrum baseline the
+// paper compares against: the modulated narrow-band signal hops its carrier
+// frequency over a set of sub-channels according to a seed-synchronized
+// pseudo-random sequence; the receiver mixes each hop back to baseband and
+// band-pass selects it. Within an equal RF footprint, FHSS achieves the same
+// processing gain as DSSS by using proportionally narrower sub-channels
+// (§5.3 of the paper).
+package fhss
+
+import (
+	"fmt"
+
+	"bhss/internal/dsp"
+	"bhss/internal/prng"
+)
+
+// Hopper draws the seed-synchronized channel sequence shared by transmitter
+// and receiver.
+type Hopper struct {
+	numChannels int
+	src         *prng.Source
+}
+
+// NewHopper returns a channel sequence generator over numChannels channels.
+func NewHopper(numChannels int, seed uint64) (*Hopper, error) {
+	if numChannels < 1 {
+		return nil, fmt.Errorf("fhss: need at least one channel, got %d", numChannels)
+	}
+	return &Hopper{numChannels: numChannels, src: prng.New(seed)}, nil
+}
+
+// Next returns the next channel index in [0, numChannels).
+func (h *Hopper) Next() int { return h.src.Intn(h.numChannels) }
+
+// NumChannels returns the channel count.
+func (h *Hopper) NumChannels() int { return h.numChannels }
+
+// ChannelFrequency returns the center frequency (cycles/sample) of channel
+// idx when numChannels channels of width channelBW tile the band centered
+// on DC.
+func ChannelFrequency(idx, numChannels int, channelBW float64) float64 {
+	if idx < 0 || idx >= numChannels {
+		panic(fmt.Sprintf("fhss: channel %d out of [0, %d)", idx, numChannels))
+	}
+	return (float64(idx) - float64(numChannels-1)/2) * channelBW
+}
+
+// Config parameterizes an FHSS link.
+type Config struct {
+	// NumChannels sub-channels tile the available band.
+	NumChannels int
+	// ChannelBandwidth is each sub-channel's two-sided width in
+	// cycles/sample; NumChannels*ChannelBandwidth must be <= 1.
+	ChannelBandwidth float64
+	// SamplesPerHop is the dwell per hop in samples.
+	SamplesPerHop int
+	// Seed synchronizes the hop sequence.
+	Seed uint64
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.NumChannels < 1 {
+		return fmt.Errorf("fhss: NumChannels %d", c.NumChannels)
+	}
+	if c.ChannelBandwidth <= 0 || float64(c.NumChannels)*c.ChannelBandwidth > 1 {
+		return fmt.Errorf("fhss: %d channels of width %v exceed the band", c.NumChannels, c.ChannelBandwidth)
+	}
+	if c.SamplesPerHop < 1 {
+		return fmt.Errorf("fhss: SamplesPerHop %d", c.SamplesPerHop)
+	}
+	return nil
+}
+
+// Transmitter hops a baseband burst across sub-channels.
+type Transmitter struct {
+	cfg    Config
+	hopper *Hopper
+	phase  float64
+}
+
+// NewTransmitter returns an FHSS transmitter.
+func NewTransmitter(cfg Config) (*Transmitter, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	h, err := NewHopper(cfg.NumChannels, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	return &Transmitter{cfg: cfg, hopper: h}, nil
+}
+
+// Upconvert shifts the baseband burst hop by hop to the scheduled channels
+// and returns the transmitted samples (same length as the input).
+func (t *Transmitter) Upconvert(baseband []complex128) []complex128 {
+	out := append([]complex128(nil), baseband...)
+	for start := 0; start < len(out); start += t.cfg.SamplesPerHop {
+		end := start + t.cfg.SamplesPerHop
+		if end > len(out) {
+			end = len(out)
+		}
+		ch := t.hopper.Next()
+		freq := ChannelFrequency(ch, t.cfg.NumChannels, t.cfg.ChannelBandwidth)
+		t.phase = dsp.Mix(out[start:end], freq, t.phase)
+	}
+	return out
+}
+
+// Receiver mixes hops back to baseband and band-selects them.
+type Receiver struct {
+	cfg    Config
+	hopper *Hopper
+	phase  float64
+	lpf    *dsp.FIR
+}
+
+// NewReceiver returns an FHSS receiver synchronized to the transmitter's
+// seed.
+func NewReceiver(cfg Config) (*Receiver, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	h, err := NewHopper(cfg.NumChannels, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	cutoff := cfg.ChannelBandwidth / 2 * 1.2
+	if cutoff >= 0.5 {
+		cutoff = 0.499
+	}
+	return &Receiver{
+		cfg:    cfg,
+		hopper: h,
+		lpf:    dsp.LowPassFIR(cutoff, 129, dsp.Blackman, 0),
+	}, nil
+}
+
+// Downconvert undoes the hopping mixer and applies the channel-select
+// low-pass filter, suppressing all energy outside the current hop's channel
+// (the FHSS jamming mitigation).
+func (r *Receiver) Downconvert(rx []complex128) []complex128 {
+	out := append([]complex128(nil), rx...)
+	for start := 0; start < len(out); start += r.cfg.SamplesPerHop {
+		end := start + r.cfg.SamplesPerHop
+		if end > len(out) {
+			end = len(out)
+		}
+		ch := r.hopper.Next()
+		freq := ChannelFrequency(ch, r.cfg.NumChannels, r.cfg.ChannelBandwidth)
+		r.phase = dsp.Mix(out[start:end], -freq, r.phase)
+	}
+	return r.lpf.ApplyFast(out)
+}

@@ -1,0 +1,260 @@
+package fhss
+
+import (
+	"math"
+	"testing"
+
+	"bhss/internal/dsp"
+	"bhss/internal/dsss"
+	"bhss/internal/jammer"
+	"bhss/internal/prng"
+	"bhss/internal/pulse"
+	"bhss/internal/spectral"
+)
+
+func testConfig() Config {
+	return Config{NumChannels: 8, ChannelBandwidth: 0.1, SamplesPerHop: 2048, Seed: 7}
+}
+
+func narrowBurst(nChips, sps int, seed uint64) ([]complex128, []complex128) {
+	src := prng.New(seed)
+	const s = 0.7071067811865476
+	chips := make([]complex128, nChips)
+	for i := range chips {
+		chips[i] = complex(src.ChipBit()*s, src.ChipBit()*s)
+	}
+	return chips, pulse.Modulate(chips, pulse.Taps(pulse.HalfSine, sps))
+}
+
+func TestHopperDeterminism(t *testing.T) {
+	a, err := NewHopper(16, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := NewHopper(16, 3)
+	for i := 0; i < 500; i++ {
+		if a.Next() != b.Next() {
+			t.Fatalf("hop sequences diverged at %d", i)
+		}
+	}
+	if a.NumChannels() != 16 {
+		t.Fatal("NumChannels accessor")
+	}
+	if _, err := NewHopper(0, 1); err == nil {
+		t.Fatal("zero channels should error")
+	}
+}
+
+func TestChannelFrequencySymmetric(t *testing.T) {
+	// 8 channels of width 0.1 tile [-0.35 -0.25 ... +0.35].
+	f0 := ChannelFrequency(0, 8, 0.1)
+	f7 := ChannelFrequency(7, 8, 0.1)
+	if math.Abs(f0+0.35) > 1e-12 || math.Abs(f7-0.35) > 1e-12 {
+		t.Fatalf("edge channels at %v, %v", f0, f7)
+	}
+	// Adjacent spacing equals the channel bandwidth.
+	for i := 1; i < 8; i++ {
+		d := ChannelFrequency(i, 8, 0.1) - ChannelFrequency(i-1, 8, 0.1)
+		if math.Abs(d-0.1) > 1e-12 {
+			t.Fatalf("spacing %v at channel %d", d, i)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range channel should panic")
+		}
+	}()
+	ChannelFrequency(8, 8, 0.1)
+}
+
+func TestConfigValidate(t *testing.T) {
+	bad := []Config{
+		{NumChannels: 0, ChannelBandwidth: 0.1, SamplesPerHop: 10},
+		{NumChannels: 8, ChannelBandwidth: 0.2, SamplesPerHop: 10}, // 1.6 > 1
+		{NumChannels: 8, ChannelBandwidth: 0, SamplesPerHop: 10},
+		{NumChannels: 8, ChannelBandwidth: 0.1, SamplesPerHop: 0},
+	}
+	for i, c := range bad {
+		if c.Validate() == nil {
+			t.Fatalf("config %d should be invalid", i)
+		}
+		if _, err := NewTransmitter(c); err == nil {
+			t.Fatalf("transmitter %d should reject config", i)
+		}
+		if _, err := NewReceiver(c); err == nil {
+			t.Fatalf("receiver %d should reject config", i)
+		}
+	}
+}
+
+func TestRoundTripRecoversChips(t *testing.T) {
+	cfg := testConfig()
+	const sps = 16 // chip bandwidth 1/16 < channel width 0.1
+	chips, baseband := narrowBurst(4096, sps, 1)
+
+	tx, err := NewTransmitter(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rx, err := NewReceiver(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	air := tx.Upconvert(baseband)
+	back := rx.Downconvert(air)
+
+	got := pulse.Demodulate(back, pulse.Taps(pulse.HalfSine, sps), 0)
+	errs := 0
+	for i := range got {
+		if (real(got[i]) > 0) != (real(chips[i]) > 0) || (imag(got[i]) > 0) != (imag(chips[i]) > 0) {
+			errs++
+		}
+	}
+	if frac := float64(errs) / float64(len(got)); frac > 0.01 {
+		t.Fatalf("chip error rate %v after FHSS round trip", frac)
+	}
+}
+
+func TestUpconvertSpreadsSpectrum(t *testing.T) {
+	cfg := testConfig()
+	_, baseband := narrowBurst(8192, 16, 2)
+	tx, _ := NewTransmitter(cfg)
+	air := tx.Upconvert(baseband)
+
+	psdBase, err := spectral.Welch(512).PSD(baseband)
+	if err != nil {
+		t.Fatal(err)
+	}
+	psdAir, err := spectral.Welch(512).PSD(air)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bwBase := spectral.OccupiedBandwidth(psdBase, 0.95)
+	bwAir := spectral.OccupiedBandwidth(psdAir, 0.95)
+	if bwAir < 3*bwBase {
+		t.Fatalf("hopping should spread the spectrum: base %v, air %v", bwBase, bwAir)
+	}
+}
+
+func TestNarrowbandJammerHitsOnlySomeHops(t *testing.T) {
+	// A tone parked on one channel: the channel-select filter should
+	// remove it whenever the link is on other channels, so the chip error
+	// rate stays far below 50% even with a jammer 10 dB above the signal.
+	cfg := testConfig()
+	const sps = 16
+	chips, baseband := narrowBurst(16384, sps, 3)
+
+	tx, _ := NewTransmitter(cfg)
+	rx, _ := NewReceiver(cfg)
+	air := tx.Upconvert(baseband)
+
+	jam, err := jammer.NewTone(ChannelFrequency(3, 8, 0.1), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j := jam.Emit(len(air))
+	mixed := make([]complex128, len(air))
+	for i := range mixed {
+		mixed[i] = air[i] + j[i]
+	}
+	back := rx.Downconvert(mixed)
+	got := pulse.Demodulate(back, pulse.Taps(pulse.HalfSine, sps), 0)
+	errs := 0
+	for i := range got {
+		if (real(got[i]) > 0) != (real(chips[i]) > 0) || (imag(got[i]) > 0) != (imag(chips[i]) > 0) {
+			errs++
+		}
+	}
+	frac := float64(errs) / float64(len(got))
+	// Roughly 1/8 of hops are hit; those chips may be lost, the rest fine.
+	if frac > 0.25 {
+		t.Fatalf("chip error rate %v; FHSS should protect off-channel hops", frac)
+	}
+	if frac == 0 {
+		t.Log("note: even on-channel hops survived (tone vs QPSK margin)")
+	}
+}
+
+func TestDownconvertSuppressesOutOfChannelPower(t *testing.T) {
+	cfg := testConfig()
+	rx, _ := NewReceiver(cfg)
+	// Feed pure wide-band noise: after channel-select filtering the power
+	// must drop to roughly the channel fraction of the band.
+	noise, _ := jammer.NewBandlimited(1, 1, 4)
+	in := noise.Emit(1 << 15)
+	out := rx.Downconvert(in)
+	pin := dsp.Power(in)
+	pout := dsp.Power(out[1024:])
+	ratio := pout / pin
+	if ratio > 0.25 {
+		t.Fatalf("channel filter kept %v of wideband power, want ~0.12", ratio)
+	}
+}
+
+// §5.3 of the paper: within an equal RF footprint, FHSS achieves the same
+// jamming resistance as DSSS by using narrower sub-channels — a matched
+// full-band jammer degrades both by (roughly) the processing gain only.
+// This framed-link test runs real symbols through the FHSS layer and checks
+// that (a) a full-band jammer at the processing-gain limit kills it, and
+// (b) the same link survives a jammer confined to one sub-channel.
+func TestFramedFHSSJammingResistance(t *testing.T) {
+	cfg := Config{NumChannels: 8, ChannelBandwidth: 0.1, SamplesPerHop: 512, Seed: 99}
+	const sps = 16
+
+	run := func(jamBW, jamPower float64, jamFreq float64, tone bool) float64 {
+		sp := dsss.NewSpreader(7)
+		de := dsss.NewDespreader(7)
+		src := prng.New(3)
+		symbols := make([]int, 64)
+		for i := range symbols {
+			symbols[i] = src.Intn(16)
+		}
+		chips, err := sp.Spread(symbols)
+		if err != nil {
+			t.Fatal(err)
+		}
+		baseband := pulse.Modulate(chips, pulse.Taps(pulse.HalfSine, sps))
+		tx, _ := NewTransmitter(cfg)
+		rx, _ := NewReceiver(cfg)
+		air := tx.Upconvert(baseband)
+		var jam []complex128
+		if tone {
+			j, _ := jammer.NewTone(jamFreq, jamPower)
+			jam = j.Emit(len(air))
+		} else {
+			j, _ := jammer.NewBandlimited(jamBW, jamPower, 5)
+			jam = j.Emit(len(air))
+		}
+		for i := range air {
+			air[i] += jam[i]
+		}
+		back := rx.Downconvert(air)
+		got := pulse.Demodulate(back, pulse.Taps(pulse.HalfSine, sps), 0)
+		decoded, _, err := de.Despread(got[:len(chips)])
+		if err != nil {
+			t.Fatal(err)
+		}
+		errs := 0
+		for i := range symbols {
+			if decoded[i] != symbols[i] {
+				errs++
+			}
+		}
+		return float64(errs) / float64(len(symbols))
+	}
+
+	// Full-band jammer at 16 dB above the signal: beyond the ~9+12 dB
+	// combined gain of despreading and channel selection, the link dies.
+	if ser := run(1.0, 300, 0, false); ser < 0.3 {
+		t.Fatalf("full-band overwhelming jammer SER %v, want high", ser)
+	}
+	// The same power confined to one sub-channel: 7 of 8 hops are clean
+	// and the despreader rides over the rest.
+	if ser := run(0, 300, ChannelFrequency(2, 8, 0.1), true); ser > 0.3 {
+		t.Fatalf("single-channel jammer SER %v, want low", ser)
+	}
+	// A moderate full-band jammer within the processing budget passes.
+	if ser := run(1.0, 3, 0, false); ser > 0.02 {
+		t.Fatalf("moderate full-band jammer SER %v, want ~0", ser)
+	}
+}

@@ -1,0 +1,185 @@
+package frame
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	payloads := [][]byte{
+		nil,
+		{},
+		{0x00},
+		{0xFF},
+		[]byte("hello bandwidth hopping"),
+		bytes.Repeat([]byte{0xA5}, MaxPayload),
+	}
+	for _, p := range payloads {
+		syms, err := Encode(p)
+		if err != nil {
+			t.Fatalf("encode %v: %v", p, err)
+		}
+		if len(syms) != EncodedSymbols(len(p)) {
+			t.Fatalf("symbol count %d, want %d", len(syms), EncodedSymbols(len(p)))
+		}
+		got, err := Decode(syms)
+		if err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+		if !bytes.Equal(got, p) && !(len(got) == 0 && len(p) == 0) {
+			t.Fatalf("round trip: got %v, want %v", got, p)
+		}
+	}
+}
+
+func TestEncodeTooLong(t *testing.T) {
+	if _, err := Encode(make([]byte, MaxPayload+1)); !errors.Is(err, ErrTooLong) {
+		t.Fatalf("err = %v, want ErrTooLong", err)
+	}
+}
+
+func TestDecodeTruncated(t *testing.T) {
+	syms, _ := Encode([]byte("abcdef"))
+	for _, cut := range []int{0, 5, HeaderSymbols - 1, HeaderSymbols + 3, len(syms) - 1} {
+		if _, err := Decode(syms[:cut]); !errors.Is(err, ErrTruncated) {
+			t.Fatalf("cut=%d: err = %v, want ErrTruncated", cut, err)
+		}
+	}
+}
+
+func TestDecodeBadSFD(t *testing.T) {
+	syms, _ := Encode([]byte("x"))
+	syms[PreambleBytes*SymbolsPerByte] ^= 0x1 // corrupt SFD low nibble
+	if _, err := Decode(syms); !errors.Is(err, ErrBadSFD) {
+		t.Fatalf("err = %v, want ErrBadSFD", err)
+	}
+}
+
+func TestDecodeBadCRC(t *testing.T) {
+	syms, _ := Encode([]byte("payload"))
+	syms[len(syms)-1] ^= 0x3 // corrupt CRC
+	if _, err := Decode(syms); !errors.Is(err, ErrBadCRC) {
+		t.Fatalf("err = %v, want ErrBadCRC", err)
+	}
+}
+
+func TestDecodeCorruptPayloadCaughtByCRC(t *testing.T) {
+	syms, _ := Encode([]byte("payload!"))
+	syms[HeaderSymbols+1] ^= 0x5
+	if _, err := Decode(syms); !errors.Is(err, ErrBadCRC) {
+		t.Fatalf("err = %v, want ErrBadCRC", err)
+	}
+}
+
+func TestDecodeBadSymbolValue(t *testing.T) {
+	syms, _ := Encode([]byte("q"))
+	syms[2] = 16
+	if _, err := Decode(syms); !errors.Is(err, ErrBadSymbol) {
+		t.Fatalf("err = %v, want ErrBadSymbol", err)
+	}
+}
+
+func TestDecodeBogusLengthByte(t *testing.T) {
+	syms, _ := Encode(nil)
+	// Overwrite length byte symbols with 0xFF (255 > MaxPayload).
+	syms[(PreambleBytes+1)*SymbolsPerByte] = 0xF
+	syms[(PreambleBytes+1)*SymbolsPerByte+1] = 0xF
+	if _, err := Decode(syms); !errors.Is(err, ErrTooLong) {
+		t.Fatalf("err = %v, want ErrTooLong", err)
+	}
+}
+
+func TestCRC16KnownVector(t *testing.T) {
+	// CRC-16/XMODEM ("123456789") = 0x31C3.
+	if got := CRC16([]byte("123456789")); got != 0x31C3 {
+		t.Fatalf("CRC16 = %#04x, want 0x31c3", got)
+	}
+	if CRC16(nil) != 0 {
+		t.Fatal("CRC16 of empty should be 0")
+	}
+}
+
+func TestCRC16DetectsSingleBitFlips(t *testing.T) {
+	data := []byte("the quick brown fox")
+	want := CRC16(data)
+	for i := range data {
+		for b := 0; b < 8; b++ {
+			data[i] ^= 1 << b
+			if CRC16(data) == want {
+				t.Fatalf("bit flip at %d/%d undetected", i, b)
+			}
+			data[i] ^= 1 << b
+		}
+	}
+}
+
+func TestBytesSymbolsRoundTrip(t *testing.T) {
+	f := func(data []byte) bool {
+		if len(data) > 256 {
+			data = data[:256]
+		}
+		back, err := SymbolsToBytes(BytesToSymbols(data))
+		return err == nil && bytes.Equal(back, data)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSymbolsToBytesErrors(t *testing.T) {
+	if _, err := SymbolsToBytes([]int{1}); !errors.Is(err, ErrTruncated) {
+		t.Fatal("odd symbol count should be ErrTruncated")
+	}
+	if _, err := SymbolsToBytes([]int{1, -1}); !errors.Is(err, ErrBadSymbol) {
+		t.Fatal("negative symbol should be ErrBadSymbol")
+	}
+}
+
+func TestQuickEncodeDecode(t *testing.T) {
+	f := func(data []byte) bool {
+		if len(data) > MaxPayload {
+			data = data[:MaxPayload]
+		}
+		syms, err := Encode(data)
+		if err != nil {
+			return false
+		}
+		got, err := Decode(syms)
+		return err == nil && bytes.Equal(got, data)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSymbolErrors(t *testing.T) {
+	if n := SymbolErrors([]int{1, 2, 3}, []int{1, 0, 3}); n != 1 {
+		t.Fatalf("SymbolErrors = %d, want 1", n)
+	}
+	if n := SymbolErrors([]int{1, 2}, []int{1}); n != 0 {
+		t.Fatalf("prefix-only comparison: %d, want 0", n)
+	}
+}
+
+func TestBitErrors(t *testing.T) {
+	if n := BitErrors([]byte{0xFF}, []byte{0x0F}); n != 4 {
+		t.Fatalf("BitErrors = %d, want 4", n)
+	}
+	if n := BitErrors([]byte{1, 2, 3}, []byte{1}); n != 16 {
+		t.Fatalf("length difference should cost 8 bits/byte: %d", n)
+	}
+	if n := BitErrors(nil, nil); n != 0 {
+		t.Fatalf("BitErrors(nil,nil) = %d", n)
+	}
+}
+
+func TestPreambleSymbolsAreZero(t *testing.T) {
+	syms, _ := Encode([]byte("z"))
+	for i := 0; i < PreambleBytes*SymbolsPerByte; i++ {
+		if syms[i] != 0 {
+			t.Fatalf("preamble symbol %d = %d, want 0", i, syms[i])
+		}
+	}
+}

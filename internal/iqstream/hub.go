@@ -1,0 +1,360 @@
+package iqstream
+
+import (
+	"bufio"
+	"fmt"
+	"log"
+	"math"
+	"net"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"bhss/internal/prng"
+)
+
+// HubConfig parameterizes the virtual RF medium.
+type HubConfig struct {
+	// BlockSize is the mixing granularity in samples.
+	BlockSize int
+	// NoiseVar is the AWGN floor added to the mixed signal.
+	NoiseVar float64
+	// Seed drives the noise generator.
+	Seed uint64
+	// Logf receives hub events; nil silences them.
+	Logf func(format string, args ...any)
+}
+
+// Hub is the T-connector of the simulated testbed: it accepts transmitter
+// and receiver connections over TCP, sums all transmitter streams
+// block-by-block with per-port gain, adds AWGN and broadcasts the mixture
+// to every receiver. Transmitters that have no data pending contribute
+// silence for that block, so receivers observe a continuous stream.
+type Hub struct {
+	cfg HubConfig
+	ln  net.Listener
+
+	mu        sync.Mutex
+	txQueues  map[int]*txQueue
+	rxConns   map[int]*rxConn
+	nextID    int
+	closed    bool
+	wake      chan struct{}
+	noiseAmp  float64
+	noise     *prng.Source
+	closeOnce sync.Once
+	done      chan struct{}
+}
+
+type txQueue struct {
+	gain    float64
+	pending []complex128
+	active  bool
+}
+
+type rxConn struct {
+	w   *Writer
+	c   net.Conn
+	err bool
+}
+
+// NewHub starts a hub listening on addr ("127.0.0.1:0" for an ephemeral
+// port). Call Serve to run the mixing loop.
+func NewHub(addr string, cfg HubConfig) (*Hub, error) {
+	if cfg.BlockSize <= 0 {
+		cfg.BlockSize = 4096
+	}
+	if cfg.BlockSize > MaxBlock {
+		return nil, fmt.Errorf("iqstream: block size %d exceeds MaxBlock", cfg.BlockSize)
+	}
+	if cfg.NoiseVar < 0 {
+		return nil, fmt.Errorf("iqstream: negative noise variance")
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	h := &Hub{
+		cfg:      cfg,
+		ln:       ln,
+		txQueues: map[int]*txQueue{},
+		rxConns:  map[int]*rxConn{},
+		wake:     make(chan struct{}, 1),
+		noise:    prng.New(cfg.Seed),
+		done:     make(chan struct{}),
+	}
+	if cfg.NoiseVar > 0 {
+		h.noiseAmp = 1
+	}
+	return h, nil
+}
+
+// Addr returns the hub's listen address.
+func (h *Hub) Addr() net.Addr { return h.ln.Addr() }
+
+// Close stops the hub and disconnects all clients.
+func (h *Hub) Close() error {
+	h.closeOnce.Do(func() {
+		h.mu.Lock()
+		h.closed = true
+		for _, rx := range h.rxConns {
+			rx.c.Close()
+		}
+		h.mu.Unlock()
+		h.ln.Close()
+		close(h.done)
+	})
+	return nil
+}
+
+// Serve accepts clients and runs the mixer until Close. It returns after
+// the listener shuts down.
+func (h *Hub) Serve() error {
+	go h.mixLoop()
+	for {
+		conn, err := h.ln.Accept()
+		if err != nil {
+			h.mu.Lock()
+			closed := h.closed
+			h.mu.Unlock()
+			if closed {
+				return nil
+			}
+			return err
+		}
+		go h.handle(conn)
+	}
+}
+
+// handle performs the one-line handshake and registers the client.
+// Handshake: "IQHUB tx <gain_db>\n" or "IQHUB rx\n".
+func (h *Hub) handle(conn net.Conn) {
+	br := bufio.NewReader(conn)
+	line, err := br.ReadString('\n')
+	if err != nil {
+		conn.Close()
+		return
+	}
+	fields := strings.Fields(strings.TrimSpace(line))
+	if len(fields) < 2 || fields[0] != "IQHUB" {
+		fmt.Fprintf(conn, "ERR bad handshake\n")
+		conn.Close()
+		return
+	}
+	switch fields[1] {
+	case "tx":
+		gainDB := 0.0
+		if len(fields) >= 3 {
+			if g, err := strconv.ParseFloat(fields[2], 64); err == nil {
+				gainDB = g
+			}
+		}
+		fmt.Fprintf(conn, "OK\n")
+		h.serveTx(conn, br, gainDB)
+	case "rx":
+		fmt.Fprintf(conn, "OK\n")
+		h.serveRx(conn)
+	default:
+		fmt.Fprintf(conn, "ERR unknown role %q\n", fields[1])
+		conn.Close()
+	}
+}
+
+func (h *Hub) serveTx(conn net.Conn, br *bufio.Reader, gainDB float64) {
+	defer conn.Close()
+	h.mu.Lock()
+	id := h.nextID
+	h.nextID++
+	q := &txQueue{gain: dbToAmp(gainDB), active: true}
+	h.txQueues[id] = q
+	h.mu.Unlock()
+	h.cfg.Logf("tx %d connected (gain %.1f dB)", id, gainDB)
+
+	r := NewReader(br)
+	for {
+		block, err := r.ReadBlock()
+		if err != nil {
+			break
+		}
+		h.mu.Lock()
+		q.pending = append(q.pending, block...)
+		h.mu.Unlock()
+		h.kick()
+	}
+	h.mu.Lock()
+	q.active = false
+	h.mu.Unlock()
+	h.kick()
+	h.cfg.Logf("tx %d disconnected", id)
+}
+
+func (h *Hub) serveRx(conn net.Conn) {
+	h.mu.Lock()
+	id := h.nextID
+	h.nextID++
+	h.rxConns[id] = &rxConn{w: NewWriter(conn), c: conn}
+	h.mu.Unlock()
+	h.cfg.Logf("rx %d connected", id)
+	// The mixer pushes; the handler just waits for the connection to die.
+	buf := make([]byte, 1)
+	for {
+		if _, err := conn.Read(buf); err != nil {
+			break
+		}
+	}
+	h.mu.Lock()
+	delete(h.rxConns, id)
+	h.mu.Unlock()
+	conn.Close()
+	h.cfg.Logf("rx %d disconnected", id)
+}
+
+func (h *Hub) kick() {
+	select {
+	case h.wake <- struct{}{}:
+	default:
+	}
+}
+
+// mixLoop emits one mixed block whenever any transmitter has data pending
+// (idle transmitters contribute silence) and there is at least one
+// receiver.
+func (h *Hub) mixLoop() {
+	block := make([]complex128, h.cfg.BlockSize)
+	noiseAmp := 0.0
+	if h.cfg.NoiseVar > 0 {
+		noiseAmp = math.Sqrt(h.cfg.NoiseVar)
+	}
+	for {
+		select {
+		case <-h.done:
+			return
+		case <-h.wake:
+		}
+		for {
+			h.mu.Lock()
+			havePending := false
+			for _, q := range h.txQueues {
+				if len(q.pending) > 0 {
+					havePending = true
+					break
+				}
+			}
+			if !havePending || len(h.rxConns) == 0 {
+				// Garbage-collect drained, disconnected transmitters.
+				for id, q := range h.txQueues {
+					if !q.active && len(q.pending) == 0 {
+						delete(h.txQueues, id)
+					}
+				}
+				h.mu.Unlock()
+				break
+			}
+			for i := range block {
+				block[i] = 0
+			}
+			for _, q := range h.txQueues {
+				n := len(q.pending)
+				if n > h.cfg.BlockSize {
+					n = h.cfg.BlockSize
+				}
+				g := complex(q.gain, 0)
+				for i := 0; i < n; i++ {
+					block[i] += q.pending[i] * g
+				}
+				q.pending = q.pending[n:]
+			}
+			if noiseAmp > 0 {
+				a := complex(noiseAmp, 0)
+				for i := range block {
+					block[i] += h.noise.ComplexNorm() * a
+				}
+			}
+			rxs := make([]*rxConn, 0, len(h.rxConns))
+			for _, rx := range h.rxConns {
+				rxs = append(rxs, rx)
+			}
+			h.mu.Unlock()
+			for _, rx := range rxs {
+				if rx.err {
+					continue
+				}
+				if err := rx.w.WriteBlock(block); err != nil {
+					rx.err = true
+					rx.c.Close()
+				}
+			}
+		}
+	}
+}
+
+func dbToAmp(db float64) float64 {
+	return math.Pow(10, db/20)
+}
+
+// Client connects to a hub. Role-specific constructors below.
+type Client struct {
+	conn net.Conn
+	w    *Writer
+	r    *Reader
+}
+
+// dial performs the handshake with the hub.
+func dial(addr, handshake string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := fmt.Fprintf(conn, "%s\n", handshake); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	br := bufio.NewReader(conn)
+	resp, err := br.ReadString('\n')
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	if strings.TrimSpace(resp) != "OK" {
+		conn.Close()
+		return nil, fmt.Errorf("iqstream: hub rejected handshake: %s", strings.TrimSpace(resp))
+	}
+	return &Client{conn: conn, w: NewWriter(conn), r: NewReader(br)}, nil
+}
+
+// DialTx connects as a transmitter with the given port gain in dB.
+func DialTx(addr string, gainDB float64) (*Client, error) {
+	return dial(addr, fmt.Sprintf("IQHUB tx %g", gainDB))
+}
+
+// DialRx connects as a receiver.
+func DialRx(addr string) (*Client, error) {
+	return dial(addr, "IQHUB rx")
+}
+
+// Send writes one block of samples (transmitter clients).
+func (c *Client) Send(samples []complex128) error {
+	return c.w.WriteBlock(samples)
+}
+
+// Recv reads the next mixed block (receiver clients).
+func (c *Client) Recv() ([]complex128, error) {
+	return c.r.ReadBlock()
+}
+
+// SetRecvDeadline bounds the next Recv; a zero time clears the bound.
+// After a deadline error the stream framing may be mid-block — reconnect
+// rather than resuming.
+func (c *Client) SetRecvDeadline(t time.Time) error {
+	return c.conn.SetReadDeadline(t)
+}
+
+// Close disconnects from the hub.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// Logf is a convenience logger for cmd binaries.
+func Logf(format string, args ...any) { log.Printf(format, args...) }

@@ -1,0 +1,414 @@
+// Package jammer implements the attacker models of §2 of the paper: an
+// energy-unconstrained but power-budgeted adversary that emits additive
+// white Gaussian noise of an arbitrary bandwidth. Included are the
+// fixed-bandwidth AWGN jammer used for Figures 13/14, the bandwidth-hopping
+// jammer of Table 2 (reusing the defender's hop distributions), tone, sweep
+// and pulsed jammers as auxiliary interferers, and the reactive jammer that
+// senses the transmitted bandwidth and answers with a matched waveform after
+// a bounded reaction time τ — the threat BHSS is designed to defeat.
+//
+// All frequencies and bandwidths are normalized to the sampling rate
+// (cycles per sample; two-sided band [−bw/2, +bw/2]).
+package jammer
+
+import (
+	"fmt"
+	"math"
+
+	"bhss/internal/dsp"
+	"bhss/internal/hop"
+	"bhss/internal/prng"
+	"bhss/internal/spectral"
+)
+
+// Source produces jamming samples with a fixed average power budget.
+// Implementations are streaming: consecutive Emit calls produce a
+// continuous waveform.
+type Source interface {
+	// Emit returns the next n jamming samples.
+	Emit(n int) []complex128
+	// Power returns the configured average transmit power.
+	Power() float64
+}
+
+// Bandlimited is the paper's canonical jammer: white Gaussian noise
+// band-limited to a configurable bandwidth at a configured total power.
+type Bandlimited struct {
+	bw    float64
+	power float64
+	src   *prng.Source
+	fir   *dsp.FIR
+	scale float64
+}
+
+// filterTapsForBW returns a low-pass FIR selecting the two-sided bandwidth
+// bw. For bw >= 1 the noise is already full-band and no filter is needed.
+func filterTapsForBW(bw float64) *dsp.FIR {
+	if bw >= 1 {
+		return nil
+	}
+	cutoff := bw / 2
+	if cutoff < 1e-4 {
+		cutoff = 1e-4
+	}
+	taps := 129
+	// Very narrow bands need more taps to be realized at all.
+	if cutoff < 0.01 {
+		taps = 513
+	}
+	return dsp.LowPassFIR(cutoff, taps, dsp.Blackman, 0)
+}
+
+// NewBandlimited returns a band-limited AWGN jammer with the given
+// two-sided bandwidth (0 < bw <= 1, in cycles/sample) and average power.
+func NewBandlimited(bw, power float64, seed uint64) (*Bandlimited, error) {
+	if bw <= 0 || bw > 1 {
+		return nil, fmt.Errorf("jammer: bandwidth %v out of (0, 1]", bw)
+	}
+	if power < 0 {
+		return nil, fmt.Errorf("jammer: negative power %v", power)
+	}
+	b := &Bandlimited{bw: bw, power: power, src: prng.New(seed), fir: filterTapsForBW(bw)}
+	b.calibrate()
+	// Warm the filter's delay line so the first emitted samples already
+	// carry full power — the jammer transmits continuously; the capture
+	// window just opens somewhere in its stream.
+	if b.fir != nil && b.power > 0 {
+		warm := make([]complex128, b.fir.Len())
+		for i := range warm {
+			warm[i] = b.src.ComplexNorm()
+		}
+		b.fir.Process(warm)
+	}
+	return b, nil
+}
+
+// calibrate computes the filter's noise power gain so the emitted power
+// hits the budget regardless of bandwidth: white noise of unit variance
+// through an FIR h has output variance sum(|h|^2).
+func (b *Bandlimited) calibrate() {
+	if b.power == 0 {
+		b.scale = 0
+		return
+	}
+	if b.fir == nil {
+		b.scale = math.Sqrt(b.power)
+		return
+	}
+	var gain float64
+	for _, tap := range b.fir.Taps() {
+		gain += real(tap)*real(tap) + imag(tap)*imag(tap)
+	}
+	if gain <= 0 {
+		b.scale = 0
+		return
+	}
+	b.scale = math.Sqrt(b.power / gain)
+}
+
+// Bandwidth returns the jammer's two-sided bandwidth.
+func (b *Bandlimited) Bandwidth() float64 { return b.bw }
+
+// Power returns the jammer's average power.
+func (b *Bandlimited) Power() float64 { return b.power }
+
+// Emit returns the next n samples of band-limited noise.
+func (b *Bandlimited) Emit(n int) []complex128 {
+	out := make([]complex128, n)
+	if b.scale == 0 {
+		return out
+	}
+	for i := range out {
+		out[i] = b.src.ComplexNorm()
+	}
+	if b.fir != nil {
+		out = b.fir.Process(out)
+	}
+	g := complex(b.scale, 0)
+	for i := range out {
+		out[i] *= g
+	}
+	return out
+}
+
+// Tone is a continuous-wave jammer at a single frequency.
+type Tone struct {
+	freq  float64
+	power float64
+	phase float64
+}
+
+// NewTone returns a CW jammer at the given normalized frequency and power.
+func NewTone(freq, power float64) (*Tone, error) {
+	if freq < -0.5 || freq >= 0.5 {
+		return nil, fmt.Errorf("jammer: tone frequency %v out of [-0.5, 0.5)", freq)
+	}
+	if power < 0 {
+		return nil, fmt.Errorf("jammer: negative power %v", power)
+	}
+	return &Tone{freq: freq, power: power}, nil
+}
+
+// Power returns the tone power.
+func (t *Tone) Power() float64 { return t.power }
+
+// Emit returns the next n samples of the tone, phase-continuous.
+func (t *Tone) Emit(n int) []complex128 {
+	out := make([]complex128, n)
+	amp := complex(math.Sqrt(t.power), 0)
+	for i := range out {
+		out[i] = amp
+	}
+	t.phase = dsp.Mix(out, t.freq, t.phase)
+	return out
+}
+
+// Sweep is a linear chirp jammer scanning [-span/2, span/2] over period
+// samples, a classic follower-jammer approximation.
+type Sweep struct {
+	span   float64
+	period int
+	power  float64
+	pos    int
+	phase  float64
+}
+
+// NewSweep returns a chirp jammer sweeping the given two-sided span
+// every period samples.
+func NewSweep(span float64, period int, power float64) (*Sweep, error) {
+	if span <= 0 || span > 1 {
+		return nil, fmt.Errorf("jammer: sweep span %v out of (0, 1]", span)
+	}
+	if period < 2 {
+		return nil, fmt.Errorf("jammer: sweep period %d too short", period)
+	}
+	if power < 0 {
+		return nil, fmt.Errorf("jammer: negative power %v", power)
+	}
+	return &Sweep{span: span, period: period, power: power}, nil
+}
+
+// Power returns the sweep power.
+func (s *Sweep) Power() float64 { return s.power }
+
+// Emit returns the next n chirp samples.
+func (s *Sweep) Emit(n int) []complex128 {
+	out := make([]complex128, n)
+	amp := math.Sqrt(s.power)
+	for i := range out {
+		frac := float64(s.pos) / float64(s.period)
+		freq := -s.span/2 + s.span*frac
+		s.phase += 2 * math.Pi * freq
+		out[i] = complex(amp*math.Cos(s.phase), amp*math.Sin(s.phase))
+		s.pos++
+		if s.pos == s.period {
+			s.pos = 0
+		}
+	}
+	return out
+}
+
+// Pulsed gates an inner jammer on and off, emitting during the first
+// onFraction of every period (a duty-cycled jammer).
+type Pulsed struct {
+	inner  Source
+	period int
+	on     int
+	pos    int
+}
+
+// NewPulsed wraps a jammer with an on/off duty cycle.
+func NewPulsed(inner Source, onFraction float64, period int) (*Pulsed, error) {
+	if onFraction < 0 || onFraction > 1 {
+		return nil, fmt.Errorf("jammer: duty cycle %v out of [0, 1]", onFraction)
+	}
+	if period < 1 {
+		return nil, fmt.Errorf("jammer: period %d must be >= 1", period)
+	}
+	return &Pulsed{inner: inner, period: period, on: int(onFraction * float64(period))}, nil
+}
+
+// Power returns the duty-cycle-weighted average power.
+func (p *Pulsed) Power() float64 {
+	return p.inner.Power() * float64(p.on) / float64(p.period)
+}
+
+// Emit returns the next n samples, zero while gated off.
+func (p *Pulsed) Emit(n int) []complex128 {
+	out := p.inner.Emit(n)
+	for i := range out {
+		if p.pos >= p.on {
+			out[i] = 0
+		}
+		p.pos++
+		if p.pos == p.period {
+			p.pos = 0
+		}
+	}
+	return out
+}
+
+// Hopping re-draws its bandwidth from a hop distribution every
+// samplesPerHop samples — the adversary of Table 2 that answers bandwidth
+// hopping with bandwidth hopping. Bandwidths in the distribution are
+// expressed in the same units as sampleRate (e.g. MHz against 20 MS/s).
+type Hopping struct {
+	dist          hop.Distribution
+	sampleRate    float64
+	samplesPerHop int
+	power         float64
+	src           *prng.Source
+	seedBase      uint64
+	remaining     int
+	cur           *Bandlimited
+}
+
+// NewHopping returns a bandwidth-hopping jammer.
+func NewHopping(dist hop.Distribution, sampleRate float64, samplesPerHop int, power float64, seed uint64) (*Hopping, error) {
+	if err := dist.Validate(); err != nil {
+		return nil, err
+	}
+	if sampleRate <= 0 {
+		return nil, fmt.Errorf("jammer: sample rate %v must be positive", sampleRate)
+	}
+	if samplesPerHop < 1 {
+		return nil, fmt.Errorf("jammer: samplesPerHop %d must be >= 1", samplesPerHop)
+	}
+	for _, b := range dist.Bandwidths {
+		if b > sampleRate {
+			return nil, fmt.Errorf("jammer: bandwidth %v exceeds sample rate %v", b, sampleRate)
+		}
+	}
+	return &Hopping{
+		dist: dist, sampleRate: sampleRate, samplesPerHop: samplesPerHop,
+		power: power, src: prng.New(seed), seedBase: seed,
+	}, nil
+}
+
+// Power returns the jammer's average power.
+func (h *Hopping) Power() float64 { return h.power }
+
+// Emit returns the next n samples, hopping bandwidth as it goes.
+func (h *Hopping) Emit(n int) []complex128 {
+	out := make([]complex128, 0, n)
+	for len(out) < n {
+		if h.remaining == 0 {
+			idx := h.src.Choose(h.dist.Probs)
+			bw := h.dist.Bandwidths[idx] / h.sampleRate
+			h.seedBase = h.seedBase*0x9e3779b97f4a7c15 + 1
+			j, err := NewBandlimited(bw, h.power, h.seedBase)
+			if err != nil {
+				// Distribution was validated; only a programming error
+				// can land here.
+				panic(err)
+			}
+			h.cur = j
+			h.remaining = h.samplesPerHop
+		}
+		take := n - len(out)
+		if take > h.remaining {
+			take = h.remaining
+		}
+		out = append(out, h.cur.Emit(take)...)
+		h.remaining -= take
+	}
+	return out
+}
+
+// Reactive senses the transmitted signal's occupied bandwidth and answers
+// with matched band-limited noise after a reaction delay τ — the strong
+// attacker of §2 (Wilhelm et al.'s reactive jammer). Jam consumes the clean
+// over-the-air transmit samples (what the jammer overhears) and returns the
+// time-aligned jamming waveform.
+type Reactive struct {
+	// ReactionDelay τ in samples: the jamming that answers the signal
+	// observed at time t starts at t + τ.
+	ReactionDelay int
+	// SenseWindow is how many samples the jammer integrates per bandwidth
+	// estimate (it re-estimates every window).
+	SenseWindow int
+	// PowerBudget is the jammer's average transmit power.
+	PowerBudget float64
+	// Memory carries the last bandwidth estimate across Jam calls: a
+	// returning target that never changed its bandwidth is jammed from
+	// the first sample of its next burst, with no reaction lag. Against
+	// a hopping target the remembered bandwidth is stale and the
+	// receiver's filters remove it.
+	Memory bool
+
+	lastBW float64
+	seed   uint64
+}
+
+// NewReactive returns a reactive jammer. senseWindow must be a power of two
+// >= 64 (it is used as the PSD segment length).
+func NewReactive(reactionDelay, senseWindow int, power float64, seed uint64) (*Reactive, error) {
+	if reactionDelay < 0 {
+		return nil, fmt.Errorf("jammer: negative reaction delay")
+	}
+	if senseWindow < 64 || senseWindow&(senseWindow-1) != 0 {
+		return nil, fmt.Errorf("jammer: sense window %d must be a power of two >= 64", senseWindow)
+	}
+	if power < 0 {
+		return nil, fmt.Errorf("jammer: negative power")
+	}
+	return &Reactive{ReactionDelay: reactionDelay, SenseWindow: senseWindow, PowerBudget: power, seed: seed}, nil
+}
+
+// Jam returns jamming samples aligned to tx: for each sense window the
+// jammer estimates the occupied bandwidth and, ReactionDelay samples later,
+// emits matched band-limited noise. Before the first estimate matures the
+// jammer is silent.
+func (r *Reactive) Jam(tx []complex128) []complex128 {
+	out := make([]complex128, len(tx))
+	if len(tx) < r.SenseWindow || r.PowerBudget == 0 {
+		return out
+	}
+	est := spectral.Welch(r.SenseWindow / 2)
+	seed := r.seed
+	if r.Memory && r.lastBW > 0 {
+		// Jam the head of the burst with the remembered bandwidth until
+		// the first fresh estimate matures.
+		head := r.SenseWindow + r.ReactionDelay
+		if head > len(tx) {
+			head = len(tx)
+		}
+		seed = seed*0x9e3779b97f4a7c15 + 0x2545f4914f6cdd1d
+		if src, err := NewBandlimited(r.lastBW, r.PowerBudget, seed); err == nil {
+			copy(out[:head], src.Emit(head))
+		}
+	}
+	for start := 0; start+r.SenseWindow <= len(tx); start += r.SenseWindow {
+		window := tx[start : start+r.SenseWindow]
+		psd, err := est.PSD(window)
+		if err != nil {
+			continue
+		}
+		bw := spectral.OccupiedBandwidth(psd, 0.95)
+		if bw <= 0 {
+			continue
+		}
+		if bw > 1 {
+			bw = 1
+		}
+		seed = seed*0x9e3779b97f4a7c15 + 0xbf58476d1ce4e5b9
+		src, err := NewBandlimited(bw, r.PowerBudget, seed)
+		if err != nil {
+			continue
+		}
+		r.lastBW = bw
+		// The jam reacting to this window starts ReactionDelay samples
+		// after the window has been fully observed (causality) and covers
+		// one window's worth of time.
+		jamStart := start + r.SenseWindow + r.ReactionDelay
+		if jamStart >= len(tx) {
+			break
+		}
+		jamEnd := jamStart + r.SenseWindow
+		if jamEnd > len(tx) {
+			jamEnd = len(tx)
+		}
+		copy(out[jamStart:jamEnd], src.Emit(jamEnd-jamStart))
+	}
+	return out
+}

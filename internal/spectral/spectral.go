@@ -1,0 +1,255 @@
+// Package spectral implements power spectral density estimation and the
+// derived measurements the BHSS receiver's control logic relies on:
+// Bartlett's and Welch's averaged-periodogram methods (both cited by the
+// paper, §4.2), occupied-bandwidth estimation and spectral flatness.
+//
+// All PSDs are returned in *un-shifted* FFT bin order (bin 0 = DC) so they
+// can be fed directly to dsp.WhiteningFIR, whose eq. (3) design expects that
+// ordering. Use dsp.FFTShiftFloat for display ordering.
+package spectral
+
+import (
+	"fmt"
+	"math"
+
+	"bhss/internal/dsp"
+)
+
+// Estimator configures an averaged-periodogram PSD estimator.
+type Estimator struct {
+	// SegmentLength is the FFT size K of each periodogram segment.
+	SegmentLength int
+	// Overlap is the number of samples consecutive segments share.
+	// Bartlett's method uses 0; Welch's classic choice is SegmentLength/2.
+	Overlap int
+	// Window applied to each segment before the FFT. Welch's method uses a
+	// tapered window; Bartlett's uses Rectangular.
+	Window dsp.Window
+	// Beta is the Kaiser window parameter (ignored for other windows).
+	Beta float64
+}
+
+// Bartlett returns an estimator using Bartlett's method: non-overlapping
+// rectangular segments of the given length.
+func Bartlett(segmentLength int) Estimator {
+	return Estimator{SegmentLength: segmentLength, Window: dsp.Rectangular}
+}
+
+// Welch returns an estimator using Welch's method with 50% overlap and a
+// Hamming window, the configuration most GNU Radio deployments default to.
+func Welch(segmentLength int) Estimator {
+	return Estimator{
+		SegmentLength: segmentLength,
+		Overlap:       segmentLength / 2,
+		Window:        dsp.Hamming,
+	}
+}
+
+// PSD estimates the power spectral density of x. The result has
+// SegmentLength bins in un-shifted order and is scaled so that the mean bin
+// value equals the average signal power (sum over bins / K = power),
+// i.e. white noise of power P yields a flat PSD of height P.
+//
+// An error is returned when x is shorter than one segment.
+func (e Estimator) PSD(x []complex128) ([]float64, error) {
+	k := e.SegmentLength
+	if k <= 0 {
+		return nil, fmt.Errorf("spectral: segment length %d must be positive", k)
+	}
+	if len(x) < k {
+		return nil, fmt.Errorf("spectral: need at least %d samples, have %d", k, len(x))
+	}
+	if e.Overlap < 0 || e.Overlap >= k {
+		return nil, fmt.Errorf("spectral: overlap %d out of [0, %d)", e.Overlap, k)
+	}
+	step := k - e.Overlap
+	win := e.Window.Coefficients(k, e.Beta)
+	// Window power normalization: divide by sum(w^2) so the estimate is
+	// unbiased for white signals regardless of taper.
+	var winPower float64
+	for _, w := range win {
+		winPower += w * w
+	}
+	psd := make([]float64, k)
+	seg := make([]complex128, k)
+	segments := 0
+	for start := 0; start+k <= len(x); start += step {
+		for i := 0; i < k; i++ {
+			seg[i] = x[start+i] * complex(win[i], 0)
+		}
+		dsp.FFT(seg)
+		for i, v := range seg {
+			psd[i] += real(v)*real(v) + imag(v)*imag(v)
+		}
+		segments++
+	}
+	scale := 1 / (float64(segments) * winPower)
+	for i := range psd {
+		psd[i] *= scale
+	}
+	// With this scaling, sum(psd)/K equals the average signal power; a
+	// white signal of power P yields a flat PSD of height P per bin.
+	return psd, nil
+}
+
+// OccupiedBandwidth returns the two-sided bandwidth (in normalized frequency,
+// cycles/sample, 0..1) containing the given fraction (e.g. 0.99) of the total
+// power in the PSD, growing outward from the strongest bin. The PSD is in
+// un-shifted order.
+func OccupiedBandwidth(psd []float64, fraction float64) float64 {
+	k := len(psd)
+	if k == 0 {
+		return 0
+	}
+	if fraction <= 0 {
+		return 0
+	}
+	if fraction > 1 {
+		fraction = 1
+	}
+	shifted := dsp.FFTShiftFloat(psd)
+	var total float64
+	peak, peakV := 0, -1.0
+	for i, p := range shifted {
+		total += p
+		if p > peakV {
+			peakV = p
+			peak = i
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	lo, hi := peak, peak
+	acc := shifted[peak]
+	for acc < fraction*total && (lo > 0 || hi < k-1) {
+		var nextLo, nextHi float64 = -1, -1
+		if lo > 0 {
+			nextLo = shifted[lo-1]
+		}
+		if hi < k-1 {
+			nextHi = shifted[hi+1]
+		}
+		if nextHi >= nextLo {
+			hi++
+			acc += nextHi
+		} else {
+			lo--
+			acc += nextLo
+		}
+	}
+	return float64(hi-lo+1) / float64(k)
+}
+
+// Flatness returns the spectral flatness (Wiener entropy): the ratio of the
+// geometric to the arithmetic mean of the PSD, in (0, 1]. White signals give
+// values near 1; a tone gives values near 0. The receiver uses it to decide
+// whether the captured spectrum is dominated by a narrow-band jammer.
+func Flatness(psd []float64) float64 {
+	n := len(psd)
+	if n == 0 {
+		return 0
+	}
+	var logSum, sum float64
+	for _, p := range psd {
+		if p <= 0 {
+			p = 1e-300
+		}
+		logSum += math.Log(p)
+		sum += p
+	}
+	am := sum / float64(n)
+	if am == 0 {
+		return 0
+	}
+	gm := math.Exp(logSum / float64(n))
+	return gm / am
+}
+
+// PeakToMedian returns the ratio between the strongest PSD bin and the
+// median bin, a robust narrow-band interference indicator.
+func PeakToMedian(psd []float64) float64 {
+	if len(psd) == 0 {
+		return 0
+	}
+	var peak float64
+	for _, p := range psd {
+		if p > peak {
+			peak = p
+		}
+	}
+	med := median(psd)
+	if med == 0 {
+		return math.Inf(1)
+	}
+	return peak / med
+}
+
+func median(xs []float64) float64 {
+	cp := append([]float64(nil), xs...)
+	n := len(cp)
+	// Insertion sort: PSD sizes here are small (<= few thousand) and this
+	// avoids importing sort for one call site... but insertion sort is
+	// quadratic; use a simple heap sort instead.
+	heapSort(cp)
+	if n%2 == 1 {
+		return cp[n/2]
+	}
+	return 0.5 * (cp[n/2-1] + cp[n/2])
+}
+
+func heapSort(a []float64) {
+	n := len(a)
+	for i := n/2 - 1; i >= 0; i-- {
+		sift(a, i, n)
+	}
+	for end := n - 1; end > 0; end-- {
+		a[0], a[end] = a[end], a[0]
+		sift(a, 0, end)
+	}
+}
+
+func sift(a []float64, root, end int) {
+	for {
+		child := 2*root + 1
+		if child >= end {
+			return
+		}
+		if child+1 < end && a[child+1] > a[child] {
+			child++
+		}
+		if a[root] >= a[child] {
+			return
+		}
+		a[root], a[child] = a[child], a[root]
+		root = child
+	}
+}
+
+// BandPower integrates the PSD over the two-sided band [-bw/2, +bw/2]
+// (normalized frequency) and returns the contained power. The PSD is in
+// un-shifted order with mean-bin == average-power scaling (as produced by
+// Estimator.PSD), so the result is directly comparable to dsp.Power.
+func BandPower(psd []float64, bw float64) float64 {
+	k := len(psd)
+	if k == 0 || bw <= 0 {
+		return 0
+	}
+	if bw > 1 {
+		bw = 1
+	}
+	half := bw / 2
+	var sum float64
+	for i, p := range psd {
+		f := float64(i) / float64(k)
+		if f >= 0.5 {
+			f -= 1
+		}
+		if f >= -half && f <= half {
+			sum += p
+		}
+	}
+	// Estimator.PSD scales bins so that sum(psd)/K equals the average
+	// signal power, hence the power inside the band is sum(bins)/K.
+	return sum / float64(k)
+}
