@@ -87,6 +87,42 @@ type Receiver struct {
 	pulseCache map[int][]float64
 	lpfCache   map[int]*dsp.FIR
 	shapeCache map[[2]int][]float64
+	// welchCache holds one reusable PSD estimator per segment length, so
+	// per-hop spectral analysis allocates nothing in steady state.
+	welchCache map[int]*spectral.Reusable
+	// notchCache memoizes excision filter designs per (sps, FFT size,
+	// quantized PSD fingerprint): successive hops facing a stationary
+	// jammer reuse both the taps and their pre-computed frequency-domain
+	// transform instead of redesigning per hop.
+	notchCache map[notchKey]*dsp.FIR
+
+	scratch rxScratch
+}
+
+// notchKey identifies one cached excision design. The fingerprint hashes
+// which bins exceed the shaped target and by how much (quantized to
+// quarter-octaves relative to the reference level), which is exactly the
+// information the notch design depends on.
+type notchKey struct {
+	sps, k int
+	fp     uint64
+}
+
+// maxNotchCache bounds the design cache; a jammer agile enough to produce
+// more distinct fingerprints than this defeats caching anyway, so the whole
+// cache is dropped and rebuilt.
+const maxNotchCache = 64
+
+// rxScratch holds the working buffers DecodeBurst reuses across hops and
+// bursts, keeping the steady-state decode path off the allocator.
+type rxScratch struct {
+	raw, psd, detect []float64    // PSD estimate and its two smoothings
+	norm             []float64    // shape-normalized in-band bins
+	target, qpsd     []float64    // notch target and quantized PSD
+	filtered         []complex128 // filterHop output
+	tracked          []complex128 // carrier-loop working copy
+	chips            []complex128 // accumulated chip estimates
+	corr             []complex128 // acquisition correlation
 }
 
 // NewReceiver returns a receiver for the configuration. Construct it from
@@ -101,15 +137,40 @@ func NewReceiver(cfg Config) (*Receiver, error) {
 		pulseCache: map[int][]float64{},
 		lpfCache:   map[int]*dsp.FIR{},
 		shapeCache: map[[2]int][]float64{},
+		welchCache: map[int]*spectral.Reusable{},
+		notchCache: map[notchKey]*dsp.FIR{},
 	}
 	if cfg.EnableFilter {
 		// "We pre-compute the taps of all possible low-pass filters in
-		// advance" (§6.1).
+		// advance" (§6.1) — including their frequency-domain transforms,
+		// so the first jammed hop pays no design cost either.
 		for _, sps := range spsTab {
-			r.lowPass(sps)
+			r.lowPass(sps).Convolver()
 		}
 	}
 	return r, nil
+}
+
+// welch returns the cached reusable Welch estimator for segment length k.
+func (r *Receiver) welch(k int) (*spectral.Reusable, error) {
+	if e, ok := r.welchCache[k]; ok {
+		return e, nil
+	}
+	e, err := spectral.Welch(k).Reusable()
+	if err != nil {
+		return nil, err
+	}
+	r.welchCache[k] = e
+	return e, nil
+}
+
+// resizeFloats returns a slice of length n, reusing s's storage when it is
+// large enough.
+func resizeFloats(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	return s[:n]
 }
 
 // FrameCounter returns the number of frames consumed so far.
@@ -147,7 +208,7 @@ func (r *Receiver) lowPass(sps int) *dsp.FIR {
 
 // hopFilterCtx carries what estimateHop learned to filterHop.
 type hopFilterCtx struct {
-	psd   []float64 // lightly smoothed PSD for filter design
+	raw   []float64 // raw Welch PSD estimate (receiver scratch)
 	shape []float64 // expected signal spectrum, unit peak, floored
 	refN  float64   // shape-normalized in-band signal level
 }
@@ -179,18 +240,24 @@ func (r *Receiver) estimateHop(seg []complex128, sps int) (FilterDecision, hopFi
 	if k < 16 {
 		return FilterNone, hopFilterCtx{}, report
 	}
-	est := spectral.Welch(k)
-	raw, err := est.PSD(seg)
+	est, err := r.welch(k)
 	if err != nil {
+		return FilterNone, hopFilterCtx{}, report
+	}
+	r.scratch.raw = resizeFloats(r.scratch.raw, k)
+	raw := r.scratch.raw
+	if err := est.PSDInto(raw, seg); err != nil {
 		return FilterNone, hopFilterCtx{}, report
 	}
 	// Light smoothing tames the per-bin scatter of short-capture
 	// periodograms without diluting a narrow jammer's peak. The excision
 	// *design* smooths even less so the notch stays as narrow as the
-	// jammer. A spurious excision triggered by residual scatter is benign:
-	// the notch only touches bins far above the expected signal level.
-	psd := dsp.SmoothPSD(raw, 3)
-	detect := dsp.SmoothPSD(raw, 5)
+	// jammer (notchFilter runs it on demand, so unjammed hops skip it).
+	// A spurious excision triggered by residual scatter is benign: the
+	// notch only touches bins far above the expected signal level.
+	r.scratch.detect = resizeFloats(r.scratch.detect, k)
+	detect := r.scratch.detect
+	dsp.SmoothPSDInto(detect, raw, 5)
 	signalBW := 1.5 / float64(sps) // half-sine main lobe, two-sided
 	if signalBW > 1 {
 		signalBW = 1
@@ -211,7 +278,7 @@ func (r *Receiver) estimateHop(seg []complex128, sps int) (FilterDecision, hopFi
 	// the jammer covers up to ~half of the band (the eq. (11) excision
 	// region extends almost to the matched bandwidth).
 	shape := r.pulseShapeGain(sps, k)
-	normBins := make([]float64, 0, k)
+	normBins := r.scratch.norm[:0]
 	half := signalBW / 2
 	for i, p := range detect {
 		f := float64(i) / float64(k)
@@ -222,10 +289,15 @@ func (r *Receiver) estimateHop(seg []complex128, sps int) (FilterDecision, hopFi
 			normBins = append(normBins, p/shape[i])
 		}
 	}
-	refN := quantileLevel(normBins, signalQuantile)
-	report.PeakToMedian = peakToQuantile(normBins, signalQuantile)
+	r.scratch.norm = normBins
+	// Sorting the scratch in place gives both order statistics (the
+	// reference quantile and the peak, which lands at the top) without the
+	// per-hop copies quantileLevel/peakToQuantile would make.
+	dsp.SortFloats(normBins)
+	refN := dsp.QuantileSorted(normBins, signalQuantile)
+	report.PeakToMedian = peakOverRef(normBins, refN)
 
-	ctx := hopFilterCtx{psd: psd, shape: shape, refN: refN}
+	ctx := hopFilterCtx{raw: raw, shape: shape, refN: refN}
 	switch {
 	case signalBW < 1 && outBand > r.cfg.WidebandExcessRatio*inBand:
 		report.Decision = FilterLowPass
@@ -293,24 +365,80 @@ func inBandBins(psd []float64, bw float64) []float64 {
 	return out
 }
 
-// filterHop applies the decided filter to the hop's samples.
+// filterHop applies the decided filter to the hop's samples. The returned
+// slice aliases receiver scratch that stays valid until the next hop is
+// filtered.
 func (r *Receiver) filterHop(seg []complex128, sps int, decision FilterDecision, ctx hopFilterCtx) []complex128 {
 	switch decision {
 	case FilterLowPass:
-		return r.lowPass(sps).ApplyFast(seg)
+		r.scratch.filtered = r.lowPass(sps).Convolver().ApplySame(r.scratch.filtered[:0], seg)
+		return r.scratch.filtered
 	case FilterExcision:
-		// Notch-floor variant of the eq. (3) whitening filter with a
-		// shaped target: each bin is allowed the signal's expected level
-		// at that frequency (refN · |G(f)|²); anything above is jamming
-		// and gets pushed well below it.
-		target := make([]float64, len(ctx.psd))
-		for i := range target {
-			target[i] = ctx.refN * ctx.shape[i]
-		}
-		return dsp.ShapedNotchFIR(ctx.psd, target, r.cfg.ExcisionPeakRatio).ApplyFast(seg)
+		f := r.notchFilter(sps, ctx)
+		r.scratch.filtered = f.Convolver().ApplySame(r.scratch.filtered[:0], seg)
+		return r.scratch.filtered
 	default:
 		return seg
 	}
+}
+
+// notchFilter returns the excision filter for the hop: a notch-floor
+// variant of the eq. (3) whitening filter with a shaped target — each bin
+// is allowed the signal's expected level at that frequency (refN · |G(f)|²)
+// and anything above is jamming, pushed well below it.
+//
+// Designs are memoized: the over-target bins are quantized to
+// quarter-octaves relative to the reference level and hashed, so successive
+// hops facing a stationary jammer hit the cache and reuse both the taps and
+// their frequency-domain transform. The quantized spectrum (not the raw
+// one) also feeds the design on a miss, making cached and freshly designed
+// filters identical by construction. The notch magnitude and the threshold
+// test depend only on the bin/reference power *ratio*, so a cached design
+// remains exact when the absolute signal level changes between hops.
+func (r *Receiver) notchFilter(sps int, ctx hopFilterCtx) *dsp.FIR {
+	k := len(ctx.raw)
+	thr := r.cfg.ExcisionPeakRatio
+	// Design-grade smoothing: lighter than the detection smoothing so the
+	// notch stays as narrow as the jammer.
+	r.scratch.psd = resizeFloats(r.scratch.psd, k)
+	psd := r.scratch.psd
+	dsp.SmoothPSDInto(psd, ctx.raw, 3)
+	r.scratch.target = resizeFloats(r.scratch.target, k)
+	target := r.scratch.target
+	for i := range target {
+		target[i] = ctx.refN * ctx.shape[i]
+	}
+	if ctx.refN <= 0 {
+		// Degenerate reference (no measurable signal): nothing to anchor
+		// a fingerprint on, design directly from the estimate.
+		return dsp.ShapedNotchFIR(psd, target, thr)
+	}
+	r.scratch.qpsd = resizeFloats(r.scratch.qpsd, k)
+	qpsd := r.scratch.qpsd
+	const (
+		fnvOffset = 0xcbf29ce484222325
+		fnvPrime  = 0x100000001b3
+	)
+	fp := uint64(fnvOffset)
+	for i, p := range psd {
+		qpsd[i] = 0 // below target: passes with unit gain either way
+		if p > thr*target[i] {
+			e := math.Round(4 * math.Log2(p/ctx.refN))
+			qpsd[i] = ctx.refN * math.Exp2(e/4)
+			fp = (fp ^ uint64(i)) * fnvPrime
+			fp = (fp ^ uint64(int64(e)+1024)) * fnvPrime
+		}
+	}
+	key := notchKey{sps: sps, k: k, fp: fp}
+	if f, ok := r.notchCache[key]; ok {
+		return f
+	}
+	f := dsp.ShapedNotchFIR(qpsd, target, thr)
+	if len(r.notchCache) >= maxNotchCache {
+		clear(r.notchCache)
+	}
+	r.notchCache[key] = f
+	return f
 }
 
 // signalQuantile is the in-band PSD quantile used as the "signal level"
@@ -319,22 +447,16 @@ func (r *Receiver) filterHop(seg []complex128, sps int, decision FilterDecision,
 // occupies a large fraction of the band.
 const signalQuantile = 0.35
 
-// quantileLevel returns the q-quantile of xs (0 for empty input).
+// quantileLevel returns the q-quantile of xs (0 for empty input) without
+// modifying it. Hot paths that own their slice should sort once with
+// dsp.SortFloats and read dsp.QuantileSorted directly, as estimateHop does.
 func quantileLevel(xs []float64, q float64) float64 {
 	if len(xs) == 0 {
 		return 0
 	}
 	cp := append([]float64(nil), xs...)
-	for i := 1; i < len(cp); i++ {
-		for j := i; j > 0 && cp[j] < cp[j-1]; j-- {
-			cp[j], cp[j-1] = cp[j-1], cp[j]
-		}
-	}
-	idx := int(q * float64(len(cp)))
-	if idx >= len(cp) {
-		idx = len(cp) - 1
-	}
-	return cp[idx]
+	dsp.SortFloats(cp)
+	return dsp.QuantileSorted(cp, q)
 }
 
 // peakToQuantile returns max(xs) / quantileLevel(xs, q) (0 when empty,
@@ -349,7 +471,21 @@ func peakToQuantile(xs []float64, q float64) float64 {
 			peak = v
 		}
 	}
-	ref := quantileLevel(xs, q)
+	return ratioOrInf(peak, quantileLevel(xs, q))
+}
+
+// peakOverRef is peakToQuantile for an already-sorted slice with the
+// reference level in hand: the peak is the last element.
+func peakOverRef(sorted []float64, ref float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	return ratioOrInf(sorted[len(sorted)-1], ref)
+}
+
+// ratioOrInf returns peak/ref, mapping a zero reference to 0 (when the peak
+// is zero too) or +Inf.
+func ratioOrInf(peak, ref float64) float64 {
 	if ref == 0 {
 		if peak == 0 {
 			return 0
@@ -413,7 +549,7 @@ func (r *Receiver) DecodeBurst(samples []complex128) ([]byte, *RxStats, error) {
 		}
 	}
 
-	var chips []complex128
+	chips := r.scratch.chips[:0]
 	totalSymbols := -1 // unknown until the length byte is decoded
 	maxSymbols := frame.EncodedSymbols(frame.MaxPayload)
 	samplePos := 0
@@ -466,12 +602,12 @@ func (r *Receiver) DecodeBurst(samples []complex128) ([]byte, *RxStats, error) {
 				// of the vulnerability the filters protect.
 				loop.SetFrequency(tracking.CoarseCFOInRange(seg, maxTrackedCFO))
 			}
-			tracked := append([]complex128(nil), seg...)
-			loop.Process(tracked)
-			seg = tracked
+			r.scratch.tracked = append(r.scratch.tracked[:0], seg...)
+			loop.Process(r.scratch.tracked)
+			seg = r.scratch.tracked
 		}
 
-		chips = append(chips, pulse.Demodulate(seg, r.pulseTaps(sps), 0)...)
+		chips = pulse.DemodulateAppend(chips, seg, r.pulseTaps(sps), 0)
 
 		if totalSymbols < 0 && len(chips) >= frame.HeaderSymbols*dsss.ComplexChipsPerSymbol {
 			rot, total := r.resolveHeader(chips, scramblerSeed)
@@ -479,6 +615,7 @@ func (r *Receiver) DecodeBurst(samples []complex128) ([]byte, *RxStats, error) {
 			totalSymbols = total
 		}
 	}
+	r.scratch.chips = chips // keep the grown buffer for the next burst
 	if len(chips) < dsss.ComplexChipsPerSymbol {
 		return nil, stats, ErrTruncatedBurst
 	}
@@ -584,12 +721,17 @@ func (r *Receiver) acquire(samples []complex128, fr uint64) (offset int, cfo, ph
 	if len(samples) < len(tmpl) {
 		return 0, 0, 0, ErrNoPreamble
 	}
-	// Cross-correlate: peak of |conv(samples, reverse(conj(tmpl)))|.
+	// Cross-correlate: peak of |conv(samples, reverse(conj(tmpl)))|. The
+	// overlap-save convolver transforms the template once and streams the
+	// capture through fixed pow2 blocks, so long captures cost
+	// O(n log B) with a block size matched to the template instead of one
+	// giant FFT of the whole capture.
 	rev := make([]complex128, len(tmpl))
 	for i, v := range tmpl {
 		rev[len(tmpl)-1-i] = complex(real(v), -imag(v))
 	}
-	corr := dsp.ConvolveFFT(samples, rev)
+	r.scratch.corr = dsp.NewOverlapSave(rev).ApplyFull(r.scratch.corr[:0], samples)
+	corr := r.scratch.corr
 	// Valid offsets: template fully inside the capture. In the full
 	// convolution, offset o corresponds to index o + len(tmpl) - 1.
 	best, bestMag := -1, 0.0

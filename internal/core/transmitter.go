@@ -57,6 +57,8 @@ type Transmitter struct {
 	frame  uint64
 	// pulse taps per samples-per-chip value, cached.
 	pulseCache map[int][]float64
+	// chipBuf is the per-hop chip scratch reused across EncodeFrame calls.
+	chipBuf []complex128
 }
 
 // NewTransmitter returns a transmitter for the configuration.
@@ -109,31 +111,44 @@ func (t *Transmitter) EncodeFrame(payload []byte) (*Burst, error) {
 	spreader := dsss.NewSpreader(deriveSeed(t.cfg.Seed, fr, purposeScrambler))
 
 	burst := &Burst{Payload: append([]byte(nil), payload...)}
+	// The hop plan fixes the burst length exactly, so the sample buffer is
+	// sized once and each hop modulates straight into it.
+	total := 0
 	symPos := 0
-	samplePos := 0
 	for _, bwIdx := range plan {
 		n := t.cfg.SymbolsPerHop
 		if symPos+n > len(symbols) {
 			n = len(symbols) - symPos
 		}
-		chips, err := spreader.Spread(symbols[symPos : symPos+n])
+		total += n * dsss.ComplexChipsPerSymbol * t.spsTab[bwIdx]
+		symPos += n
+	}
+	burst.Samples = make([]complex128, 0, total)
+	burst.Segments = make([]HopSegment, 0, len(plan))
+	symPos = 0
+	for _, bwIdx := range plan {
+		n := t.cfg.SymbolsPerHop
+		if symPos+n > len(symbols) {
+			n = len(symbols) - symPos
+		}
+		chips, err := spreader.SpreadAppend(t.chipBuf[:0], symbols[symPos:symPos+n])
 		if err != nil {
 			return nil, fmt.Errorf("core: %w", err)
 		}
+		t.chipBuf = chips
 		sps := t.spsTab[bwIdx]
-		seg := pulse.Modulate(chips, t.pulseTaps(sps))
+		start := len(burst.Samples)
+		burst.Samples = pulse.ModulateAppend(burst.Samples, chips, t.pulseTaps(sps))
 		burst.Segments = append(burst.Segments, HopSegment{
 			BandwidthIndex: bwIdx,
 			BandwidthMHz:   t.dist.Bandwidths[bwIdx],
 			SamplesPerChip: sps,
 			StartSymbol:    symPos,
 			NumSymbols:     n,
-			StartSample:    samplePos,
-			NumSamples:     len(seg),
+			StartSample:    start,
+			NumSamples:     len(burst.Samples) - start,
 		})
-		burst.Samples = append(burst.Samples, seg...)
 		symPos += n
-		samplePos += len(seg)
 	}
 	return burst, nil
 }

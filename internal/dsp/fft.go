@@ -1,19 +1,22 @@
 package dsp
 
-import "math"
-
 // FFT computes the in-place decimation-in-time radix-2 discrete Fourier
 // transform when len(x) is a power of two, and falls back to Bluestein's
 // algorithm for other lengths (returning a new slice in that case; the
 // returned slice is always the transform). The forward transform uses the
 // e^{-j2πnk/N} convention with no normalization; IFFT applies 1/N.
+//
+// Both paths run off memoized FFTPlans, so repeated transforms of the same
+// size pay no table setup; the power-of-two path additionally performs no
+// allocation at all. Callers looping over one size can hold the plan
+// directly via PlanFFT.
 func FFT(x []complex128) []complex128 {
 	n := len(x)
 	if n == 0 {
 		return x
 	}
 	if n&(n-1) == 0 {
-		fftRadix2(x, false)
+		PlanFFT(n).Forward(x)
 		return x
 	}
 	return bluestein(x, false)
@@ -27,11 +30,7 @@ func IFFT(x []complex128) []complex128 {
 		return x
 	}
 	if n&(n-1) == 0 {
-		fftRadix2(x, true)
-		invN := complex(1/float64(n), 0)
-		for i := range x {
-			x[i] *= invN
-		}
+		PlanFFT(n).Inverse(x)
 		return x
 	}
 	out := bluestein(x, true)
@@ -49,79 +48,6 @@ func NextPow2(n int) int {
 		p <<= 1
 	}
 	return p
-}
-
-func fftRadix2(x []complex128, inverse bool) {
-	n := len(x)
-	// Bit-reversal permutation.
-	for i, j := 0, 0; i < n; i++ {
-		if i < j {
-			x[i], x[j] = x[j], x[i]
-		}
-		mask := n >> 1
-		for j&mask != 0 {
-			j &^= mask
-			mask >>= 1
-		}
-		j |= mask
-	}
-	sign := -1.0
-	if inverse {
-		sign = 1.0
-	}
-	for size := 2; size <= n; size <<= 1 {
-		half := size >> 1
-		ang := sign * 2 * math.Pi / float64(size)
-		wStep := complex(math.Cos(ang), math.Sin(ang))
-		for start := 0; start < n; start += size {
-			w := complex(1, 0)
-			for k := 0; k < half; k++ {
-				a := x[start+k]
-				b := x[start+k+half] * w
-				x[start+k] = a + b
-				x[start+k+half] = a - b
-				w *= wStep
-			}
-		}
-	}
-}
-
-// bluestein computes an arbitrary-length DFT as a convolution via
-// power-of-two FFTs (chirp-z transform).
-func bluestein(x []complex128, inverse bool) []complex128 {
-	n := len(x)
-	sign := -1.0
-	if inverse {
-		sign = 1.0
-	}
-	m := NextPow2(2*n + 1)
-	a := make([]complex128, m)
-	b := make([]complex128, m)
-	chirp := make([]complex128, n)
-	for k := 0; k < n; k++ {
-		// Reduce k^2 mod 2n before the trig call to keep the angle small.
-		kk := (int64(k) * int64(k)) % int64(2*n)
-		ang := sign * math.Pi * float64(kk) / float64(n)
-		chirp[k] = complex(math.Cos(ang), math.Sin(ang))
-		a[k] = x[k] * chirp[k]
-		conj := complex(real(chirp[k]), -imag(chirp[k]))
-		b[k] = conj
-		if k > 0 {
-			b[m-k] = conj
-		}
-	}
-	fftRadix2(a, false)
-	fftRadix2(b, false)
-	for i := range a {
-		a[i] *= b[i]
-	}
-	fftRadix2(a, true)
-	invM := complex(1/float64(m), 0)
-	out := make([]complex128, n)
-	for k := 0; k < n; k++ {
-		out[k] = a[k] * invM * chirp[k]
-	}
-	return out
 }
 
 // FFTShift reorders a spectrum so that the zero-frequency bin sits at the

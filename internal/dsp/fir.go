@@ -13,6 +13,7 @@ import (
 type FIR struct {
 	taps  []complex128
 	state []complex128 // delay line for streaming use, len == len(taps)-1
+	ols   *OverlapSave // lazily built fast convolver, shares the taps
 }
 
 // NewFIR returns a filter with the given taps. The taps slice is copied.
@@ -85,9 +86,23 @@ func (f *FIR) Apply(x []complex128) []complex128 {
 
 // ApplyFast is Apply using FFT overlap-save convolution; results agree with
 // Apply to floating-point accuracy. Prefer it when len(x)*len(taps) is large.
+// The first call builds the filter's frequency-domain transform; subsequent
+// calls reuse it, allocating only the result slice.
 func (f *FIR) ApplyFast(x []complex128) []complex128 {
-	full := ConvolveFFT(x, f.taps)
-	return sameSlice(full, len(x), len(f.taps))
+	return f.Convolver().ApplySame(nil, x)
+}
+
+// Convolver returns the filter's overlap-save convolver, building it (and
+// the taps' frequency-domain transform) on first use. Callers that filter
+// into reusable buffers should go through it directly: its Apply*/Process
+// methods append to caller-provided slices and allocate nothing once those
+// have capacity. The convolver shares the FIR's concurrency constraints
+// (one goroutine at a time).
+func (f *FIR) Convolver() *OverlapSave {
+	if f.ols == nil {
+		f.ols = NewOverlapSave(f.taps)
+	}
+	return f.ols
 }
 
 // sameSlice extracts the length-n "same" part from a full convolution with a
@@ -260,7 +275,7 @@ func WhiteningFIR(psd []float64, floor float64) *FIR {
 	for i, r := range resp {
 		mags[i] = cmplx.Abs(r)
 	}
-	med := medianFloat(mags)
+	med := MedianFloats(mags)
 	if med > 0 {
 		for i := range f.taps {
 			f.taps[i] /= complex(med, 0)
@@ -303,65 +318,28 @@ func linearPhaseFromMagnitude(mag []float64) *FIR {
 	return NewFIR(taps)
 }
 
-func medianFloat(xs []float64) float64 {
-	cp := append([]float64(nil), xs...)
-	// insertion-free: simple selection via sort would pull in sort; use
-	// quickselect-lite with copy + partial selection for small k.
-	n := len(cp)
-	if n == 0 {
-		return 0
-	}
-	// Simple O(n^2) selection is fine for filter-design-time sizes, but be
-	// kind for large PSDs: use a counting pass with two pivots? Keep it
-	// simple and correct: full insertion sort for n < 64, else heapless
-	// median-of-medians is overkill -- use sort.Float64s via a local import
-	// avoided intentionally; do an O(n log n) heap sort inline.
-	heapSortFloats(cp)
-	if n%2 == 1 {
-		return cp[n/2]
-	}
-	return 0.5 * (cp[n/2-1] + cp[n/2])
-}
-
-func heapSortFloats(a []float64) {
-	n := len(a)
-	for i := n/2 - 1; i >= 0; i-- {
-		siftDown(a, i, n)
-	}
-	for end := n - 1; end > 0; end-- {
-		a[0], a[end] = a[end], a[0]
-		siftDown(a, 0, end)
-	}
-}
-
-func siftDown(a []float64, start, end int) {
-	root := start
-	for {
-		child := 2*root + 1
-		if child >= end {
-			return
-		}
-		if child+1 < end && a[child+1] > a[child] {
-			child++
-		}
-		if a[root] >= a[child] {
-			return
-		}
-		a[root], a[child] = a[child], a[root]
-		root = child
-	}
-}
-
 // SmoothPSD returns a circularly smoothed copy of a PSD using a moving
 // average of the given width (forced odd, >= 1). Averaged-periodogram
 // estimates from short captures scatter heavily per bin; smoothing before
 // threshold tests and filter design prevents the whitening filter from
 // amplifying estimation noise.
 func SmoothPSD(psd []float64, width int) []float64 {
+	out := make([]float64, len(psd))
+	SmoothPSDInto(out, psd, width)
+	return out
+}
+
+// SmoothPSDInto is SmoothPSD writing into dst, which must have the same
+// length as psd and must not alias it. The circular moving average is
+// computed with a running window sum, so the cost is O(n + width) rather
+// than O(n*width).
+func SmoothPSDInto(dst, psd []float64, width int) {
 	n := len(psd)
-	out := make([]float64, n)
+	if len(dst) != n {
+		panic("dsp: SmoothPSDInto length mismatch")
+	}
 	if n == 0 {
-		return out
+		return
 	}
 	if width < 1 {
 		width = 1
@@ -370,14 +348,30 @@ func SmoothPSD(psd []float64, width int) []float64 {
 		width++
 	}
 	half := width / 2
-	for i := range out {
-		var sum float64
-		for d := -half; d <= half; d++ {
-			sum += psd[((i+d)%n+n)%n]
-		}
-		out[i] = sum / float64(width)
+	var sum float64
+	for d := -half; d <= half; d++ {
+		sum += psd[((d%n)+n)%n]
 	}
-	return out
+	inv := 1 / float64(width)
+	// Wrapping indices advance by one per bin, so the slide needs no modulo
+	// in the hot loop: bin `in` enters the window, bin `out` leaves.
+	in := (half + 1) % n
+	out := n - half%n
+	if out == n {
+		out = 0
+	}
+	for i := 0; i < n; i++ {
+		dst[i] = sum * inv
+		sum += psd[in] - psd[out]
+		in++
+		if in == n {
+			in = 0
+		}
+		out++
+		if out == n {
+			out = 0
+		}
+	}
 }
 
 // NotchFIR designs a robust excision filter from a PSD estimate: bins whose
@@ -402,7 +396,7 @@ func NotchFIR(psd []float64, threshold, ref float64) *FIR {
 		panic("dsp: notch threshold must be > 1")
 	}
 	if ref <= 0 {
-		ref = medianFloat(psd)
+		ref = MedianFloats(psd)
 	}
 	if ref <= 0 {
 		ref = 1e-12

@@ -1,0 +1,83 @@
+package dsp
+
+import (
+	"testing"
+)
+
+func TestOverlapSaveFullMatchesConvolveFFT(t *testing.T) {
+	for _, tc := range []struct{ nx, nh int }{
+		{1, 1}, {16, 4}, {100, 31}, {1000, 129}, {257, 64},
+	} {
+		x := randSignal(tc.nx, uint64(tc.nx)+1)
+		h := randSignal(tc.nh, uint64(tc.nh)+2)
+		want := ConvolveFFT(x, h)
+		got := NewOverlapSave(h).ApplyFull(nil, x)
+		if len(got) != len(want) {
+			t.Fatalf("nx=%d nh=%d: len %d want %d", tc.nx, tc.nh, len(got), len(want))
+		}
+		for k := range want {
+			if !cEq(got[k], want[k], 1e-9*float64(tc.nx+tc.nh)) {
+				t.Fatalf("nx=%d nh=%d sample %d: got %v want %v", tc.nx, tc.nh, k, got[k], want[k])
+			}
+		}
+	}
+}
+
+func TestOverlapSaveSameMatchesFullCenter(t *testing.T) {
+	x := randSignal(300, 5)
+	h := randSignal(33, 6)
+	full := NewOverlapSave(h).ApplyFull(nil, x)
+	same := NewOverlapSave(h).ApplySame(nil, x)
+	if len(same) != len(x) {
+		t.Fatalf("same length %d want %d", len(same), len(x))
+	}
+	start := (len(h) - 1) / 2
+	for k := range same {
+		if !cEq(same[k], full[start+k], 1e-9*float64(len(x))) {
+			t.Fatalf("sample %d: got %v want %v", k, same[k], full[start+k])
+		}
+	}
+}
+
+func TestOverlapSaveProcessStreamsAcrossBlocks(t *testing.T) {
+	x := randSignal(1000, 9)
+	h := randSignal(41, 10)
+	full := NewOverlapSave(h).ApplyFull(nil, x)
+	o := NewOverlapSave(h)
+	var got []complex128
+	// Uneven chunk sizes, including chunks smaller and larger than the
+	// convolver's internal step.
+	for _, chunk := range []int{1, 7, 250, 13, 500, 229} {
+		got = o.Process(got, x[len(got):len(got)+chunk])
+	}
+	for k := range got {
+		if !cEq(got[k], full[k], 1e-9*float64(len(x))) {
+			t.Fatalf("sample %d: got %v want %v", k, got[k], full[k])
+		}
+	}
+	// Reset must restart the stream identically.
+	o.Reset()
+	again := o.Process(nil, x[:100])
+	for k := range again {
+		if !cEq(again[k], full[k], 1e-9*float64(len(x))) {
+			t.Fatalf("after Reset, sample %d: got %v want %v", k, again[k], full[k])
+		}
+	}
+}
+
+func TestNewOverlapSaveSizeValidates(t *testing.T) {
+	h := make([]complex128, 16)
+	h[0] = 1
+	if _, err := NewOverlapSaveSize(h, 24); err == nil {
+		t.Fatal("expected error for non-pow2 FFT length")
+	}
+	if _, err := NewOverlapSaveSize(h, 16); err == nil {
+		t.Fatal("expected error for FFT length < 2*len(taps)")
+	}
+	if _, err := NewOverlapSaveSize(h, 32); err != nil {
+		t.Fatalf("unexpected error: %v", err)
+	}
+	if _, err := NewOverlapSaveSize(nil, 32); err == nil {
+		t.Fatal("expected error for empty taps")
+	}
+}

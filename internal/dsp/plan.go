@@ -1,0 +1,271 @@
+package dsp
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"sync"
+)
+
+// FFTPlan caches everything a radix-2 FFT of one power-of-two size needs:
+// the bit-reversal permutation and the per-stage twiddle-factor tables.
+// Executing a plan performs no trigonometry and no allocation, so steady-
+// state transform loops run entirely out of the caller's buffers. Plans are
+// immutable after construction and safe for concurrent use; Forward and
+// Inverse work in place on caller-provided slices (the "scratch" is the
+// signal buffer itself).
+//
+// Callers that transform one size in a loop should hold the plan in a
+// variable; one-shot callers can go through PlanFFT, which memoizes plans
+// per size in a package-level cache.
+type FFTPlan struct {
+	n   int
+	rev []int32      // bit-reversal permutation: rev[i] < i pairs swapped
+	tw  []complex128 // forward twiddles, stages concatenated, n-1 entries
+}
+
+// planCache memoizes FFTPlans per size. Plans are tiny relative to the
+// signals they transform (~24 bytes per point) and the pipeline only ever
+// touches a handful of sizes, so the cache is unbounded.
+var planCache sync.Map // int -> *FFTPlan
+
+// PlanFFT returns the (memoized) plan for an n-point transform. n must be a
+// power of two >= 1.
+func PlanFFT(n int) *FFTPlan {
+	if v, ok := planCache.Load(n); ok {
+		return v.(*FFTPlan)
+	}
+	p, err := NewFFTPlan(n)
+	if err != nil {
+		panic(err)
+	}
+	v, _ := planCache.LoadOrStore(n, p)
+	return v.(*FFTPlan)
+}
+
+// NewFFTPlan builds an uncached plan for an n-point transform. n must be a
+// power of two >= 1. Use PlanFFT unless the caller manages plan lifetime
+// itself.
+func NewFFTPlan(n int) (*FFTPlan, error) {
+	if n < 1 || n&(n-1) != 0 {
+		return nil, fmt.Errorf("dsp: FFT plan size %d is not a power of two", n)
+	}
+	p := &FFTPlan{n: n}
+	logN := bits.TrailingZeros(uint(n))
+	p.rev = make([]int32, n)
+	for i := 0; i < n; i++ {
+		p.rev[i] = int32(bits.Reverse32(uint32(i)) >> (32 - logN))
+	}
+	if n == 1 {
+		return p, nil
+	}
+	// Twiddles for stage of butterfly span `size` live at offset size/2-1:
+	// the halves of all previous stages sum to exactly that (1+2+...+size/4).
+	p.tw = make([]complex128, n-1)
+	for size := 2; size <= n; size <<= 1 {
+		half := size >> 1
+		base := half - 1
+		for k := 0; k < half; k++ {
+			ang := -2 * math.Pi * float64(k) / float64(size)
+			p.tw[base+k] = complex(math.Cos(ang), math.Sin(ang))
+		}
+	}
+	return p, nil
+}
+
+// Size returns the transform length the plan was built for.
+func (p *FFTPlan) Size() int { return p.n }
+
+// Forward computes the in-place forward DFT (e^{-j2πnk/N} convention, no
+// normalization). len(x) must equal the plan size.
+func (p *FFTPlan) Forward(x []complex128) {
+	p.transform(x, false)
+}
+
+// Inverse computes the in-place inverse DFT with 1/N normalization.
+func (p *FFTPlan) Inverse(x []complex128) {
+	p.transform(x, true)
+	invN := complex(1/float64(p.n), 0)
+	for i := range x {
+		x[i] *= invN
+	}
+}
+
+// inverseUnscaled is Inverse without the 1/N pass, for callers (overlap-save,
+// Bluestein) that fold the normalization into a frequency-domain table.
+func (p *FFTPlan) inverseUnscaled(x []complex128) {
+	p.transform(x, true)
+}
+
+// transform runs the decimation-in-time flow on bit-reversed input. Pairs of
+// radix-2 stages are fused into radix-4 passes: each pass reads and writes
+// every element once (half the memory traffic) and spends 3 twiddle
+// multiplies per 4 points where two radix-2 stages spend 4. The twiddle
+// tables are shared with the radix-2 formulation — the second fused stage's
+// upper-half twiddles are the lower half times ∓i, applied as a
+// swap-and-negate. The inverse direction conjugates the forward tables.
+func (p *FFTPlan) transform(x []complex128, inverse bool) {
+	n := p.n
+	if len(x) != n {
+		panic(fmt.Sprintf("dsp: FFT plan size %d given %d samples", n, len(x)))
+	}
+	for i, r := range p.rev {
+		if int32(i) < r {
+			x[i], x[r] = x[r], x[i]
+		}
+	}
+	if n < 2 {
+		return
+	}
+	var h int
+	if bits.TrailingZeros(uint(n))&1 == 1 {
+		// Odd number of radix-2 stages: run the twiddle-free span-2 stage
+		// alone so an even count remains for the fused passes.
+		for i := 0; i < n; i += 2 {
+			a, b := x[i], x[i+1]
+			x[i], x[i+1] = a+b, a-b
+		}
+		h = 2
+	} else {
+		// The first fused pass (spans 2 and 4) has unit twiddles
+		// throughout; run it as pure adds with the ∓i rotation open-coded.
+		if inverse {
+			for s := 0; s+4 <= n; s += 4 {
+				a0, a1, a2, a3 := x[s], x[s+1], x[s+2], x[s+3]
+				u0, u1 := a0+a1, a0-a1
+				u2, u3 := a2+a3, a2-a3
+				v3 := complex(-imag(u3), real(u3))
+				x[s], x[s+2] = u0+u2, u0-u2
+				x[s+1], x[s+3] = u1+v3, u1-v3
+			}
+		} else {
+			for s := 0; s+4 <= n; s += 4 {
+				a0, a1, a2, a3 := x[s], x[s+1], x[s+2], x[s+3]
+				u0, u1 := a0+a1, a0-a1
+				u2, u3 := a2+a3, a2-a3
+				v3 := complex(imag(u3), -real(u3))
+				x[s], x[s+2] = u0+u2, u0-u2
+				x[s+1], x[s+3] = u1+v3, u1-v3
+			}
+		}
+		h = 4
+	}
+	// Each fused pass combines the radix-2 stages of spans 2h and 4h over
+	// blocks of four h-length quarters.
+	for ; 4*h <= n; h *= 4 {
+		twA := p.tw[h-1 : h-1+h]     // span-2h stage twiddles
+		twB := p.tw[2*h-1 : 2*h-1+h] // span-4h stage, lower half
+		for start := 0; start < n; start += 4 * h {
+			q0 := x[start : start+h : start+h]
+			q1 := x[start+h : start+2*h : start+2*h]
+			q2 := x[start+2*h : start+3*h : start+3*h]
+			q3 := x[start+3*h : start+4*h : start+4*h]
+			if inverse {
+				for k, wa := range twA {
+					wa = complex(real(wa), -imag(wa))
+					wb := twB[k]
+					wb = complex(real(wb), -imag(wb))
+					t1 := q1[k] * wa
+					u0, u1 := q0[k]+t1, q0[k]-t1
+					t3 := q3[k] * wa
+					u2, u3 := q2[k]+t3, q2[k]-t3
+					v2 := u2 * wb
+					v3 := u3 * wb
+					v3 = complex(-imag(v3), real(v3))
+					q0[k], q2[k] = u0+v2, u0-v2
+					q1[k], q3[k] = u1+v3, u1-v3
+				}
+			} else {
+				for k, wa := range twA {
+					wb := twB[k]
+					t1 := q1[k] * wa
+					u0, u1 := q0[k]+t1, q0[k]-t1
+					t3 := q3[k] * wa
+					u2, u3 := q2[k]+t3, q2[k]-t3
+					v2 := u2 * wb
+					v3 := u3 * wb
+					v3 = complex(imag(v3), -real(v3))
+					q0[k], q2[k] = u0+v2, u0-v2
+					q1[k], q3[k] = u1+v3, u1-v3
+				}
+			}
+		}
+	}
+}
+
+// bluesteinPlan caches the chirp sequence and the pre-transformed chirp
+// filter for a forward Bluestein (chirp-z) DFT of one non-power-of-two size.
+type bluesteinPlan struct {
+	m     int
+	chirp []complex128 // e^{-jπk²/n}, length n
+	bFT   []complex128 // FFT of the chirp filter, 1/m folded in, length m
+	plan  *FFTPlan
+}
+
+var bluesteinCache sync.Map // int -> *bluesteinPlan
+
+func planBluestein(n int) *bluesteinPlan {
+	if v, ok := bluesteinCache.Load(n); ok {
+		return v.(*bluesteinPlan)
+	}
+	m := NextPow2(2*n + 1)
+	bp := &bluesteinPlan{m: m, plan: PlanFFT(m)}
+	bp.chirp = make([]complex128, n)
+	bp.bFT = make([]complex128, m)
+	for k := 0; k < n; k++ {
+		// Reduce k^2 mod 2n before the trig call to keep the angle small.
+		kk := (int64(k) * int64(k)) % int64(2*n)
+		ang := -math.Pi * float64(kk) / float64(n)
+		c := complex(math.Cos(ang), math.Sin(ang))
+		bp.chirp[k] = c
+		conj := complex(real(c), -imag(c))
+		bp.bFT[k] = conj
+		if k > 0 {
+			bp.bFT[m-k] = conj
+		}
+	}
+	bp.plan.Forward(bp.bFT)
+	invM := complex(1/float64(m), 0)
+	for i := range bp.bFT {
+		bp.bFT[i] *= invM
+	}
+	v, _ := bluesteinCache.LoadOrStore(n, bp)
+	return v.(*bluesteinPlan)
+}
+
+// bluestein computes an arbitrary-length DFT as a convolution via
+// power-of-two FFTs (chirp-z transform), using the memoized per-size plan.
+// The inverse direction is the conjugate of the forward transform of the
+// conjugated input (the caller applies 1/N).
+func bluestein(x []complex128, inverse bool) []complex128 {
+	n := len(x)
+	bp := planBluestein(n)
+	a := make([]complex128, bp.m)
+	if inverse {
+		for k, c := range bp.chirp {
+			v := x[k]
+			a[k] = complex(real(v), -imag(v)) * c
+		}
+	} else {
+		for k, c := range bp.chirp {
+			a[k] = x[k] * c
+		}
+	}
+	bp.plan.Forward(a)
+	for i, b := range bp.bFT {
+		a[i] *= b
+	}
+	bp.plan.inverseUnscaled(a)
+	out := make([]complex128, n)
+	if inverse {
+		for k, c := range bp.chirp {
+			v := a[k] * c
+			out[k] = complex(real(v), -imag(v))
+		}
+	} else {
+		for k, c := range bp.chirp {
+			out[k] = a[k] * c
+		}
+	}
+	return out
+}

@@ -1,0 +1,66 @@
+package dsp
+
+// SortFloats sorts a in place in ascending order using an in-place heap
+// sort: O(n log n), no allocation, no dependency on package sort. It is the
+// shared sorting primitive for the order statistics (medians, quantiles)
+// the receiver's control logic computes on PSD estimates.
+func SortFloats(a []float64) {
+	n := len(a)
+	for i := n/2 - 1; i >= 0; i-- {
+		siftDown(a, i, n)
+	}
+	for end := n - 1; end > 0; end-- {
+		a[0], a[end] = a[end], a[0]
+		siftDown(a, 0, end)
+	}
+}
+
+func siftDown(a []float64, start, end int) {
+	root := start
+	for {
+		child := 2*root + 1
+		if child >= end {
+			return
+		}
+		if child+1 < end && a[child+1] > a[child] {
+			child++
+		}
+		if a[root] >= a[child] {
+			return
+		}
+		a[root], a[child] = a[child], a[root]
+		root = child
+	}
+}
+
+// MedianFloats returns the median of xs (0 for empty input) without
+// modifying it.
+func MedianFloats(xs []float64) float64 {
+	n := len(xs)
+	if n == 0 {
+		return 0
+	}
+	cp := append([]float64(nil), xs...)
+	SortFloats(cp)
+	if n%2 == 1 {
+		return cp[n/2]
+	}
+	return 0.5 * (cp[n/2-1] + cp[n/2])
+}
+
+// QuantileSorted returns the q-quantile of an ascending-sorted slice using
+// the same index convention the receiver's control logic has always used
+// (floor(q*n), clamped).
+func QuantileSorted(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(q * float64(len(sorted)))
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	if idx < 0 {
+		idx = 0
+	}
+	return sorted[idx]
+}

@@ -11,6 +11,7 @@ package dsss
 
 import (
 	"fmt"
+	"sync"
 
 	"bhss/internal/pn"
 )
@@ -23,33 +24,57 @@ const ComplexChipsPerSymbol = pn.ChipsPerSymbol / 2
 // (spreading factor 8 ~ 9 dB).
 const ProcessingGainDB = 9.03
 
+// The chip table is a pure function of the 802.15.4 base sequence, so every
+// spreader and despreader in the process shares one read-only complex-row
+// copy instead of rebuilding it per instance (construction used to dominate
+// the decoder's allocation profile).
+var (
+	sharedRowsOnce sync.Once
+	sharedRowsVal  [][]complex128
+)
+
+func sharedRows() [][]complex128 {
+	sharedRowsOnce.Do(func() {
+		sharedRowsVal = pn.NewChipTable().ComplexTable()
+	})
+	return sharedRowsVal
+}
+
 // Spreader maps symbol streams to scrambled complex chip streams. The
 // scrambler state advances across calls, so one Spreader instance must see
 // the symbols in transmission order.
 type Spreader struct {
-	table *pn.ChipTable
-	scr   *pn.Scrambler
+	rows [][]complex128
+	scr  *pn.Scrambler
 }
 
 // NewSpreader returns a spreader whose scrambling overlay derives from the
 // pre-shared seed.
 func NewSpreader(seed uint64) *Spreader {
-	return &Spreader{table: pn.NewChipTable(), scr: pn.NewScrambler(seed)}
+	return &Spreader{rows: sharedRows(), scr: pn.NewScrambler(seed)}
 }
 
 // Spread expands symbols (each 0..15) into scrambled complex chips,
 // 16 per symbol.
 func (s *Spreader) Spread(symbols []int) ([]complex128, error) {
-	out := make([]complex128, 0, len(symbols)*ComplexChipsPerSymbol)
+	return s.SpreadAppend(make([]complex128, 0, len(symbols)*ComplexChipsPerSymbol), symbols)
+}
+
+// SpreadAppend is Spread appending into dst, for callers that reuse a chip
+// buffer across calls. The symbols are validated before any scrambler state
+// advances, so a failed call leaves the stream synchronous.
+func (s *Spreader) SpreadAppend(dst []complex128, symbols []int) ([]complex128, error) {
 	for _, sym := range symbols {
 		if sym < 0 || sym >= pn.NumSymbols {
 			return nil, fmt.Errorf("dsss: symbol %d out of range", sym)
 		}
-		chips := s.table.ComplexChips(sym)
-		s.scr.Apply(chips)
-		out = append(out, chips...)
 	}
-	return out, nil
+	base := len(dst)
+	for _, sym := range symbols {
+		dst = append(dst, s.rows[sym]...)
+	}
+	s.scr.Apply(dst[base:])
+	return dst, nil
 }
 
 // Despreader recovers symbols from chip estimates using a correlator bank.
@@ -63,14 +88,13 @@ type Despreader struct {
 // NewDespreader returns a despreader synchronized to the same seed as the
 // transmitter's Spreader.
 func NewDespreader(seed uint64) *Despreader {
-	return &Despreader{rows: pn.NewChipTable().ComplexTable(), scr: pn.NewScrambler(seed)}
+	return &Despreader{rows: sharedRows(), scr: pn.NewScrambler(seed)}
 }
 
 // SkipSymbols advances the scrambler past n symbols without despreading,
 // used when a receiver drops a corrupted region but must stay synchronous.
 func (d *Despreader) SkipSymbols(n int) {
-	buf := make([]float64, n*ComplexChipsPerSymbol)
-	d.scr.Block(buf)
+	d.scr.Skip(n * ComplexChipsPerSymbol)
 }
 
 // Despread consumes len(chips)/16 symbols worth of chip estimates and
@@ -85,15 +109,15 @@ func (d *Despreader) Despread(chips []complex128) ([]int, []float64, error) {
 	n := len(chips) / ComplexChipsPerSymbol
 	symbols := make([]int, n)
 	metrics := make([]float64, n)
-	buf := make([]complex128, ComplexChipsPerSymbol)
+	var buf [ComplexChipsPerSymbol]complex128
 	for i := 0; i < n; i++ {
-		copy(buf, chips[i*ComplexChipsPerSymbol:(i+1)*ComplexChipsPerSymbol])
+		copy(buf[:], chips[i*ComplexChipsPerSymbol:(i+1)*ComplexChipsPerSymbol])
 		// Descramble: the overlay is ±1, so applying it again removes it.
-		d.scr.Apply(buf)
+		d.scr.Apply(buf[:])
 		best, bestMetric := 0, negInf
 		for sym, row := range d.rows {
 			var acc float64
-			for k, c := range buf {
+			for k, c := range buf[:] {
 				acc += real(c)*real(row[k]) + imag(c)*imag(row[k])
 			}
 			if acc > bestMetric {

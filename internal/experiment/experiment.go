@@ -14,6 +14,7 @@ import (
 
 	"bhss/internal/channel"
 	"bhss/internal/core"
+	"bhss/internal/dsp"
 	"bhss/internal/jammer"
 	"bhss/internal/prng"
 	"bhss/internal/stats"
@@ -130,6 +131,10 @@ func (t Trial) PacketLoss(snrDB float64, pointSeed uint64) (float64, error) {
 
 	gain := math.Sqrt(t.Scale.NoiseVar) * stats.AmplitudeFromDB(snrDB)
 	lost := 0
+	// The receive buffer is reused across frames: each frame copies the
+	// burst in and applies channel effects in place, so the trial loop
+	// stays off the allocator in steady state.
+	var rxSamples []complex128
 	for i := 0; i < t.Scale.Frames; i++ {
 		for b := range payload {
 			payload[b] = byte(src.Uint64())
@@ -138,24 +143,27 @@ func (t Trial) PacketLoss(snrDB float64, pointSeed uint64) (float64, error) {
 		if err != nil {
 			return 0, err
 		}
-		rxSamples := append([]complex128(nil), burst.Samples...)
+		rxSamples = append(rxSamples[:0], burst.Samples...)
 		if gain != 1 {
 			for k := range rxSamples {
 				rxSamples[k] *= complex(gain, 0)
 			}
 		}
 		if t.RandomPhase || t.CFO > 0 {
-			im := channel.Impairments{}
+			// Phase/CFO-only impairments rotate in place on the private
+			// copy (channel.Impairments.Apply would copy again).
+			phase := 0.0
 			if t.RandomPhase {
-				im.Phase = 2 * math.Pi * src.Float64()
+				phase = 2 * math.Pi * src.Float64()
 			}
+			cfo := 0.0
 			if t.CFO > 0 {
-				im.CFO = t.CFO
+				cfo = t.CFO
 				if src.Bit() == 1 {
-					im.CFO = -im.CFO
+					cfo = -cfo
 				}
 			}
-			rxSamples = im.Apply(rxSamples)
+			dsp.Mix(rxSamples, cfo, phase)
 		}
 		if jam != nil {
 			j := jam.Emit(len(rxSamples))

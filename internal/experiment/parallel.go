@@ -3,13 +3,17 @@ package experiment
 import (
 	"runtime"
 	"sync"
+	"sync/atomic"
 )
 
 // forEach runs fn(i) for i in [0, n) across min(n, GOMAXPROCS) workers and
-// returns the first error. The measured experiments' cells (bandwidth
-// constellations, pattern×jammer pairs) are fully independent — every Trial
-// builds its own transmitter, receiver, jammer and noise from deterministic
-// per-cell seeds — so parallel execution changes runtimes, not results.
+// returns the first error. Once any call fails, no further indices are
+// dispatched (in-flight calls still finish), so a broken experiment aborts
+// in one cell's time instead of grinding through the whole grid. The
+// measured experiments' cells (bandwidth constellations, pattern×jammer
+// pairs) are fully independent — every Trial builds its own transmitter,
+// receiver, jammer and noise from deterministic per-cell seeds — so
+// parallel execution changes runtimes, not results.
 func forEach(n int, fn func(i int) error) error {
 	workers := runtime.GOMAXPROCS(0)
 	if workers > n {
@@ -27,6 +31,7 @@ func forEach(n int, fn func(i int) error) error {
 		wg       sync.WaitGroup
 		mu       sync.Mutex
 		firstErr error
+		failed   atomic.Bool
 	)
 	next := make(chan int)
 	for w := 0; w < workers; w++ {
@@ -40,11 +45,12 @@ func forEach(n int, fn func(i int) error) error {
 						firstErr = err
 					}
 					mu.Unlock()
+					failed.Store(true)
 				}
 			}
 		}()
 	}
-	for i := 0; i < n; i++ {
+	for i := 0; i < n && !failed.Load(); i++ {
 		next <- i
 	}
 	close(next)

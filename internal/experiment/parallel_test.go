@@ -1,0 +1,51 @@
+package experiment
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+)
+
+func TestForEachRunsAll(t *testing.T) {
+	var ran atomic.Int64
+	if err := forEach(100, func(i int) error {
+		ran.Add(1)
+		return nil
+	}); err != nil {
+		t.Fatalf("unexpected error: %v", err)
+	}
+	if ran.Load() != 100 {
+		t.Fatalf("ran %d of 100", ran.Load())
+	}
+}
+
+func TestForEachStopsDispatchingAfterError(t *testing.T) {
+	boom := errors.New("boom")
+	const n = 100000
+	var ran atomic.Int64
+	err := forEach(n, func(i int) error {
+		ran.Add(1)
+		return boom
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("got error %v, want %v", err, boom)
+	}
+	// Every call fails, so the dispatcher should stop almost immediately;
+	// a generous bound still proves it did not grind through the grid.
+	if got := ran.Load(); got > n/10 {
+		t.Fatalf("ran %d of %d indices after the first error", got, n)
+	}
+}
+
+func TestForEachSequentialStopsOnError(t *testing.T) {
+	// n=1 forces the single-worker path.
+	boom := errors.New("boom")
+	calls := 0
+	err := forEach(1, func(i int) error {
+		calls++
+		return boom
+	})
+	if !errors.Is(err, boom) || calls != 1 {
+		t.Fatalf("err=%v calls=%d", err, calls)
+	}
+}

@@ -271,6 +271,14 @@ func NewScrambler(seed uint64) *Scrambler {
 // Next returns the next ±1 scrambling value.
 func (s *Scrambler) Next() float64 { return s.src.ChipBit() }
 
+// Skip advances the scrambler past n values without producing output,
+// keeping a receiver chip-synchronous across regions it does not despread.
+func (s *Scrambler) Skip(n int) {
+	for i := 0; i < n; i++ {
+		s.src.ChipBit()
+	}
+}
+
 // Block fills out with the next len(out) scrambling values.
 func (s *Scrambler) Block(out []float64) {
 	for i := range out {

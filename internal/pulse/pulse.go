@@ -130,15 +130,22 @@ func rrcValue(t, beta float64) float64 {
 // single-chip pulse g (len(g) == sps, from Taps with HalfSine or Rect).
 // The output has len(chips)*sps samples.
 func Modulate(chips []complex128, g []float64) []complex128 {
+	return ModulateAppend(make([]complex128, 0, len(chips)*len(g)), chips, g)
+}
+
+// ModulateAppend is Modulate appending into dst, for transmitters that
+// assemble a multi-hop burst into one pre-sized buffer.
+func ModulateAppend(dst []complex128, chips []complex128, g []float64) []complex128 {
 	sps := len(g)
-	out := make([]complex128, len(chips)*sps)
+	dst = growSamples(dst, len(chips)*sps)
+	out := dst[len(dst)-len(chips)*sps:]
 	for i, c := range chips {
 		base := i * sps
 		for k, gv := range g {
 			out[base+k] = c * complex(gv, 0)
 		}
 	}
-	return out
+	return dst
 }
 
 // Demodulate recovers chip estimates from samples by matched filtering with
@@ -146,6 +153,12 @@ func Modulate(chips []complex128, g []float64) []complex128 {
 // sample offset. It is the inverse of Modulate: Demodulate(Modulate(c, g),
 // g, 0) == c (up to floating point). Partial chips at the tail are dropped.
 func Demodulate(samples []complex128, g []float64, offset int) []complex128 {
+	return DemodulateAppend(nil, samples, g, offset)
+}
+
+// DemodulateAppend is Demodulate appending into dst, for receivers that
+// accumulate the chips of consecutive hops into one reused buffer.
+func DemodulateAppend(dst []complex128, samples []complex128, g []float64, offset int) []complex128 {
 	sps := len(g)
 	if sps == 0 {
 		panic("pulse: empty pulse")
@@ -155,13 +168,14 @@ func Demodulate(samples []complex128, g []float64, offset int) []complex128 {
 	}
 	n := (len(samples) - offset) / sps
 	if n <= 0 {
-		return nil
+		return dst
 	}
 	var energy float64
 	for _, v := range g {
 		energy += v * v
 	}
-	out := make([]complex128, n)
+	dst = growSamples(dst, n)
+	out := dst[len(dst)-n:]
 	for i := 0; i < n; i++ {
 		base := offset + i*sps
 		var accRe, accIm float64
@@ -172,6 +186,18 @@ func Demodulate(samples []complex128, g []float64, offset int) []complex128 {
 		}
 		out[i] = complex(accRe/energy, accIm/energy)
 	}
+	return dst
+}
+
+// growSamples extends s by n elements, doubling the capacity on
+// reallocation so repeated appends stay amortized-constant. The new
+// elements are overwritten by the caller.
+func growSamples(s []complex128, n int) []complex128 {
+	if cap(s)-len(s) >= n {
+		return s[:len(s)+n]
+	}
+	out := make([]complex128, len(s)+n, 2*(len(s)+n))
+	copy(out, s)
 	return out
 }
 

@@ -50,46 +50,100 @@ func Welch(segmentLength int) Estimator {
 // value equals the average signal power (sum over bins / K = power),
 // i.e. white noise of power P yields a flat PSD of height P.
 //
-// An error is returned when x is shorter than one segment.
+// An error is returned when x is shorter than one segment. Callers that
+// estimate one segment length in a loop should build a Reusable once and
+// call PSDInto, which performs no allocation.
 func (e Estimator) PSD(x []complex128) ([]float64, error) {
+	r, err := e.Reusable()
+	if err != nil {
+		return nil, err
+	}
+	psd := make([]float64, e.SegmentLength)
+	if err := r.PSDInto(psd, x); err != nil {
+		return nil, err
+	}
+	return psd, nil
+}
+
+// Reusable holds an Estimator together with its pre-computed window, FFT
+// plan and segment scratch, so repeated PSD estimates of the same segment
+// length allocate nothing. It is not safe for concurrent use (the scratch
+// is shared across calls).
+type Reusable struct {
+	est      Estimator
+	win      []float64
+	winPower float64
+	plan     *dsp.FFTPlan // power-of-two fast path; nil otherwise
+	seg      []complex128
+}
+
+// Reusable validates the estimator's configuration and pre-computes the
+// window and FFT plan.
+func (e Estimator) Reusable() (*Reusable, error) {
 	k := e.SegmentLength
 	if k <= 0 {
 		return nil, fmt.Errorf("spectral: segment length %d must be positive", k)
 	}
-	if len(x) < k {
-		return nil, fmt.Errorf("spectral: need at least %d samples, have %d", k, len(x))
-	}
 	if e.Overlap < 0 || e.Overlap >= k {
 		return nil, fmt.Errorf("spectral: overlap %d out of [0, %d)", e.Overlap, k)
 	}
-	step := k - e.Overlap
-	win := e.Window.Coefficients(k, e.Beta)
+	r := &Reusable{
+		est: e,
+		win: e.Window.Coefficients(k, e.Beta),
+		seg: make([]complex128, k),
+	}
 	// Window power normalization: divide by sum(w^2) so the estimate is
 	// unbiased for white signals regardless of taper.
-	var winPower float64
-	for _, w := range win {
-		winPower += w * w
+	for _, w := range r.win {
+		r.winPower += w * w
 	}
-	psd := make([]float64, k)
-	seg := make([]complex128, k)
+	if k&(k-1) == 0 {
+		r.plan = dsp.PlanFFT(k)
+	}
+	return r, nil
+}
+
+// SegmentLength returns the configured FFT size K.
+func (r *Reusable) SegmentLength() int { return r.est.SegmentLength }
+
+// PSDInto estimates the PSD of x into dst (len(dst) must be SegmentLength),
+// with the same scaling as Estimator.PSD. Steady-state calls allocate
+// nothing when the segment length is a power of two.
+func (r *Reusable) PSDInto(dst []float64, x []complex128) error {
+	k := r.est.SegmentLength
+	if len(dst) != k {
+		return fmt.Errorf("spectral: destination holds %d bins, need %d", len(dst), k)
+	}
+	if len(x) < k {
+		return fmt.Errorf("spectral: need at least %d samples, have %d", k, len(x))
+	}
+	step := k - r.est.Overlap
+	for i := range dst {
+		dst[i] = 0
+	}
 	segments := 0
 	for start := 0; start+k <= len(x); start += step {
 		for i := 0; i < k; i++ {
-			seg[i] = x[start+i] * complex(win[i], 0)
+			r.seg[i] = x[start+i] * complex(r.win[i], 0)
 		}
-		dsp.FFT(seg)
-		for i, v := range seg {
-			psd[i] += real(v)*real(v) + imag(v)*imag(v)
+		spec := r.seg
+		if r.plan != nil {
+			r.plan.Forward(spec)
+		} else {
+			spec = dsp.FFT(spec)
+		}
+		for i, v := range spec {
+			dst[i] += real(v)*real(v) + imag(v)*imag(v)
 		}
 		segments++
 	}
-	scale := 1 / (float64(segments) * winPower)
-	for i := range psd {
-		psd[i] *= scale
+	scale := 1 / (float64(segments) * r.winPower)
+	for i := range dst {
+		dst[i] *= scale
 	}
 	// With this scaling, sum(psd)/K equals the average signal power; a
 	// white signal of power P yields a flat PSD of height P per bin.
-	return psd, nil
+	return nil
 }
 
 // OccupiedBandwidth returns the two-sided bandwidth (in normalized frequency,
@@ -178,52 +232,11 @@ func PeakToMedian(psd []float64) float64 {
 			peak = p
 		}
 	}
-	med := median(psd)
+	med := dsp.MedianFloats(psd)
 	if med == 0 {
 		return math.Inf(1)
 	}
 	return peak / med
-}
-
-func median(xs []float64) float64 {
-	cp := append([]float64(nil), xs...)
-	n := len(cp)
-	// Insertion sort: PSD sizes here are small (<= few thousand) and this
-	// avoids importing sort for one call site... but insertion sort is
-	// quadratic; use a simple heap sort instead.
-	heapSort(cp)
-	if n%2 == 1 {
-		return cp[n/2]
-	}
-	return 0.5 * (cp[n/2-1] + cp[n/2])
-}
-
-func heapSort(a []float64) {
-	n := len(a)
-	for i := n/2 - 1; i >= 0; i-- {
-		sift(a, i, n)
-	}
-	for end := n - 1; end > 0; end-- {
-		a[0], a[end] = a[end], a[0]
-		sift(a, 0, end)
-	}
-}
-
-func sift(a []float64, root, end int) {
-	for {
-		child := 2*root + 1
-		if child >= end {
-			return
-		}
-		if child+1 < end && a[child+1] > a[child] {
-			child++
-		}
-		if a[root] >= a[child] {
-			return
-		}
-		a[root], a[child] = a[child], a[root]
-		root = child
-	}
 }
 
 // BandPower integrates the PSD over the two-sided band [-bw/2, +bw/2]
