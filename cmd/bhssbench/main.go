@@ -94,12 +94,17 @@ func main() {
 			fmt.Fprintf(os.Stderr, "csv: %v\n", err)
 			os.Exit(1)
 		}
-		defer f.Close()
 		for _, res := range allResults {
 			if err := res.WriteCSV(f); err != nil {
+				f.Close()
 				fmt.Fprintf(os.Stderr, "csv: %v\n", err)
 				os.Exit(1)
 			}
+		}
+		// Close errors matter on a write target: a full disk surfaces here.
+		if err := f.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "csv: %v\n", err)
+			os.Exit(1)
 		}
 		fmt.Printf("raw series written to %s\n", *csvPath)
 	}

@@ -11,6 +11,7 @@ package main
 
 import (
 	"flag"
+	"fmt"
 	"log"
 
 	"bhss/internal/hop"
@@ -20,6 +21,14 @@ import (
 )
 
 func main() {
+	if err := run(); err != nil {
+		log.Fatalf("bhssjam: %v", err)
+	}
+}
+
+// run keeps main a thin exit-code adapter: every failure flows back here as
+// an error, so deferred cleanup actually runs (log.Fatalf skips defers).
+func run() (err error) {
 	var (
 		hubAddr = flag.String("hub", "127.0.0.1:4200", "bhssair hub address")
 		kind    = flag.String("kind", "bandlimited", "jammer kind: bandlimited, tone, sweep, hopping, pulsed")
@@ -36,7 +45,6 @@ func main() {
 
 	power := stats.FromDB(*powerDB)
 	var src jammer.Source
-	var err error
 	switch *kind {
 	case "bandlimited":
 		src, err = jammer.NewBandlimited(*bwMHz / *rate, power, *seed)
@@ -60,7 +68,7 @@ func main() {
 		case "parabolic":
 			p = hop.Parabolic
 		default:
-			log.Fatalf("bhssjam: unknown pattern %q", *pattern)
+			return fmt.Errorf("unknown pattern %q", *pattern)
 		}
 		var dist hop.Distribution
 		dist, err = hop.NewDistribution(p, hop.DefaultBandwidths())
@@ -68,23 +76,28 @@ func main() {
 			src, err = jammer.NewHopping(dist, *rate, *period, power, *seed)
 		}
 	default:
-		log.Fatalf("bhssjam: unknown kind %q", *kind)
+		return fmt.Errorf("unknown kind %q", *kind)
 	}
 	if err != nil {
-		log.Fatalf("bhssjam: %v", err)
+		return err
 	}
 
 	client, err := iqstream.DialTx(*hubAddr, 0)
 	if err != nil {
-		log.Fatalf("bhssjam: dial: %v", err)
+		return fmt.Errorf("dial: %w", err)
 	}
-	defer client.Close()
+	defer func() {
+		if cerr := client.Close(); cerr != nil && err == nil {
+			err = fmt.Errorf("close: %w", cerr)
+		}
+	}()
 
 	log.Printf("jamming: %s, %.3f MHz, %.1f dB", *kind, *bwMHz, *powerDB)
 	const block = 4096
 	for i := 0; *blocks == 0 || i < *blocks; i++ {
 		if err := client.Send(src.Emit(block)); err != nil {
-			log.Fatalf("bhssjam: send: %v", err)
+			return fmt.Errorf("send: %w", err)
 		}
 	}
+	return nil
 }

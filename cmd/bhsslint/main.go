@@ -1,0 +1,97 @@
+// Command bhsslint runs the BHSS static-analysis suite (internal/lint): five
+// analyzers enforcing the zero-alloc hot-path contract, deterministic
+// simulation, epsilon-safe float comparisons, scratch-buffer lifetimes and
+// the construction-time-only panic policy.
+//
+// Standalone (the usual way):
+//
+//	go run ./cmd/bhsslint ./...
+//	go run ./cmd/bhsslint -analyzers hotpathalloc,panicpolicy ./internal/dsp
+//
+// As a vet tool (speaks the unitchecker protocol):
+//
+//	go build -o bhsslint ./cmd/bhsslint
+//	go vet -vettool=$(pwd)/bhsslint ./...
+//
+// Exit status: 0 when clean, 1 on findings or usage errors (standalone);
+// under -vettool, findings exit 2 per the vet convention.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"bhss/internal/lint"
+)
+
+func main() {
+	// `go vet -vettool` probes the tool with -V=full (version for the build
+	// cache key) and -flags (JSON list of tool flags it may forward) before
+	// handing it .cfg files; detect all protocol entry points before normal
+	// flag parsing.
+	if len(os.Args) == 2 && os.Args[1] == "-V=full" {
+		lint.PrintVersion(os.Stdout)
+		return
+	}
+	if len(os.Args) == 2 && os.Args[1] == "-flags" {
+		fmt.Println("[]") // no forwardable flags: the suite always runs whole
+		return
+	}
+	if len(os.Args) == 2 && strings.HasSuffix(os.Args[1], ".cfg") {
+		os.Exit(lint.RunUnitchecker(os.Args[1], lint.All()))
+	}
+
+	var (
+		analyzers = flag.String("analyzers", "", "comma-separated subset of analyzers to run (default: all)")
+		list      = flag.Bool("list", false, "list available analyzers and exit")
+	)
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: bhsslint [flags] [packages]\n\n")
+		fmt.Fprintf(flag.CommandLine.Output(), "Runs the BHSS analyzer suite over the named packages (default ./...).\n\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *list {
+		for _, a := range lint.All() {
+			fmt.Printf("%-14s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	selected := lint.All()
+	if *analyzers != "" {
+		var err error
+		selected, err = lint.ByName(*analyzers)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+
+	patterns := flag.Args()
+	cwd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bhsslint:", err)
+		os.Exit(1)
+	}
+	pkgs, err := lint.Load(cwd, patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bhsslint:", err)
+		os.Exit(1)
+	}
+	diags, err := lint.RunAnalyzers(pkgs, selected)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bhsslint:", err)
+		os.Exit(1)
+	}
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "bhsslint: %d finding(s)\n", len(diags))
+		os.Exit(1)
+	}
+}

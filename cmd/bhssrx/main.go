@@ -21,6 +21,14 @@ import (
 )
 
 func main() {
+	if err := run(); err != nil {
+		log.Fatalf("bhssrx: %v", err)
+	}
+}
+
+// run keeps main a thin exit-code adapter: every failure flows back here as
+// an error, so deferred cleanup actually runs (log.Fatalf skips defers).
+func run() (err error) {
 	var (
 		hubAddr = flag.String("hub", "127.0.0.1:4200", "bhssair hub address")
 		seed    = flag.Uint64("seed", 42, "pre-shared link seed")
@@ -41,20 +49,24 @@ func main() {
 	case "parabolic":
 		p = hop.Parabolic
 	default:
-		log.Fatalf("bhssrx: unknown pattern %q", *pattern)
+		return fmt.Errorf("unknown pattern %q", *pattern)
 	}
 	cfg := core.DefaultConfig(*seed)
 	cfg.Pattern = p
 	cfg.Sync = core.PreambleSync
 	rx, err := core.NewReceiver(cfg)
 	if err != nil {
-		log.Fatalf("bhssrx: %v", err)
+		return err
 	}
 	client, err := iqstream.DialRx(*hubAddr)
 	if err != nil {
-		log.Fatalf("bhssrx: dial: %v", err)
+		return fmt.Errorf("dial: %w", err)
 	}
-	defer client.Close()
+	defer func() {
+		if cerr := client.Close(); cerr != nil && err == nil {
+			err = fmt.Errorf("close: %w", cerr)
+		}
+	}()
 
 	blocks := make(chan []complex128, 64)
 	go func() {
@@ -117,4 +129,5 @@ func main() {
 		}
 	}
 	fmt.Printf("received %d frames, lost %d\n", received, lost)
+	return nil
 }

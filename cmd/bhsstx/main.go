@@ -34,6 +34,14 @@ func patternByName(name string) (hop.Pattern, error) {
 }
 
 func main() {
+	if err := run(); err != nil {
+		log.Fatalf("bhsstx: %v", err)
+	}
+}
+
+// run keeps main a thin exit-code adapter: every failure flows back here as
+// an error, so deferred cleanup actually runs (log.Fatalf skips defers).
+func run() (err error) {
 	var (
 		hubAddr = flag.String("hub", "127.0.0.1:4200", "bhssair hub address")
 		seed    = flag.Uint64("seed", 42, "pre-shared link seed")
@@ -47,32 +55,37 @@ func main() {
 
 	p, err := patternByName(*pattern)
 	if err != nil {
-		log.Fatalf("bhsstx: %v", err)
+		return err
 	}
 	cfg := core.DefaultConfig(*seed)
 	cfg.Pattern = p
 	tx, err := core.NewTransmitter(cfg)
 	if err != nil {
-		log.Fatalf("bhsstx: %v", err)
+		return err
 	}
 	client, err := iqstream.DialTx(*hubAddr, *gainDB)
 	if err != nil {
-		log.Fatalf("bhsstx: dial: %v", err)
+		return fmt.Errorf("dial: %w", err)
 	}
-	defer client.Close()
+	defer func() {
+		if cerr := client.Close(); cerr != nil && err == nil {
+			err = fmt.Errorf("close: %w", cerr)
+		}
+	}()
 
 	log.Printf("transmitting %q frames with %s hopping (seed %d)", *payload, p, *seed)
 	for i := 0; *count == 0 || i < *count; i++ {
 		burst, err := tx.EncodeFrame([]byte(*payload))
 		if err != nil {
-			log.Fatalf("bhsstx: encode: %v", err)
+			return fmt.Errorf("encode: %w", err)
 		}
 		if err := client.Send(burst.Samples); err != nil {
-			log.Fatalf("bhsstx: send: %v", err)
+			return fmt.Errorf("send: %w", err)
 		}
 		log.Printf("frame %d: %d samples over %d hops", i, len(burst.Samples), len(burst.Segments))
 		if *gapMS > 0 {
 			time.Sleep(time.Duration(*gapMS) * time.Millisecond)
 		}
 	}
+	return nil
 }

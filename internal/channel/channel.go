@@ -157,6 +157,8 @@ func (l Link) Transmit(x []complex128) []complex128 {
 
 // NoiseVarForSNR returns the AWGN variance that realizes the given SNR (dB)
 // for a signal of the given average power.
+//
+//bhss:planphase scenario configuration; runs before any sample flows
 func NoiseVarForSNR(signalPower, snrDB float64) float64 {
 	if signalPower < 0 {
 		panic("channel: negative signal power")

@@ -24,14 +24,14 @@ func BenchmarkFilterDesignCache(b *testing.B) {
 	}
 	raw[40], raw[41], raw[42] = 900, 1000, 900
 	ctx := hopFilterCtx{raw: raw, shape: shape, refN: 1}
-	if f := r.notchFilter(sps, ctx); f == nil {
-		b.Fatal("no filter designed")
+	if f, err := r.notchFilter(sps, ctx); err != nil || f == nil {
+		b.Fatalf("no filter designed: %v", err)
 	}
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if f := r.notchFilter(sps, ctx); f == nil {
-			b.Fatal("no filter")
+		if f, err := r.notchFilter(sps, ctx); err != nil || f == nil {
+			b.Fatalf("no filter: %v", err)
 		}
 	}
 }
@@ -56,8 +56,8 @@ func BenchmarkFilterDesignUncached(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		clear(r.notchCache)
-		if f := r.notchFilter(sps, ctx); f == nil {
-			b.Fatal("no filter")
+		if f, err := r.notchFilter(sps, ctx); err != nil || f == nil {
+			b.Fatalf("no filter: %v", err)
 		}
 	}
 }

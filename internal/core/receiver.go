@@ -114,15 +114,24 @@ type notchKey struct {
 const maxNotchCache = 64
 
 // rxScratch holds the working buffers DecodeBurst reuses across hops and
-// bursts, keeping the steady-state decode path off the allocator.
+// bursts, keeping the steady-state decode path off the allocator. Every
+// field is overwritten by the next hop/burst; views must not outlive a call
+// (enforced by the scratchalias analyzer).
 type rxScratch struct {
-	raw, psd, detect []float64    // PSD estimate and its two smoothings
-	norm             []float64    // shape-normalized in-band bins
-	target, qpsd     []float64    // notch target and quantized PSD
-	filtered         []complex128 // filterHop output
-	tracked          []complex128 // carrier-loop working copy
-	chips            []complex128 // accumulated chip estimates
-	corr             []complex128 // acquisition correlation
+	//bhss:scratch
+	raw, psd, detect []float64 // PSD estimate and its two smoothings
+	//bhss:scratch
+	norm []float64 // shape-normalized in-band bins
+	//bhss:scratch
+	target, qpsd []float64 // notch target and quantized PSD
+	//bhss:scratch
+	filtered []complex128 // filterHop output
+	//bhss:scratch
+	tracked []complex128 // carrier-loop working copy
+	//bhss:scratch
+	chips []complex128 // accumulated chip estimates
+	//bhss:scratch
+	corr []complex128 // acquisition correlation
 }
 
 // NewReceiver returns a receiver for the configuration. Construct it from
@@ -215,6 +224,9 @@ type hopFilterCtx struct {
 
 // estimateHop runs the spectral analysis of §4.2 for one hop segment and
 // returns the filter decision plus the design context.
+//
+//bhss:hotpath
+//bhss:scratchview ctx.raw aliases receiver scratch, valid until the next estimateHop call
 func (r *Receiver) estimateHop(seg []complex128, sps int) (FilterDecision, hopFilterCtx, HopReport) {
 	report := HopReport{SamplesPerChip: sps}
 	// Resolution adapts to the hop: aim for ~32 bins across the signal
@@ -368,17 +380,23 @@ func inBandBins(psd []float64, bw float64) []float64 {
 // filterHop applies the decided filter to the hop's samples. The returned
 // slice aliases receiver scratch that stays valid until the next hop is
 // filtered.
-func (r *Receiver) filterHop(seg []complex128, sps int, decision FilterDecision, ctx hopFilterCtx) []complex128 {
+//
+//bhss:hotpath
+//bhss:scratchview output is valid until the next filterHop call
+func (r *Receiver) filterHop(seg []complex128, sps int, decision FilterDecision, ctx hopFilterCtx) ([]complex128, error) {
 	switch decision {
 	case FilterLowPass:
 		r.scratch.filtered = r.lowPass(sps).Convolver().ApplySame(r.scratch.filtered[:0], seg)
-		return r.scratch.filtered
+		return r.scratch.filtered, nil
 	case FilterExcision:
-		f := r.notchFilter(sps, ctx)
+		f, err := r.notchFilter(sps, ctx)
+		if err != nil {
+			return nil, err
+		}
 		r.scratch.filtered = f.Convolver().ApplySame(r.scratch.filtered[:0], seg)
-		return r.scratch.filtered
+		return r.scratch.filtered, nil
 	default:
-		return seg
+		return seg, nil
 	}
 }
 
@@ -395,7 +413,7 @@ func (r *Receiver) filterHop(seg []complex128, sps int, decision FilterDecision,
 // filters identical by construction. The notch magnitude and the threshold
 // test depend only on the bin/reference power *ratio*, so a cached design
 // remains exact when the absolute signal level changes between hops.
-func (r *Receiver) notchFilter(sps int, ctx hopFilterCtx) *dsp.FIR {
+func (r *Receiver) notchFilter(sps int, ctx hopFilterCtx) (*dsp.FIR, error) {
 	k := len(ctx.raw)
 	thr := r.cfg.ExcisionPeakRatio
 	// Design-grade smoothing: lighter than the detection smoothing so the
@@ -431,14 +449,17 @@ func (r *Receiver) notchFilter(sps int, ctx hopFilterCtx) *dsp.FIR {
 	}
 	key := notchKey{sps: sps, k: k, fp: fp}
 	if f, ok := r.notchCache[key]; ok {
-		return f
+		return f, nil
 	}
-	f := dsp.ShapedNotchFIR(qpsd, target, thr)
+	f, err := dsp.ShapedNotchFIR(qpsd, target, thr)
+	if err != nil {
+		return nil, err
+	}
 	if len(r.notchCache) >= maxNotchCache {
 		clear(r.notchCache)
 	}
 	r.notchCache[key] = f
-	return f
+	return f, nil
 }
 
 // signalQuantile is the in-band PSD quantile used as the "signal level"
@@ -586,7 +607,11 @@ func (r *Receiver) DecodeBurst(samples []complex128) ([]byte, *RxStats, error) {
 		if r.cfg.EnableFilter {
 			decision, ctx, rep := r.estimateHop(seg, sps)
 			report = rep
-			seg = r.filterHop(seg, sps, decision, ctx)
+			filtered, err := r.filterHop(seg, sps, decision, ctx)
+			if err != nil {
+				return nil, stats, fmt.Errorf("core: hop filter: %w", err)
+			}
+			seg = filtered
 		} else {
 			report = HopReport{SamplesPerChip: sps, Decision: FilterNone}
 		}

@@ -58,6 +58,7 @@ type Transmitter struct {
 	// pulse taps per samples-per-chip value, cached.
 	pulseCache map[int][]float64
 	// chipBuf is the per-hop chip scratch reused across EncodeFrame calls.
+	//bhss:scratch
 	chipBuf []complex128
 }
 

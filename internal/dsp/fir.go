@@ -11,7 +11,8 @@ import (
 // calls), one-shot direct convolution (Apply) and one-shot FFT overlap-save
 // convolution (ApplyFast) for long signals.
 type FIR struct {
-	taps  []complex128
+	taps []complex128
+	//bhss:scratch
 	state []complex128 // delay line for streaming use, len == len(taps)-1
 	ols   *OverlapSave // lazily built fast convolver, shares the taps
 }
@@ -190,6 +191,8 @@ func (f *FIR) GainAt(freq float64) float64 {
 // given cutoff (normalized frequency, cycles/sample, 0 < cutoff < 0.5) and
 // number of taps. The passband gain is normalized to one at DC. This is the
 // receiver's eq. (4) filter for wide-band jammers.
+//
+//bhss:planphase filter design runs at construction time; invalid specs are caller bugs
 func LowPassFIR(cutoff float64, numTaps int, win Window, beta float64) *FIR {
 	if cutoff <= 0 || cutoff >= 0.5 {
 		panic(fmt.Sprintf("dsp: low-pass cutoff %v out of (0, 0.5)", cutoff))
@@ -242,10 +245,13 @@ func LowPassForAttenuation(cutoff, attenDB, transitionWidth float64, maxTaps int
 // The filter whitens the incoming spectrum: frequencies occupied by a
 // narrow-band jammer receive large attenuation while the rest of the band is
 // nearly untouched.
-func WhiteningFIR(psd []float64, floor float64) *FIR {
+//
+// The design runs per hop on a live PSD estimate, so malformed input is
+// reported as an error rather than panicking a streaming pipeline.
+func WhiteningFIR(psd []float64, floor float64) (*FIR, error) {
 	k := len(psd)
 	if k == 0 {
-		panic("dsp: empty PSD")
+		return nil, fmt.Errorf("dsp: whitening filter needs a non-empty PSD")
 	}
 	if floor <= 0 {
 		floor = 1e-12
@@ -267,7 +273,10 @@ func WhiteningFIR(psd []float64, floor float64) *FIR {
 		}
 		mag[i] = 1 / math.Sqrt(p)
 	}
-	f := linearPhaseFromMagnitude(mag)
+	f, err := linearPhaseFromMagnitude(mag)
+	if err != nil {
+		return nil, err
+	}
 	// Normalize so the median pass-band gain is ~1, keeping the overall
 	// signal level stable.
 	resp := f.FrequencyResponse(k)
@@ -281,7 +290,7 @@ func WhiteningFIR(psd []float64, floor float64) *FIR {
 			f.taps[i] /= complex(med, 0)
 		}
 	}
-	return f
+	return f, nil
 }
 
 // linearPhaseFromMagnitude builds an exactly linear-phase FIR whose
@@ -295,10 +304,10 @@ func WhiteningFIR(psd []float64, floor float64) *FIR {
 // e^{-jπ(K-1)k/K} phase term as written in eq. (3) puts the delay at the
 // half-sample (K-1)/2, which an integer-aligned convolution cannot undo
 // without distortion.)
-func linearPhaseFromMagnitude(mag []float64) *FIR {
+func linearPhaseFromMagnitude(mag []float64) (*FIR, error) {
 	k := len(mag)
 	if k < 3 {
-		panic("dsp: magnitude response needs >= 3 bins")
+		return nil, fmt.Errorf("dsp: magnitude response needs >= 3 bins, got %d", k)
 	}
 	h := make([]complex128, k)
 	for i, m := range mag {
@@ -315,7 +324,7 @@ func linearPhaseFromMagnitude(mag []float64) *FIR {
 		idx := ((i-c)%k + k) % k
 		taps[i] = h0[idx]
 	}
-	return NewFIR(taps)
+	return NewFIR(taps), nil
 }
 
 // SmoothPSD returns a circularly smoothed copy of a PSD using a moving
@@ -333,9 +342,12 @@ func SmoothPSD(psd []float64, width int) []float64 {
 // length as psd and must not alias it. The circular moving average is
 // computed with a running window sum, so the cost is O(n + width) rather
 // than O(n*width).
+//
+//bhss:hotpath
 func SmoothPSDInto(dst, psd []float64, width int) {
 	n := len(psd)
 	if len(dst) != n {
+		//bhss:allow(panicpolicy) zero-alloc Into contract: mismatched dst is a caller bug, like copy() with bad bounds
 		panic("dsp: SmoothPSDInto length mismatch")
 	}
 	if n == 0 {
@@ -387,13 +399,16 @@ func SmoothPSDInto(dst, psd []float64, width int) {
 // is only correct when the signal fills most of the band: for a narrow
 // signal the global median is the noise floor and the notch would flatten
 // the whole signal band into it. threshold must be > 1.
-func NotchFIR(psd []float64, threshold, ref float64) *FIR {
+//
+// Like WhiteningFIR this designs from live per-hop estimates, so bad input
+// returns an error instead of panicking the streaming path.
+func NotchFIR(psd []float64, threshold, ref float64) (*FIR, error) {
 	k := len(psd)
 	if k == 0 {
-		panic("dsp: empty PSD")
+		return nil, fmt.Errorf("dsp: notch filter needs a non-empty PSD")
 	}
 	if threshold <= 1 {
-		panic("dsp: notch threshold must be > 1")
+		return nil, fmt.Errorf("dsp: notch threshold %v must be > 1", threshold)
 	}
 	if ref <= 0 {
 		ref = MedianFloats(psd)
@@ -424,16 +439,16 @@ const notchDepth = 16
 // spectrum pass target[i] = ref * |G(f_i)|² so the signal's legitimate
 // spectral peak is never mistaken for interference while a jammer hiding
 // under it still gets cut. len(target) must equal len(psd).
-func ShapedNotchFIR(psd, target []float64, threshold float64) *FIR {
+func ShapedNotchFIR(psd, target []float64, threshold float64) (*FIR, error) {
 	k := len(psd)
 	if k == 0 {
-		panic("dsp: empty PSD")
+		return nil, fmt.Errorf("dsp: notch filter needs a non-empty PSD")
 	}
 	if len(target) != k {
-		panic("dsp: target length mismatch")
+		return nil, fmt.Errorf("dsp: notch target has %d bins for a %d-bin PSD", len(target), k)
 	}
 	if threshold <= 1 {
-		panic("dsp: notch threshold must be > 1")
+		return nil, fmt.Errorf("dsp: notch threshold %v must be > 1", threshold)
 	}
 	mag := make([]float64, k)
 	for i, p := range psd {

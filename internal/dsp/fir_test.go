@@ -184,7 +184,10 @@ func TestWhiteningFIRNotchesJammerBand(t *testing.T) {
 	for i := 10; i <= 20; i++ {
 		psd[i] = 1000
 	}
-	f := WhiteningFIR(psd, 1e-6)
+	f, err := WhiteningFIR(psd, 1e-6)
+	if err != nil {
+		t.Fatal(err)
+	}
 	resp := f.FrequencyResponse(k)
 	jam := cmplx.Abs(resp[15])
 	clean := cmplx.Abs(resp[100])
@@ -199,7 +202,10 @@ func TestWhiteningFIRFlatPSDIsAllpass(t *testing.T) {
 	for i := range psd {
 		psd[i] = 2.5
 	}
-	f := WhiteningFIR(psd, 1e-6)
+	f, err := WhiteningFIR(psd, 1e-6)
+	if err != nil {
+		t.Fatal(err)
+	}
 	resp := f.FrequencyResponse(k)
 	for i, r := range resp {
 		if math.Abs(cmplx.Abs(r)-1) > 1e-6 {
@@ -231,7 +237,10 @@ func TestWhiteningFIRSuppressesToneInTime(t *testing.T) {
 			psd[i] += real(v)*real(v) + imag(v)*imag(v)
 		}
 	}
-	f := WhiteningFIR(psd, 1e-6)
+	f, err := WhiteningFIR(psd, 1e-6)
+	if err != nil {
+		t.Fatal(err)
+	}
 	y := f.Apply(mixed)
 	// Residual power at the tone frequency must be greatly reduced.
 	probe := make([]complex128, n)
@@ -250,13 +259,10 @@ func TestWhiteningFIRSuppressesToneInTime(t *testing.T) {
 	}
 }
 
-func TestWhiteningFIRPanicsOnEmptyPSD(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("empty PSD should panic")
-		}
-	}()
-	WhiteningFIR(nil, 0)
+func TestWhiteningFIRRejectsEmptyPSD(t *testing.T) {
+	if _, err := WhiteningFIR(nil, 0); err == nil {
+		t.Fatal("empty PSD should be rejected")
+	}
 }
 
 func TestFrequencyResponseMatchesGainAt(t *testing.T) {

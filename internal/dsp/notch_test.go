@@ -79,7 +79,10 @@ func TestNotchFIRCutsOnlyJammedBins(t *testing.T) {
 	for i := 30; i <= 36; i++ {
 		psd[i] = 400
 	}
-	f := NotchFIR(psd, 4, 1)
+	f, err := NotchFIR(psd, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
 	resp := f.FrequencyResponse(k)
 	// Jammed bins strongly attenuated.
 	if g := cmplx.Abs(resp[33]); g > 0.1 {
@@ -100,29 +103,27 @@ func TestNotchFIRGlobalMedianFallback(t *testing.T) {
 	}
 	psd[5] = 100
 	// ref <= 0 falls back to the global median (2).
-	f := NotchFIR(psd, 4, 0)
+	f, err := NotchFIR(psd, 4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
 	resp := f.FrequencyResponse(64)
 	if g := cmplx.Abs(resp[5]); g > 0.35 {
 		t.Fatalf("fallback notch gain %v", g)
 	}
 }
 
-func TestNotchFIRPanics(t *testing.T) {
-	for _, fn := range []func(){
-		func() { NotchFIR(nil, 4, 1) },
-		func() { NotchFIR([]float64{1, 1, 1, 1}, 1, 1) },
-		func() { ShapedNotchFIR(nil, nil, 4) },
-		func() { ShapedNotchFIR([]float64{1, 2}, []float64{1}, 4) },
-		func() { ShapedNotchFIR([]float64{1, 1, 1}, []float64{1, 1, 1}, 0.5) },
+func TestNotchFIRRejectsBadInput(t *testing.T) {
+	for i, fn := range []func() (*FIR, error){
+		func() (*FIR, error) { return NotchFIR(nil, 4, 1) },
+		func() (*FIR, error) { return NotchFIR([]float64{1, 1, 1, 1}, 1, 1) },
+		func() (*FIR, error) { return ShapedNotchFIR(nil, nil, 4) },
+		func() (*FIR, error) { return ShapedNotchFIR([]float64{1, 2}, []float64{1}, 4) },
+		func() (*FIR, error) { return ShapedNotchFIR([]float64{1, 1, 1}, []float64{1, 1, 1}, 0.5) },
 	} {
-		func() {
-			defer func() {
-				if recover() == nil {
-					t.Fatal("expected panic")
-				}
-			}()
-			fn()
-		}()
+		if _, err := fn(); err == nil {
+			t.Fatalf("case %d: expected error", i)
+		}
 	}
 }
 
@@ -138,7 +139,10 @@ func TestShapedNotchFIRRespectsTarget(t *testing.T) {
 	psd[10], target[10] = 8, 10
 	// ...and a jammer exceeding its target.
 	psd[40], target[40] = 50, 1
-	f := ShapedNotchFIR(psd, target, 3)
+	f, err := ShapedNotchFIR(psd, target, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
 	resp := f.FrequencyResponse(k)
 	if g := cmplx.Abs(resp[10]); math.Abs(g-1) > 0.2 {
 		t.Fatalf("allowed peak attenuated: gain %v", g)
@@ -151,7 +155,10 @@ func TestShapedNotchFIRRespectsTarget(t *testing.T) {
 func TestShapedNotchFIRZeroTargetBins(t *testing.T) {
 	psd := []float64{1, 1, 1, 1, 1, 1, 1, 1}
 	target := make([]float64, 8) // all zero: every bin above target
-	f := ShapedNotchFIR(psd, target, 2)
+	f, err := ShapedNotchFIR(psd, target, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
 	resp := f.FrequencyResponse(8)
 	for i, r := range resp {
 		if cmplx.Abs(r) > 0.1 {
@@ -172,7 +179,10 @@ func TestLinearPhaseFromMagnitudeGroupDelay(t *testing.T) {
 	for i := 20; i < 25; i++ {
 		mag[i] = 0.01
 	}
-	f := linearPhaseFromMagnitude(mag)
+	f, err := linearPhaseFromMagnitude(mag)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if f.Len()%2 != 1 {
 		t.Fatalf("tap count %d should be odd", f.Len())
 	}
@@ -198,13 +208,10 @@ func TestLinearPhaseFromMagnitudeGroupDelay(t *testing.T) {
 	}
 }
 
-func TestLinearPhaseFromMagnitudePanics(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("short magnitude should panic")
-		}
-	}()
-	linearPhaseFromMagnitude([]float64{1, 2})
+func TestLinearPhaseFromMagnitudeRejectsShortInput(t *testing.T) {
+	if _, err := linearPhaseFromMagnitude([]float64{1, 2}); err == nil {
+		t.Fatal("short magnitude should be rejected")
+	}
 }
 
 func TestNotchFIREndToEndSuppressesNarrowJam(t *testing.T) {
@@ -229,7 +236,10 @@ func TestNotchFIREndToEndSuppressesNarrowJam(t *testing.T) {
 			psd[i] += real(v)*real(v) + imag(v)*imag(v)
 		}
 	}
-	f := NotchFIR(SmoothPSD(psd, 3), 6, 0)
+	f, err := NotchFIR(SmoothPSD(psd, 3), 6, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
 	out := f.ApplyFast(mixed)
 	resid := make([]complex128, n)
 	fSig := f.ApplyFast(sig)

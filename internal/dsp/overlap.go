@@ -19,9 +19,12 @@ type OverlapSave struct {
 	hFT    []complex128 // FFT of the taps with 1/N folded in, length N
 	plan   *FFTPlan
 
+	//bhss:scratch
 	block []complex128 // per-block scratch, length N
-	full  []complex128 // one-shot scratch for ApplySame
-	hist  []complex128 // streaming delay line, k-1 samples
+	//bhss:scratch
+	full []complex128 // one-shot scratch for ApplySame
+	//bhss:scratch
+	hist []complex128 // streaming delay line, k-1 samples
 }
 
 // NewOverlapSave returns a convolver for the given taps with an
@@ -91,6 +94,8 @@ func (o *OverlapSave) convolveBlock() {
 // (len(x)+k-1 samples, matching Convolve/ConvolveFFT) to dst and returns the
 // extended slice. Passing a dst with sufficient capacity makes the call
 // allocation-free.
+//
+//bhss:hotpath
 func (o *OverlapSave) ApplyFull(dst, x []complex128) []complex128 {
 	if len(x) == 0 {
 		return dst
@@ -123,6 +128,8 @@ func (o *OverlapSave) ApplyFull(dst, x []complex128) []complex128 {
 // ApplySame appends the length-len(x) "same" part of the convolution to dst
 // (group delay (k-1)/2 removed, matching FIR.Apply) and returns the extended
 // slice.
+//
+//bhss:hotpath
 func (o *OverlapSave) ApplySame(dst, x []complex128) []complex128 {
 	if len(x) == 0 {
 		return dst
@@ -135,6 +142,8 @@ func (o *OverlapSave) ApplySame(dst, x []complex128) []complex128 {
 // Process streams x through the filter, appending len(x) output samples to
 // dst: out[i] = sum_t taps[t]*x[i-t] with history carried across calls,
 // exactly like FIR.Process but at FFT speed. Reset clears the history.
+//
+//bhss:hotpath
 func (o *OverlapSave) Process(dst, x []complex128) []complex128 {
 	dst = growComplex(dst, len(x))
 	out := dst[len(dst)-len(x):]

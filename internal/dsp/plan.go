@@ -31,6 +31,8 @@ var planCache sync.Map // int -> *FFTPlan
 
 // PlanFFT returns the (memoized) plan for an n-point transform. n must be a
 // power of two >= 1.
+//
+//bhss:planphase plan construction; a non-power-of-two size is a programming error
 func PlanFFT(n int) *FFTPlan {
 	if v, ok := planCache.Load(n); ok {
 		return v.(*FFTPlan)
@@ -78,11 +80,15 @@ func (p *FFTPlan) Size() int { return p.n }
 
 // Forward computes the in-place forward DFT (e^{-j2πnk/N} convention, no
 // normalization). len(x) must equal the plan size.
+//
+//bhss:hotpath
 func (p *FFTPlan) Forward(x []complex128) {
 	p.transform(x, false)
 }
 
 // Inverse computes the in-place inverse DFT with 1/N normalization.
+//
+//bhss:hotpath
 func (p *FFTPlan) Inverse(x []complex128) {
 	p.transform(x, true)
 	invN := complex(1/float64(p.n), 0)
@@ -107,6 +113,7 @@ func (p *FFTPlan) inverseUnscaled(x []complex128) {
 func (p *FFTPlan) transform(x []complex128, inverse bool) {
 	n := p.n
 	if len(x) != n {
+		//bhss:allow(panicpolicy) zero-alloc execute contract: wrong-size input is a caller bug, like copy() with bad bounds
 		panic(fmt.Sprintf("dsp: FFT plan size %d given %d samples", n, len(x)))
 	}
 	for i, r := range p.rev {

@@ -4,6 +4,8 @@ package dsp
 // sort: O(n log n), no allocation, no dependency on package sort. It is the
 // shared sorting primitive for the order statistics (medians, quantiles)
 // the receiver's control logic computes on PSD estimates.
+//
+//bhss:hotpath
 func SortFloats(a []float64) {
 	n := len(a)
 	for i := n/2 - 1; i >= 0; i-- {

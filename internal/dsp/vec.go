@@ -72,6 +72,8 @@ func Conj(x []complex128) []complex128 {
 
 // DotConj returns sum(a[i] * conj(b[i])) over the common prefix, the complex
 // correlation inner product used by despreaders and preamble detectors.
+//
+//bhss:hotpath
 func DotConj(a, b []complex128) complex128 {
 	n := len(a)
 	if len(b) < n {
@@ -91,6 +93,8 @@ func DotConj(a, b []complex128) complex128 {
 // frequency (cycles per sample) and initial phase (radians), returning the
 // phase after the last sample. Chaining calls with the returned phase keeps
 // the oscillator continuous across buffers.
+//
+//bhss:hotpath
 func Mix(x []complex128, freq, phase float64) float64 {
 	// Use a recurrence with periodic renormalization to avoid per-sample
 	// sincos calls while keeping the oscillator numerically on the unit
@@ -139,6 +143,7 @@ func ArgMaxAbs(x []complex128) int {
 // receiver's rate reduction after low-pass filtering. factor must be >= 1.
 func Decimate(x []complex128, factor, offset int) []complex128 {
 	if factor < 1 {
+		//bhss:allow(panicpolicy) factor is fixed at link configuration, not derived from sample data
 		panic("dsp: decimation factor must be >= 1")
 	}
 	if offset < 0 {
@@ -158,6 +163,7 @@ func Decimate(x []complex128, factor, offset int) []complex128 {
 // the transmitter-side dual of Decimate.
 func Upsample(x []complex128, factor int) []complex128 {
 	if factor < 1 {
+		//bhss:allow(panicpolicy) factor is fixed at link configuration, not derived from sample data
 		panic("dsp: upsample factor must be >= 1")
 	}
 	out := make([]complex128, len(x)*factor)
@@ -173,6 +179,7 @@ func Upsample(x []complex128, factor int) []complex128 {
 // and sampling-clock offsets between free-running SDRs.
 func FractionalDelay(x []complex128, delay float64) []complex128 {
 	if delay < 0 {
+		//bhss:allow(panicpolicy) delay is fixed impairment configuration, not derived from sample data
 		panic("dsp: negative delay")
 	}
 	out := make([]complex128, len(x))

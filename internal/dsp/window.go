@@ -38,6 +38,8 @@ func (w Window) String() string {
 
 // Coefficients returns the n window coefficients. For Kaiser, beta selects
 // the shape (beta is ignored by the other windows). n must be positive.
+//
+//bhss:planphase window design runs at filter-construction time
 func (w Window) Coefficients(n int, beta float64) []float64 {
 	if n <= 0 {
 		panic("dsp: window length must be positive")
@@ -112,6 +114,8 @@ func KaiserBeta(attenDB float64) float64 {
 // attenuation (dB) and normalized transition width (cycles/sample), per
 // Kaiser's formula. The returned order is always at least 8 and odd+1
 // adjusted so that order+1 taps give a symmetric (linear phase) filter.
+//
+//bhss:planphase filter-order selection runs at construction time
 func KaiserOrder(attenDB, transitionWidth float64) int {
 	if transitionWidth <= 0 {
 		panic("dsp: transition width must be positive")

@@ -1,0 +1,28 @@
+package dsss
+
+import (
+	"testing"
+
+	"bhss/internal/alloctest"
+)
+
+// TestHotPathZeroAlloc asserts SpreadAppend's steady-state zero-allocation
+// contract when the caller reuses the chip buffer.
+func TestHotPathZeroAlloc(t *testing.T) {
+	s := NewSpreader(7)
+	symbols := make([]int, 64)
+	for i := range symbols {
+		symbols[i] = i % 16
+	}
+	var dst []complex128
+	var err error
+	alloctest.AssertZero(t, "Spreader.SpreadAppend", func() {
+		dst, err = s.SpreadAppend(dst[:0], symbols)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dst) != len(symbols)*ComplexChipsPerSymbol {
+		t.Fatalf("spread %d symbols into %d chips", len(symbols), len(dst))
+	}
+}

@@ -63,6 +63,8 @@ func (s *Spreader) Spread(symbols []int) ([]complex128, error) {
 // SpreadAppend is Spread appending into dst, for callers that reuse a chip
 // buffer across calls. The symbols are validated before any scrambler state
 // advances, so a failed call leaves the stream synchronous.
+//
+//bhss:hotpath
 func (s *Spreader) SpreadAppend(dst []complex128, symbols []int) ([]complex128, error) {
 	for _, sym := range symbols {
 		if sym < 0 || sym >= pn.NumSymbols {

@@ -1,0 +1,55 @@
+package experiment
+
+import (
+	"reflect"
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+// TestForEachStressElevatedWorkers drives forEach with far more workers than
+// cores and verifies every index is dispatched exactly once — under enough
+// goroutine churn that the race detector has something to bite on.
+func TestForEachStressElevatedWorkers(t *testing.T) {
+	old := runtime.GOMAXPROCS(4 * runtime.NumCPU())
+	defer runtime.GOMAXPROCS(old)
+	const n = 50000
+	counts := make([]int32, n)
+	if err := forEach(n, func(i int) error {
+		atomic.AddInt32(&counts[i], 1)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for i, c := range counts {
+		if c != 1 {
+			t.Fatalf("index %d ran %d times", i, c)
+		}
+	}
+}
+
+// TestMeasuredFigureDeterministicAcrossWorkerCounts reruns a small measured
+// figure serially and with elevated parallelism and requires bit-identical
+// results: every cell derives its transmitter, jammer and noise from
+// deterministic per-cell seeds, so the worker count must change runtimes,
+// never numbers.
+func TestMeasuredFigureDeterministicAcrossWorkerCounts(t *testing.T) {
+	if testing.Short() {
+		t.Skip("measured experiment")
+	}
+	sc := tinyScale()
+	run := func(workers int) Result {
+		old := runtime.GOMAXPROCS(workers)
+		defer runtime.GOMAXPROCS(old)
+		res, err := Fig13(sc, []float64{10, 0.625})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	serial := run(1)
+	parallel := run(4 * runtime.NumCPU())
+	if !reflect.DeepEqual(serial, parallel) {
+		t.Fatalf("figure differs across worker counts:\nserial:   %+v\nparallel: %+v", serial, parallel)
+	}
+}

@@ -38,6 +38,8 @@ func (h *Hopper) NumChannels() int { return h.numChannels }
 // ChannelFrequency returns the center frequency (cycles/sample) of channel
 // idx when numChannels channels of width channelBW tile the band centered
 // on DC.
+//
+//bhss:planphase channel-plan geometry; an out-of-range index is a programming error
 func ChannelFrequency(idx, numChannels int, channelBW float64) float64 {
 	if idx < 0 || idx >= numChannels {
 		panic(fmt.Sprintf("fhss: channel %d out of [0, %d)", idx, numChannels))

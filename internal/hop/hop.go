@@ -166,6 +166,8 @@ func (d Distribution) AverageBandwidth() float64 {
 // bandwidth-time: bandwidth/spreadingFactor summed over the distribution.
 // With bandwidths in MHz and a spreading factor of 8 chips/bit this yields
 // Mb/s, reproducing the paper's 354/840/471 kb/s figures.
+//
+//bhss:planphase distribution analysis helper; runs on validated plan-time config
 func (d Distribution) AverageThroughput(spreadingFactor float64) float64 {
 	if spreadingFactor <= 0 {
 		panic("hop: spreading factor must be positive")

@@ -6,6 +6,7 @@ import (
 	"log"
 	"math"
 	"net"
+	"sort"
 	"strconv"
 	"strings"
 	"sync"
@@ -225,6 +226,7 @@ func (h *Hub) kick() {
 // receiver.
 func (h *Hub) mixLoop() {
 	block := make([]complex128, h.cfg.BlockSize)
+	var txIDs []int
 	noiseAmp := 0.0
 	if h.cfg.NoiseVar > 0 {
 		noiseAmp = math.Sqrt(h.cfg.NoiseVar)
@@ -257,7 +259,17 @@ func (h *Hub) mixLoop() {
 			for i := range block {
 				block[i] = 0
 			}
-			for _, q := range h.txQueues {
+			// Mix in ascending port-id order: float addition is
+			// order-sensitive, and map iteration order is randomized, so
+			// summing in map order would make the mixture nondeterministic
+			// across runs of the same scenario.
+			txIDs = txIDs[:0]
+			for id := range h.txQueues {
+				txIDs = append(txIDs, id)
+			}
+			sort.Ints(txIDs)
+			for _, id := range txIDs {
+				q := h.txQueues[id]
 				n := len(q.pending)
 				if n > h.cfg.BlockSize {
 					n = h.cfg.BlockSize

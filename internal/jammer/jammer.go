@@ -70,17 +70,36 @@ func NewBandlimited(bw, power float64, seed uint64) (*Bandlimited, error) {
 	}
 	b := &Bandlimited{bw: bw, power: power, src: prng.New(seed), fir: filterTapsForBW(bw)}
 	b.calibrate()
-	// Warm the filter's delay line so the first emitted samples already
-	// carry full power — the jammer transmits continuously; the capture
-	// window just opens somewhere in its stream.
-	if b.fir != nil && b.power > 0 {
-		warm := make([]complex128, b.fir.Len())
-		for i := range warm {
-			warm[i] = b.src.ComplexNorm()
-		}
-		b.fir.Process(warm)
-	}
+	b.warm()
 	return b, nil
+}
+
+// warm primes the filter's delay line so the first emitted samples already
+// carry full power — the jammer transmits continuously; the capture window
+// just opens somewhere in its stream.
+func (b *Bandlimited) warm() {
+	if b.fir == nil || b.power == 0 {
+		return
+	}
+	warm := make([]complex128, b.fir.Len())
+	for i := range warm {
+		warm[i] = b.src.ComplexNorm()
+	}
+	b.fir.Process(warm)
+}
+
+// Reseed rewinds the jammer to the exact state of a freshly constructed
+// NewBandlimited(bw, power, seed): the noise source is re-seeded, the
+// filter's delay line cleared and the warm-up re-run, so the emitted stream
+// is bit-identical to a new jammer's. It lets Hopping reuse one Bandlimited
+// per distribution entry instead of redesigning the band-selection filter
+// every hop.
+func (b *Bandlimited) Reseed(seed uint64) {
+	b.src.Reseed(seed)
+	if b.fir != nil {
+		b.fir.Reset()
+	}
+	b.warm()
 }
 
 // calibrate computes the filter's noise power gain so the emitted power
@@ -261,6 +280,10 @@ type Hopping struct {
 	seedBase      uint64
 	remaining     int
 	cur           *Bandlimited
+	// pool holds one pre-built Bandlimited per distribution entry; each hop
+	// Reseeds the matching jammer instead of designing a fresh band filter,
+	// so construction errors surface in NewHopping and Emit stays total.
+	pool []*Bandlimited
 }
 
 // NewHopping returns a bandwidth-hopping jammer.
@@ -274,14 +297,20 @@ func NewHopping(dist hop.Distribution, sampleRate float64, samplesPerHop int, po
 	if samplesPerHop < 1 {
 		return nil, fmt.Errorf("jammer: samplesPerHop %d must be >= 1", samplesPerHop)
 	}
-	for _, b := range dist.Bandwidths {
+	pool := make([]*Bandlimited, len(dist.Bandwidths))
+	for i, b := range dist.Bandwidths {
 		if b > sampleRate {
 			return nil, fmt.Errorf("jammer: bandwidth %v exceeds sample rate %v", b, sampleRate)
 		}
+		j, err := NewBandlimited(b/sampleRate, power, seed)
+		if err != nil {
+			return nil, fmt.Errorf("jammer: bandwidth %v: %w", b, err)
+		}
+		pool[i] = j
 	}
 	return &Hopping{
 		dist: dist, sampleRate: sampleRate, samplesPerHop: samplesPerHop,
-		power: power, src: prng.New(seed), seedBase: seed,
+		power: power, src: prng.New(seed), seedBase: seed, pool: pool,
 	}, nil
 }
 
@@ -294,15 +323,13 @@ func (h *Hopping) Emit(n int) []complex128 {
 	for len(out) < n {
 		if h.remaining == 0 {
 			idx := h.src.Choose(h.dist.Probs)
-			bw := h.dist.Bandwidths[idx] / h.sampleRate
 			h.seedBase = h.seedBase*0x9e3779b97f4a7c15 + 1
-			j, err := NewBandlimited(bw, h.power, h.seedBase)
-			if err != nil {
-				// Distribution was validated; only a programming error
-				// can land here.
-				panic(err)
-			}
-			h.cur = j
+			// Reseed produces the exact sample stream a fresh
+			// NewBandlimited(bw, power, seedBase) would emit, without the
+			// per-hop filter design (and without a fallible call in the
+			// streaming path).
+			h.cur = h.pool[idx]
+			h.cur.Reseed(h.seedBase)
 			h.remaining = h.samplesPerHop
 		}
 		take := n - len(out)

@@ -1,0 +1,166 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strconv"
+	"strings"
+)
+
+// DetRand enforces the repo's determinism contract: every random draw in the
+// simulation flows through internal/prng's explicitly-seeded xoshiro256**
+// source, so a (seed, config) pair reproduces every figure bit-exactly.
+//
+// Three rules:
+//
+//  1. Importing math/rand or math/rand/v2 is forbidden everywhere. The
+//     global top-level functions carry process-wide mutable state seeded
+//     per-run, and even the seeded forms use a different generator than the
+//     one the paper-reproduction experiments are calibrated against.
+//
+//  2. Calling time.Now() inside simulation packages (bhss/internal/...,
+//     except internal/lint itself) is forbidden — wall-clock values leak into
+//     seeds or measurements and break replay. cmd/ tools may timestamp logs.
+//
+//  3. Ranging over a map while compound-accumulating (+=, -=, *=, /=) into a
+//     numeric variable declared outside the loop is forbidden in simulation
+//     packages: map iteration order is randomized, and float accumulation is
+//     order-sensitive, so the same inputs can produce different sums on
+//     different runs. Collect keys, sort, then accumulate (the
+//     figures_measured.go idiom).
+var DetRand = &Analyzer{
+	Name: "detrand",
+	Doc:  "forbids math/rand, time.Now in simulation code, and order-sensitive map-range accumulation",
+	Run:  runDetRand,
+}
+
+// simulationPackage reports whether rules 2 and 3 apply to the package. The
+// lint framework itself is exempt (it shells out to the go tool and may
+// reasonably timestamp); its testdata fixtures are not, so the rules stay
+// testable.
+func simulationPackage(path string) bool {
+	switch path {
+	case "bhss/internal/lint", "bhss/internal/lint/linttest":
+		return false
+	}
+	return strings.HasPrefix(path, "bhss/internal/") || path == "bhss"
+}
+
+func runDetRand(pass *Pass) error {
+	for _, f := range pass.Files {
+		for _, imp := range f.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			if path == "math/rand" || path == "math/rand/v2" {
+				pass.Reportf(imp.Pos(), "import of %s is forbidden: use bhss/internal/prng with an explicit seed", path)
+			}
+		}
+	}
+	if !simulationPackage(pass.Path) {
+		return nil
+	}
+	// Rules 2 and 3 exempt test files: tests reasonably read the clock for
+	// deadlines, and their map-range sums don't feed published figures.
+	for _, f := range pass.SrcFiles() {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				if isPkgFuncCall(pass.Info, n, "time", "Now") {
+					pass.Reportf(n.Pos(), "time.Now() in simulation code breaks deterministic replay; derive values from the experiment seed")
+				}
+			case *ast.RangeStmt:
+				checkMapRangeAccum(pass, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// isPkgFuncCall reports whether call is pkg.fn(...) resolving to the named
+// package-level function.
+func isPkgFuncCall(info *types.Info, call *ast.CallExpr, pkgPath, fn string) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != fn {
+		return false
+	}
+	obj, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok || obj.Pkg() == nil {
+		return false
+	}
+	return obj.Pkg().Path() == pkgPath
+}
+
+// checkMapRangeAccum flags `for k := range m { total += ... }` where m is a
+// map and total is numeric and declared outside the range body.
+func checkMapRangeAccum(pass *Pass, rng *ast.RangeStmt) {
+	t := pass.Info.TypeOf(rng.X)
+	if t == nil {
+		return
+	}
+	if _, ok := t.Underlying().(*types.Map); !ok {
+		return
+	}
+	// Objects declared inside the range statement (including the loop
+	// variables) don't count as outer accumulators.
+	inside := map[types.Object]bool{}
+	ast.Inspect(rng, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if obj := pass.Info.Defs[id]; obj != nil {
+				inside[obj] = true
+			}
+		}
+		return true
+	})
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		assign, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		switch assign.Tok {
+		case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+		default:
+			return true
+		}
+		for _, lhs := range assign.Lhs {
+			base := lhs
+			// total += x, m2[k].sum += x, acc.sum += x — resolve to the root
+			// identifier.
+			for {
+				switch e := ast.Unparen(base).(type) {
+				case *ast.SelectorExpr:
+					base = e.X
+					continue
+				case *ast.IndexExpr:
+					base = e.X
+					continue
+				}
+				break
+			}
+			id, ok := ast.Unparen(base).(*ast.Ident)
+			if !ok {
+				continue
+			}
+			obj := pass.Info.Uses[id]
+			if obj == nil || inside[obj] {
+				continue
+			}
+			if !isNumericLvalue(pass.Info.TypeOf(lhs)) {
+				continue
+			}
+			pass.Reportf(assign.Pos(), "accumulating into %s while ranging over a map: iteration order is randomized, so the result is nondeterministic; collect keys and sort first", id.Name)
+		}
+		return true
+	})
+}
+
+func isNumericLvalue(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&(types.IsNumeric) != 0
+}

@@ -1,0 +1,215 @@
+package lint
+
+import (
+	"bytes"
+	"go/ast"
+	"go/printer"
+	"go/token"
+	"go/types"
+)
+
+// HotPathAlloc flags direct heap allocations inside functions annotated
+// //bhss:hotpath. The PR-1 zero-alloc contract says the steady-state DSP
+// loops (SpreadAppend, ModulateAppend, PSDInto, FFT execution, overlap-save
+// processing, the receiver's per-hop excision) run entirely out of
+// caller-provided or cached buffers; this analyzer keeps that true at review
+// time, and the AllocsPerRun regression tests keep it true at run time.
+//
+// Flagged inside a hotpath body:
+//
+//   - make(...) and new(...)
+//   - slice, map and &struct composite literals
+//   - func literals (the closure header itself allocates; the literal's body
+//     is not descended into)
+//   - string concatenation and string<->[]byte conversions
+//   - go and defer statements
+//   - append(...) growth, unless it follows the caller-amortized Append
+//     contract: either a self-assignment x = append(x, ...) or appending to
+//     a slice that is a parameter of the hotpath function (the dst-first
+//     convention, where amortized growth is the caller's business)
+//
+// Function calls are deliberately out of scope — callee contracts are
+// checked at their own declarations, and the runtime AllocsPerRun tests
+// cross-validate whole call trees.
+var HotPathAlloc = &Analyzer{
+	Name: "hotpathalloc",
+	Doc:  "flags direct heap allocations in //bhss:hotpath functions",
+	Run:  runHotPathAlloc,
+}
+
+func runHotPathAlloc(pass *Pass) error {
+	eachFuncDecl(pass.SrcFiles(), func(fn *ast.FuncDecl) {
+		if !funcHasDirective(fn, "hotpath") {
+			return
+		}
+		params := map[types.Object]bool{}
+		if fn.Type.Params != nil {
+			for _, field := range fn.Type.Params.List {
+				for _, name := range field.Names {
+					if obj := pass.Info.Defs[name]; obj != nil {
+						params[obj] = true
+					}
+				}
+			}
+		}
+		w := &hotpathWalker{pass: pass, params: params}
+		ast.Inspect(fn.Body, w.visit)
+	})
+	return nil
+}
+
+type hotpathWalker struct {
+	pass   *Pass
+	params map[types.Object]bool
+}
+
+func (w *hotpathWalker) visit(n ast.Node) bool {
+	switch n := n.(type) {
+	case *ast.FuncLit:
+		w.pass.Reportf(n.Pos(), "func literal allocates a closure in hot path")
+		return false // the literal's body runs under its own contract
+	case *ast.GoStmt:
+		w.pass.Reportf(n.Pos(), "go statement allocates a goroutine in hot path")
+	case *ast.DeferStmt:
+		w.pass.Reportf(n.Pos(), "defer in hot path (allocates and delays cleanup)")
+	case *ast.CompositeLit:
+		switch w.pass.Info.TypeOf(n).Underlying().(type) {
+		case *types.Slice:
+			w.pass.Reportf(n.Pos(), "slice literal allocates in hot path")
+		case *types.Map:
+			w.pass.Reportf(n.Pos(), "map literal allocates in hot path")
+		}
+	case *ast.UnaryExpr:
+		if n.Op == token.AND {
+			if _, ok := ast.Unparen(n.X).(*ast.CompositeLit); ok {
+				w.pass.Reportf(n.Pos(), "&composite literal allocates in hot path")
+				return false
+			}
+		}
+	case *ast.BinaryExpr:
+		if n.Op == token.ADD && isStringType(w.pass.Info.TypeOf(n)) {
+			w.pass.Reportf(n.Pos(), "string concatenation allocates in hot path")
+		}
+	case *ast.AssignStmt:
+		// Handled expression-by-expression below; but catch the vetted
+		// append form here so visitCall can tell self-assign from growth.
+		for i, rhs := range n.Rhs {
+			if call, ok := ast.Unparen(rhs).(*ast.CallExpr); ok && w.isBuiltin(call, "append") {
+				var lhs ast.Expr
+				if len(n.Lhs) == len(n.Rhs) {
+					lhs = n.Lhs[i]
+				}
+				w.checkAppend(call, lhs)
+				// Walk append's non-dst arguments for nested allocations.
+				for _, arg := range call.Args[1:] {
+					ast.Inspect(arg, w.visit)
+				}
+				return false
+			}
+		}
+	case *ast.CallExpr:
+		return w.visitCall(n)
+	}
+	return true
+}
+
+func (w *hotpathWalker) visitCall(call *ast.CallExpr) bool {
+	switch {
+	case w.isBuiltin(call, "make"):
+		w.pass.Reportf(call.Pos(), "make allocates in hot path")
+	case w.isBuiltin(call, "new"):
+		w.pass.Reportf(call.Pos(), "new allocates in hot path")
+	case w.isBuiltin(call, "append"):
+		// An append reached here is not the x = append(x, ...) statement form
+		// (that is intercepted at the AssignStmt); it is used as a bare value,
+		// so the vetted-destination rule is all that can save it.
+		w.checkAppend(call, nil)
+	default:
+		if tv, ok := w.pass.Info.Types[call.Fun]; ok && tv.IsType() && len(call.Args) == 1 {
+			to := w.pass.Info.TypeOf(call)
+			from := w.pass.Info.TypeOf(call.Args[0])
+			if stringBytesConversion(from, to) {
+				w.pass.Reportf(call.Pos(), "string/[]byte conversion allocates in hot path")
+			}
+		}
+	}
+	return true
+}
+
+// checkAppend applies the caller-amortized Append contract. lhs is the
+// assignment target when the append appears as stmt `lhs = append(dst, ...)`,
+// nil otherwise.
+func (w *hotpathWalker) checkAppend(call *ast.CallExpr, lhs ast.Expr) {
+	if len(call.Args) == 0 {
+		return
+	}
+	dst := ast.Unparen(call.Args[0])
+	// Vetted form 1: self-assignment x = append(x, ...) — amortized growth
+	// on a buffer the function owns or was handed; structural equality via
+	// printed form.
+	if lhs != nil && exprString(w.pass.Fset, ast.Unparen(lhs)) == exprString(w.pass.Fset, dst) {
+		return
+	}
+	// Vetted form 2: appending to (a slice derived from) a function
+	// parameter — the dst-first Append convention, growth amortized by the
+	// caller.
+	if base, ok := ast.Unparen(sliceBase(dst)).(*ast.Ident); ok {
+		if obj := w.pass.Info.Uses[base]; obj != nil && w.params[obj] {
+			return
+		}
+	}
+	w.pass.Reportf(call.Pos(), "append may grow and allocate in hot path (use the dst-param or x = append(x, ...) form)")
+}
+
+// sliceBase strips slice expressions: scratch[:0] -> scratch.
+func sliceBase(e ast.Expr) ast.Expr {
+	for {
+		s, ok := ast.Unparen(e).(*ast.SliceExpr)
+		if !ok {
+			return e
+		}
+		e = s.X
+	}
+}
+
+func (w *hotpathWalker) isBuiltin(call *ast.CallExpr, name string) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != name {
+		return false
+	}
+	b, ok := w.pass.Info.Uses[id].(*types.Builtin)
+	return ok && b.Name() == name
+}
+
+func isStringType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isByteSlice(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	s, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && (b.Kind() == types.Byte || b.Kind() == types.Rune)
+}
+
+func stringBytesConversion(from, to types.Type) bool {
+	return (isStringType(from) && isByteSlice(to)) || (isByteSlice(from) && isStringType(to))
+}
+
+// exprString renders an expression for structural comparison.
+func exprString(fset *token.FileSet, e ast.Expr) string {
+	var buf bytes.Buffer
+	if err := printer.Fprint(&buf, fset, e); err != nil {
+		return ""
+	}
+	return buf.String()
+}

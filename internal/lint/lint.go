@@ -1,0 +1,276 @@
+// Package lint is a self-contained static-analysis suite that enforces the
+// BHSS codebase's domain contracts: allocation-free hot paths, bit-exact
+// deterministic simulation, epsilon-safe float comparisons, scratch-buffer
+// lifetime discipline and a construction-time-only panic policy.
+//
+// The framework mirrors the shape of golang.org/x/tools/go/analysis — an
+// Analyzer owns a Run function over a Pass carrying syntax and type
+// information — but is built on the standard library alone (go/ast, go/types
+// and `go list`), because this build environment vendors no external
+// modules. cmd/bhsslint is the multichecker driver; it also speaks the
+// `go vet -vettool` unitchecker protocol.
+//
+// # Annotations
+//
+// Contracts are declared in source with //bhss: comment directives:
+//
+//	//bhss:hotpath    — function doc: body must perform no direct allocation
+//	//bhss:planphase  — function doc: runs at construction/plan time only,
+//	                    panics on invalid input are acceptable here
+//	//bhss:scratchview— function doc: returned slices intentionally alias
+//	                    receiver scratch with a documented lifetime
+//	//bhss:scratch    — struct field: reusable scratch whose aliases must not
+//	                    outlive a call (see the scratchalias analyzer)
+//
+// A finding that is intentional is suppressed in place with
+//
+//	//bhss:allow(analyzer1,analyzer2) reason...
+//
+// on the flagged line or the line directly above it. The reason is free
+// text but mandatory by convention: a suppression without a why does not
+// survive review.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// An Analyzer describes one static check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and allow() directives.
+	Name string
+	// Doc is a one-paragraph description of what the analyzer enforces.
+	Doc string
+	// Run performs the check, reporting findings through the Pass.
+	Run func(*Pass) error
+}
+
+// A Pass connects one Analyzer run to one package.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Path     string // import path
+	Pkg      *types.Package
+	Info     *types.Info
+
+	report func(Diagnostic)
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// SrcFiles returns the pass's non-test files. Under `go vet -vettool` a
+// package's test variant includes _test.go files, which are exempt from most
+// checks: determinism tests compare floats bit-exactly on purpose, Example
+// functions panic on mismatch, and timeout helpers read the wall clock. An
+// analyzer whose rule must hold even in tests (detrand's math/rand import
+// ban) iterates Files directly.
+func (p *Pass) SrcFiles() []*ast.File {
+	var out []*ast.File
+	for _, f := range p.Files {
+		if !strings.HasSuffix(p.Fset.Position(f.Pos()).Filename, "_test.go") {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// A Diagnostic is one finding.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s (%s)", d.Pos, d.Message, d.Analyzer)
+}
+
+// All returns the full analyzer suite in reporting order.
+func All() []*Analyzer {
+	return []*Analyzer{
+		HotPathAlloc,
+		DetRand,
+		FloatEq,
+		ScratchAlias,
+		PanicPolicy,
+	}
+}
+
+// ByName resolves a comma-separated analyzer selection ("hotpathalloc,floateq").
+func ByName(names string) ([]*Analyzer, error) {
+	var out []*Analyzer
+	for _, name := range strings.Split(names, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		found := false
+		for _, a := range All() {
+			if a.Name == name {
+				out = append(out, a)
+				found = true
+				break
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("lint: unknown analyzer %q", name)
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("lint: empty analyzer selection")
+	}
+	return out, nil
+}
+
+// RunAnalyzers applies the analyzers to every package, filters findings
+// through the //bhss:allow suppression index, and returns them sorted by
+// position.
+func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		pd, err := runOnPackage(pkg, analyzers)
+		if err != nil {
+			return nil, err
+		}
+		diags = append(diags, pd...)
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return diags, nil
+}
+
+func runOnPackage(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	allow := buildAllowIndex(pkg.Fset, pkg.Files)
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer: a,
+			Fset:     pkg.Fset,
+			Files:    pkg.Files,
+			Path:     pkg.ImportPath,
+			Pkg:      pkg.Types,
+			Info:     pkg.Info,
+			report: func(d Diagnostic) {
+				if !allow.allows(d.Pos, d.Analyzer) {
+					diags = append(diags, d)
+				}
+			},
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("lint: %s on %s: %v", a.Name, pkg.ImportPath, err)
+		}
+	}
+	return diags, nil
+}
+
+// ---- //bhss: directive parsing ----
+
+var allowRE = regexp.MustCompile(`//bhss:allow\(([^)]+)\)`)
+
+// allowIndex records, per file and line, which analyzers are suppressed.
+// A directive suppresses findings on its own line and on the line directly
+// below it (the standalone-comment-above-the-statement form).
+type allowIndex map[string]map[int]map[string]bool
+
+func buildAllowIndex(fset *token.FileSet, files []*ast.File) allowIndex {
+	idx := allowIndex{}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := allowRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				lines := idx[pos.Filename]
+				if lines == nil {
+					lines = map[int]map[string]bool{}
+					idx[pos.Filename] = lines
+				}
+				for _, name := range strings.Split(m[1], ",") {
+					name = strings.TrimSpace(name)
+					for _, line := range []int{pos.Line, pos.Line + 1} {
+						if lines[line] == nil {
+							lines[line] = map[string]bool{}
+						}
+						lines[line][name] = true
+					}
+				}
+			}
+		}
+	}
+	return idx
+}
+
+func (idx allowIndex) allows(pos token.Position, analyzer string) bool {
+	return idx[pos.Filename][pos.Line][analyzer]
+}
+
+// funcHasDirective reports whether the function's doc comment carries the
+// //bhss:<name> directive (as its own comment line, optionally followed by
+// free text).
+func funcHasDirective(fn *ast.FuncDecl, name string) bool {
+	if fn.Doc == nil {
+		return false
+	}
+	want := "//bhss:" + name
+	for _, c := range fn.Doc.List {
+		if c.Text == want || strings.HasPrefix(c.Text, want+" ") {
+			return true
+		}
+	}
+	return false
+}
+
+// fieldHasDirective reports whether a struct field's doc or trailing comment
+// carries //bhss:<name>.
+func fieldHasDirective(field *ast.Field, name string) bool {
+	want := "//bhss:" + name
+	for _, cg := range []*ast.CommentGroup{field.Doc, field.Comment} {
+		if cg == nil {
+			continue
+		}
+		for _, c := range cg.List {
+			if c.Text == want || strings.HasPrefix(c.Text, want+" ") {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// eachFuncDecl invokes fn for every function declaration with a body.
+func eachFuncDecl(files []*ast.File, fn func(*ast.FuncDecl)) {
+	for _, f := range files {
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				fn(fd)
+			}
+		}
+	}
+}

@@ -1,0 +1,120 @@
+// Package linttest runs lint analyzers over golden-file fixtures, in the
+// style of golang.org/x/tools/go/analysis/analysistest: fixture packages
+// live under internal/lint/testdata/src/ (which the go tool's ./... wildcard
+// never matches, so deliberately-broken fixtures cannot pollute repo-wide
+// builds or lint runs), and expectations are written in the fixture source
+// as comments of the form
+//
+//	total += v // want "accumulating into"
+//
+// Each `want` takes one or more double-quoted regular expressions that must
+// each match a diagnostic reported on that line. Diagnostics with no
+// matching expectation, and expectations with no matching diagnostic, both
+// fail the test. A fixture with no want comments asserts the analyzer is
+// silent on it (the "clean" fixture).
+package linttest
+
+import (
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"testing"
+
+	"bhss/internal/lint"
+)
+
+var wantRE = regexp.MustCompile(`//\s*want\s+(.*)$`)
+var quotedRE = regexp.MustCompile(`"((?:[^"\\]|\\.)*)"`)
+
+// expectation is one `// want "re"` clause.
+type expectation struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	matched bool
+}
+
+// Run loads each fixture package directory (relative to testdata/src in the
+// calling test's working directory) and checks the analyzer's diagnostics
+// against the fixtures' want comments.
+func Run(t *testing.T, a *lint.Analyzer, fixtures ...string) {
+	t.Helper()
+	for _, fixture := range fixtures {
+		fixture := fixture
+		t.Run(fixture, func(t *testing.T) {
+			t.Helper()
+			dir := filepath.Join("testdata", "src", fixture)
+			abs, err := filepath.Abs(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			pkgs, err := lint.Load(abs, ".")
+			if err != nil {
+				t.Fatalf("loading fixture %s: %v", fixture, err)
+			}
+			if len(pkgs) != 1 {
+				t.Fatalf("fixture %s: loaded %d packages, want 1", fixture, len(pkgs))
+			}
+			diags, err := lint.RunAnalyzers(pkgs, []*lint.Analyzer{a})
+			if err != nil {
+				t.Fatal(err)
+			}
+			checkExpectations(t, pkgs[0], diags)
+		})
+	}
+}
+
+func checkExpectations(t *testing.T, pkg *lint.Package, diags []lint.Diagnostic) {
+	t.Helper()
+	var wants []*expectation
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				quoted := quotedRE.FindAllStringSubmatch(m[1], -1)
+				if len(quoted) == 0 {
+					t.Errorf("%s: want comment with no quoted pattern", pos)
+					continue
+				}
+				for _, q := range quoted {
+					pat, err := strconv.Unquote(`"` + q[1] + `"`)
+					if err != nil {
+						t.Errorf("%s: bad want pattern %q: %v", pos, q[1], err)
+						continue
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Errorf("%s: bad want regexp %q: %v", pos, pat, err)
+						continue
+					}
+					wants = append(wants, &expectation{file: pos.Filename, line: pos.Line, re: re})
+				}
+			}
+		}
+	}
+	for _, d := range diags {
+		if w := matchWant(wants, d); w != nil {
+			w.matched = true
+			continue
+		}
+		t.Errorf("unexpected diagnostic: %v", d)
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.re)
+		}
+	}
+}
+
+func matchWant(wants []*expectation, d lint.Diagnostic) *expectation {
+	for _, w := range wants {
+		if !w.matched && w.file == d.Pos.Filename && w.line == d.Pos.Line && w.re.MatchString(d.Message) {
+			return w
+		}
+	}
+	return nil
+}

@@ -1,0 +1,60 @@
+package lint_test
+
+import (
+	"testing"
+
+	"bhss/internal/lint"
+	"bhss/internal/lint/linttest"
+)
+
+// Each analyzer is exercised against a flagged fixture (every rule fires
+// where a want comment says it should, and nowhere else) and a clean fixture
+// (the sanctioned idioms stay silent). Fixtures live under testdata/src,
+// which the go tool's ./... wildcard never descends into, so the
+// deliberately-broken packages cannot leak into repo-wide builds.
+
+func TestHotPathAlloc(t *testing.T) {
+	linttest.Run(t, lint.HotPathAlloc, "hotpathalloc/flagged", "hotpathalloc/clean")
+}
+
+func TestDetRand(t *testing.T) {
+	linttest.Run(t, lint.DetRand, "detrand/flagged", "detrand/clean")
+}
+
+func TestFloatEq(t *testing.T) {
+	linttest.Run(t, lint.FloatEq, "floateq/flagged", "floateq/clean")
+}
+
+func TestScratchAlias(t *testing.T) {
+	linttest.Run(t, lint.ScratchAlias, "scratchalias/flagged", "scratchalias/clean")
+}
+
+func TestPanicPolicy(t *testing.T) {
+	linttest.Run(t, lint.PanicPolicy, "panicpolicy/flagged", "panicpolicy/clean")
+}
+
+func TestByName(t *testing.T) {
+	as, err := lint.ByName("detrand,floateq")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(as) != 2 || as[0].Name != "detrand" || as[1].Name != "floateq" {
+		t.Fatalf("ByName returned %v", as)
+	}
+	if _, err := lint.ByName("nosuchanalyzer"); err == nil {
+		t.Fatal("ByName accepted an unknown analyzer name")
+	}
+}
+
+func TestAllNamesUnique(t *testing.T) {
+	seen := map[string]bool{}
+	for _, a := range lint.All() {
+		if seen[a.Name] {
+			t.Fatalf("duplicate analyzer name %q", a.Name)
+		}
+		seen[a.Name] = true
+	}
+	if len(seen) != 5 {
+		t.Fatalf("expected 5 analyzers, got %d", len(seen))
+	}
+}

@@ -1,0 +1,29 @@
+// Package clean shows the deterministic idioms detrand requires: collect
+// map keys, sort, then accumulate; order-insensitive counting is fine.
+package clean
+
+import "sort"
+
+func sumGains(gains map[int]float64) float64 {
+	ids := make([]int, 0, len(gains))
+	for id := range gains {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	total := 0.0
+	for _, id := range ids {
+		total += gains[id]
+	}
+	return total
+}
+
+func countKeys(gains map[int]float64) int {
+	n := 0
+	for range gains {
+		n++ // counting is order-insensitive; only compound float accumulation is flagged
+	}
+	return n
+}
+
+var _ = sumGains
+var _ = countKeys

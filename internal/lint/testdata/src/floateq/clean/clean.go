@@ -1,0 +1,26 @@
+// Package clean shows the float comparisons floateq deliberately permits:
+// constant sentinels, the NaN idiom, and named epsilon helpers.
+package clean
+
+import "math"
+
+func approxEqual(a, b float64) bool {
+	return a == b // inside a named epsilon helper: exempt
+}
+
+func isNaN(x float64) bool {
+	return x != x // the NaN idiom
+}
+
+func isZero(x float64) bool {
+	return x == 0 // constant operand: exact sentinel comparison
+}
+
+func withinTol(a, b, tol float64) bool {
+	return math.Abs(a-b) <= tol
+}
+
+var _ = approxEqual
+var _ = isNaN
+var _ = isZero
+var _ = withinTol

@@ -1,0 +1,14 @@
+// Package flagged exercises floateq: exact ==/!= between non-constant
+// floating-point or complex operands.
+package flagged
+
+func sameGain(a, b float64) bool {
+	return a == b // want "floating-point == comparison"
+}
+
+func changed(prev, cur complex128) bool {
+	return prev != cur // want "floating-point != comparison"
+}
+
+var _ = sameGain
+var _ = changed

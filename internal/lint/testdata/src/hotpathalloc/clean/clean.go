@@ -1,0 +1,35 @@
+// Package clean shows hot-path code that satisfies the zero-alloc contract:
+// self-assigned appends, dst-parameter appends, and unannotated functions
+// are all silent.
+package clean
+
+//bhss:hotpath
+func accumulate(dst []complex128, src []complex128) []complex128 {
+	for _, v := range src {
+		dst = append(dst, v) // self-assignment: amortized growth is vetted
+	}
+	return dst
+}
+
+//bhss:hotpath
+func appendTo(dst []float64, v float64) []float64 {
+	return append(dst[:0], v) // dst is a parameter: the caller amortizes growth
+}
+
+type buffer struct {
+	scratch []complex128
+}
+
+//bhss:hotpath
+func (b *buffer) fill(n int) {
+	b.scratch = append(b.scratch, complex(float64(n), 0))
+}
+
+func notHot() []int {
+	return make([]int, 4) // no //bhss:hotpath directive: unconstrained
+}
+
+var _ = accumulate
+var _ = appendTo
+var _ = (*buffer).fill
+var _ = notHot

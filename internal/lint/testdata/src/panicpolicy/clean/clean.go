@@ -1,0 +1,47 @@
+// Package clean shows every sanctioned panic site: constructors and Must
+// helpers by name, init, //bhss:planphase functions, and //bhss:allow sites.
+package clean
+
+type filter struct{ taps []float64 }
+
+func NewFilter(n int) *filter {
+	if n <= 0 {
+		panic("filter: non-positive length") // constructor: allowed by convention
+	}
+	return &filter{taps: make([]float64, n)}
+}
+
+func MustParse(s string) int {
+	if s == "" {
+		panic("empty input")
+	}
+	return len(s)
+}
+
+// planTaps runs at plan/construction time despite its name.
+//
+//bhss:planphase
+func planTaps(n int) []float64 {
+	if n < 0 {
+		panic("negative order")
+	}
+	return make([]float64, n)
+}
+
+func stream(x []float64) float64 {
+	if len(x) == 0 {
+		//bhss:allow(panicpolicy) documented caller-bug contract, like copy() with bad bounds
+		panic("empty block")
+	}
+	return x[0]
+}
+
+func init() {
+	if len(NewFilter(1).taps) != 1 {
+		panic("unreachable")
+	}
+}
+
+var _ = MustParse
+var _ = planTaps
+var _ = stream

@@ -1,0 +1,12 @@
+// Package flagged exercises panicpolicy: a panic in streaming code with no
+// construction-time name, no //bhss:planphase, and no //bhss:allow.
+package flagged
+
+func processBlock(x []float64) {
+	if len(x) == 0 {
+		panic("empty block") // want "panic outside construction"
+	}
+	x[0] = 0
+}
+
+var _ = processBlock

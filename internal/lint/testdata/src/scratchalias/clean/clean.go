@@ -1,0 +1,38 @@
+// Package clean shows the scratch-buffer uses scratchalias permits:
+// //bhss:scratchview returns, call-local aliases, scratch-to-scratch
+// stores, and passing scratch to callees.
+package clean
+
+type worker struct {
+	//bhss:scratch
+	buf []complex128
+}
+
+// view returns the current block; the result is valid until the next call.
+//
+//bhss:scratchview
+func (w *worker) view(n int) []complex128 {
+	return w.buf[:n]
+}
+
+func (w *worker) process(src []complex128) float64 {
+	local := w.buf[:len(src)] // alias that never leaves the call
+	copy(local, src)
+	sum := 0.0
+	for _, v := range local {
+		sum += real(v)
+	}
+	return sum
+}
+
+func (w *worker) grow(n int) {
+	if cap(w.buf) < n {
+		w.buf = make([]complex128, n) // storing into the scratch field itself
+	}
+}
+
+func consume(x []complex128) float64 { return real(x[0]) }
+
+func (w *worker) callWith() float64 {
+	return consume(w.buf) // a call completes before the next overwrite
+}

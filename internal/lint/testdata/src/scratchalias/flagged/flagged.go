@@ -1,0 +1,37 @@
+// Package flagged exercises scratchalias: every way a //bhss:scratch view
+// can escape the call that produced it.
+package flagged
+
+type worker struct {
+	//bhss:scratch
+	buf []complex128
+	out []complex128
+}
+
+var global []complex128
+
+func (w *worker) snapshot() []complex128 {
+	return w.buf // want "returning a view"
+}
+
+func (w *worker) leakGlobal() {
+	global = w.buf[:4] // want "storing a view"
+}
+
+func (w *worker) leakField() {
+	w.out = w.buf // want "storing a view"
+}
+
+func (w *worker) pack() [][]complex128 {
+	views := [][]complex128{w.buf} // want "captured in a composite literal"
+	return views
+}
+
+func (w *worker) send(ch chan []complex128) {
+	ch <- w.buf // want "sending a view"
+}
+
+func (w *worker) aliasEscape() []complex128 {
+	v := w.buf[:8]
+	return v // want "returning a view"
+}

@@ -1,0 +1,169 @@
+package lint
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"runtime"
+)
+
+// This file implements the `go vet -vettool` side of the driver. cmd/go
+// probes the tool with -V=full (for build caching), then invokes it once per
+// package with a single argument: the path to a JSON .cfg file describing
+// the compiled package — source files, the import→package-path map, and the
+// export-data file for every dependency. The tool type-checks from export
+// data (no source reloading), runs the analyzers, writes the (empty — we
+// export no facts) .vetx output file, and reports findings on stderr with
+// exit status 2.
+
+// unitConfig mirrors the subset of cmd/go's vet config the driver consumes.
+type unitConfig struct {
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// PrintVersion answers the -V=full probe. cmd/go keys its action cache on
+// this line, so it must change whenever the tool binary changes: the format
+// is "<progname> version <anything> buildID=<hash of the executable>".
+func PrintVersion(w io.Writer) {
+	progname, err := os.Executable()
+	if err != nil {
+		fmt.Fprintf(w, "bhsslint version devel\n")
+		return
+	}
+	f, err := os.Open(progname)
+	if err != nil {
+		fmt.Fprintf(w, "%s version devel\n", progname)
+		return
+	}
+	defer f.Close()
+	h := sha256.New()
+	if _, err := io.Copy(h, f); err != nil {
+		fmt.Fprintf(w, "%s version devel\n", progname)
+		return
+	}
+	fmt.Fprintf(w, "%s version devel buildID=%x\n", progname, h.Sum(nil))
+}
+
+// RunUnitchecker analyzes the single package described by cfgPath and
+// returns the process exit code: 0 clean, 1 on internal failure, 2 on
+// findings (the vet convention).
+func RunUnitchecker(cfgPath string, analyzers []*Analyzer) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bhsslint:", err)
+		return 1
+	}
+	cfg := new(unitConfig)
+	if err := json.Unmarshal(data, cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "bhsslint: parsing %s: %v\n", cfgPath, err)
+		return 1
+	}
+
+	// Facts output must exist even when we have none to export, or cmd/go's
+	// cache layer fails the build.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+			fmt.Fprintln(os.Stderr, "bhsslint:", err)
+			return 1
+		}
+	}
+	if cfg.VetxOnly {
+		// The package was scheduled only so dependents could read its facts.
+		return 0
+	}
+
+	fset := token.NewFileSet()
+	files := make([]*ast.File, 0, len(cfg.GoFiles))
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return 0
+			}
+			fmt.Fprintln(os.Stderr, "bhsslint:", err)
+			return 1
+		}
+		files = append(files, f)
+	}
+
+	compilerImporter := importer.ForCompiler(fset, cfg.Compiler, func(path string) (io.ReadCloser, error) {
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no package file for %q", path)
+		}
+		return os.Open(file)
+	})
+	imp := importerFunc(func(importPath string) (*types.Package, error) {
+		path := importPath
+		if mapped, ok := cfg.ImportMap[importPath]; ok {
+			path = mapped // vendoring / module rewrites
+		}
+		if path == "unsafe" {
+			return types.Unsafe, nil
+		}
+		return compilerImporter.Import(path)
+	})
+
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Instances:  map[*ast.Ident]types.Instance{},
+	}
+	tconf := types.Config{
+		Importer:  imp,
+		Sizes:     types.SizesFor(cfg.Compiler, runtime.GOARCH),
+		GoVersion: cfg.GoVersion,
+	}
+	tpkg, err := tconf.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintln(os.Stderr, "bhsslint:", err)
+		return 1
+	}
+
+	pkg := &Package{
+		ImportPath: cfg.ImportPath,
+		Dir:        cfg.Dir,
+		Fset:       fset,
+		Files:      files,
+		Types:      tpkg,
+		Info:       info,
+	}
+	diags, err := RunAnalyzers([]*Package{pkg}, analyzers)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bhsslint:", err)
+		return 1
+	}
+	for _, d := range diags {
+		fmt.Fprintf(os.Stderr, "%s: %s (%s)\n", d.Pos, d.Message, d.Analyzer)
+	}
+	if len(diags) > 0 {
+		return 2
+	}
+	return 0
+}
+
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }

@@ -226,6 +226,7 @@ func NewChipTable() *ChipTable {
 // Row returns the ±1 chips of the given symbol (0..15).
 func (t *ChipTable) Row(symbol int) []int8 {
 	if symbol < 0 || symbol >= NumSymbols {
+		//bhss:allow(panicpolicy) symbol indices come from 4-bit fields; out of range is a programming error
 		panic(fmt.Sprintf("pn: symbol %d out of range", symbol))
 	}
 	row := make([]int8, ChipsPerSymbol)
@@ -310,6 +311,8 @@ func Autocorrelation(seq []int8) []float64 {
 
 // CrossCorrelation returns the periodic cross-correlation of two equal-length
 // ±1 sequences at every lag, normalized by the length.
+//
+//bhss:planphase code-design analysis helper, not a streaming path
 func CrossCorrelation(a, b []int8) []float64 {
 	n := len(a)
 	if len(b) != n {

@@ -83,6 +83,7 @@ func (s *Source) Split() *Source {
 // Intn returns a uniformly distributed integer in [0, n). It panics if n <= 0.
 func (s *Source) Intn(n int) int {
 	if n <= 0 {
+		//bhss:allow(panicpolicy) stdlib contract: math/rand.Intn panics identically on n <= 0
 		panic("prng: Intn called with n <= 0")
 	}
 	// Lemire's multiply-shift rejection method, unbiased.
@@ -172,11 +173,13 @@ func (s *Source) Choose(weights []float64) int {
 	var total float64
 	for _, w := range weights {
 		if w < 0 || math.IsNaN(w) {
+			//bhss:allow(panicpolicy) weights are validated plan-time config; a bad weight is a programming error
 			panic("prng: negative or NaN weight")
 		}
 		total += w
 	}
 	if len(weights) == 0 || total == 0 {
+		//bhss:allow(panicpolicy) weights are validated plan-time config; a bad weight is a programming error
 		panic("prng: Choose requires positive total weight")
 	}
 	x := s.Float64() * total

@@ -54,6 +54,8 @@ func (s Shape) String() string {
 // so that the average transmit power of unit-power chips is one
 // (sum of squares == sps). For HalfSine and Rect the slice has sps samples;
 // for RRC it has RRCSpan*sps+1.
+//
+//bhss:planphase pulse design runs at construction time (results are cached per sps)
 func Taps(s Shape, sps int) []float64 {
 	if sps < 1 {
 		panic(fmt.Sprintf("pulse: sps %d must be >= 1", sps))
@@ -135,6 +137,8 @@ func Modulate(chips []complex128, g []float64) []complex128 {
 
 // ModulateAppend is Modulate appending into dst, for transmitters that
 // assemble a multi-hop burst into one pre-sized buffer.
+//
+//bhss:hotpath
 func ModulateAppend(dst []complex128, chips []complex128, g []float64) []complex128 {
 	sps := len(g)
 	dst = growSamples(dst, len(chips)*sps)
@@ -158,9 +162,12 @@ func Demodulate(samples []complex128, g []float64, offset int) []complex128 {
 
 // DemodulateAppend is Demodulate appending into dst, for receivers that
 // accumulate the chips of consecutive hops into one reused buffer.
+//
+//bhss:hotpath
 func DemodulateAppend(dst []complex128, samples []complex128, g []float64, offset int) []complex128 {
 	sps := len(g)
 	if sps == 0 {
+		//bhss:allow(panicpolicy) zero-alloc Append contract: an empty pulse is a caller bug, caught in construction
 		panic("pulse: empty pulse")
 	}
 	if offset < 0 {
@@ -204,6 +211,8 @@ func growSamples(s []complex128, n int) []complex128 {
 // OccupiedBandwidth returns the approximate two-sided occupied bandwidth of
 // a pulse-shaped chip stream in normalized frequency: the chip rate 1/sps
 // (main lobe width of the chip spectrum).
+//
+//bhss:planphase bandwidth bookkeeping on plan-time config
 func OccupiedBandwidth(sps int) float64 {
 	if sps < 1 {
 		panic("pulse: sps must be >= 1")

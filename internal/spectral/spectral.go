@@ -74,7 +74,8 @@ type Reusable struct {
 	win      []float64
 	winPower float64
 	plan     *dsp.FFTPlan // power-of-two fast path; nil otherwise
-	seg      []complex128
+	//bhss:scratch
+	seg []complex128
 }
 
 // Reusable validates the estimator's configuration and pre-computes the
@@ -109,6 +110,8 @@ func (r *Reusable) SegmentLength() int { return r.est.SegmentLength }
 // PSDInto estimates the PSD of x into dst (len(dst) must be SegmentLength),
 // with the same scaling as Estimator.PSD. Steady-state calls allocate
 // nothing when the segment length is a power of two.
+//
+//bhss:hotpath
 func (r *Reusable) PSDInto(dst []float64, x []complex128) error {
 	k := r.est.SegmentLength
 	if len(dst) != k {

@@ -62,7 +62,10 @@ func TestNumericWhiteningApproachesNarrowbandBound(t *testing.T) {
 			psd[i] += rho0 / bj
 		}
 	}
-	fir := dsp.WhiteningFIR(psd, 1e-9)
+	fir, err := dsp.WhiteningFIR(psd, 1e-9)
+	if err != nil {
+		t.Fatal(err)
+	}
 	h := realTaps(fir)
 	rho := BandlimitedAutocorr(rho0, bj)
 	gamma := ImprovementFactor(h, rho, noiseVar)
@@ -98,7 +101,10 @@ func TestNumericWhiteningMatchedJammer(t *testing.T) {
 	for i := range psd {
 		psd[i] = 1 + noiseVar + rho0 // jammer covers the whole band
 	}
-	fir := dsp.WhiteningFIR(psd, 1e-9)
+	fir, err := dsp.WhiteningFIR(psd, 1e-9)
+	if err != nil {
+		t.Fatal(err)
+	}
 	h := realTaps(fir)
 	rho := func(lag int) float64 {
 		if lag == 0 {

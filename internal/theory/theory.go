@@ -86,6 +86,8 @@ func BandlimitedAutocorr(rho0, bw float64) func(lag int) float64 {
 // a narrow-band jammer (bj <= bp): the jammer is removed entirely at the
 // cost of self-noise proportional to the excised fraction. Beyond the
 // eq. (10) threshold the excision filter would hurt, so γ clamps to 1.
+//
+//bhss:planphase closed-form analysis, not a streaming path
 func GammaNarrowband(rho0, noiseVar, bp, bj float64) float64 {
 	if bp <= 0 || bj < 0 {
 		panic(fmt.Sprintf("theory: invalid bandwidths bp=%v bj=%v", bp, bj))
@@ -107,6 +109,8 @@ func GammaNarrowband(rho0, noiseVar, bp, bj float64) float64 {
 // GammaWideband evaluates eq. (12): the ideal low-pass bound for a
 // wide-band jammer (bj >= bp). Only the fraction bp/bj of the jammer's
 // power falls inside the retained band.
+//
+//bhss:planphase closed-form analysis, not a streaming path
 func GammaWideband(rho0, noiseVar, bp, bj float64) float64 {
 	if bp <= 0 || bj <= 0 {
 		panic(fmt.Sprintf("theory: invalid bandwidths bp=%v bj=%v", bp, bj))
@@ -196,6 +200,8 @@ type HopModel struct {
 // UniformLogHops returns n log-spaced bandwidths spanning the given range
 // (max/min = rng) with uniform probabilities, normalized so max = 1.
 // The §5 figures hop "randomly among a bandwidth range of 100".
+//
+//bhss:planphase hop-plan construction
 func UniformLogHops(rng float64, n int) ([]float64, []float64) {
 	if n < 1 || rng <= 1 {
 		panic("theory: need n >= 1 and range > 1")
