@@ -180,3 +180,37 @@ func BenchmarkLinkThroughput(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkLinkThroughputObs is BenchmarkLinkThroughput with the metrics
+// pipeline attached: the allocs/op and ns/op deltas against the plain bench
+// are the price of observability, which the PR-3 contract keeps at zero.
+func BenchmarkLinkThroughputObs(b *testing.B) {
+	cfg := DefaultConfig(1)
+	tx, err := NewTransmitter(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rx, err := NewReceiver(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	met := NewObserver()
+	tx.SetObserver(met)
+	rx.SetObserver(met)
+	payload := make([]byte, 32)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		burst, err := tx.EncodeFrame(payload)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, _, err := rx.DecodeBurst(burst.Samples); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if met.Rx.Decoded.Load() != int64(b.N) {
+		b.Fatalf("observer counted %d decodes, ran %d", met.Rx.Decoded.Load(), b.N)
+	}
+}

@@ -37,6 +37,7 @@ import (
 	"bhss/internal/core"
 	"bhss/internal/hop"
 	"bhss/internal/jammer"
+	"bhss/internal/obs"
 	"bhss/internal/spectral"
 	"bhss/internal/stats"
 	"bhss/internal/theory"
@@ -66,7 +67,19 @@ type (
 	Distribution = hop.Distribution
 	// Jammer produces interference with a fixed power budget.
 	Jammer = jammer.Source
+	// Observer is the opt-in zero-allocation metrics pipeline: pass it to
+	// Transmitter.SetObserver / Receiver.SetObserver / SimLink.WithObserver,
+	// read it with Snapshot. Recording never changes link behavior or
+	// output; a nil observer (the default) skips all recording.
+	Observer = obs.Pipeline
+	// ObserverSnapshot is one point-in-time reading of an Observer.
+	ObserverSnapshot = obs.Snapshot
 )
+
+// NewObserver returns an empty metrics pipeline ready to attach to any
+// number of transmitters, receivers and links (recording is atomic, so one
+// observer may be shared across goroutines).
+func NewObserver() *Observer { return obs.NewPipeline() }
 
 // Hopping patterns.
 const (

@@ -13,17 +13,28 @@ import (
 	"log"
 
 	"bhss/internal/iqstream"
+	"bhss/internal/obs"
 )
 
 func main() {
 	var (
-		listen = flag.String("listen", "127.0.0.1:4200", "listen address")
-		noise  = flag.Float64("noise", 0.01, "AWGN floor variance per sample")
-		block  = flag.Int("block", 4096, "mixing block size in samples")
-		seed   = flag.Uint64("seed", 1, "noise seed")
-		quiet  = flag.Bool("quiet", false, "suppress connection logs")
+		listen    = flag.String("listen", "127.0.0.1:4200", "listen address")
+		noise     = flag.Float64("noise", 0.01, "AWGN floor variance per sample")
+		block     = flag.Int("block", 4096, "mixing block size in samples")
+		seed      = flag.Uint64("seed", 1, "noise seed")
+		quiet     = flag.Bool("quiet", false, "suppress connection logs")
+		debugAddr = flag.String("debug-addr", "", "serve /debug/bhss, /debug/vars and /debug/pprof on this address (empty = off)")
 	)
 	flag.Parse()
+
+	if *debugAddr != "" {
+		srv, addr, err := obs.ServeDebug(*debugAddr, obs.NewPipeline())
+		if err != nil {
+			log.Fatalf("bhssair: debug server: %v", err)
+		}
+		defer srv.Close()
+		log.Printf("debug server on http://%s/debug/bhss", addr)
+	}
 
 	cfg := iqstream.HubConfig{
 		BlockSize: *block,

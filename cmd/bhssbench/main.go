@@ -19,18 +19,25 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"bhss/internal/experiment"
+	"bhss/internal/obs"
 )
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment id (fig5..fig14, table1, table1opt, table2, patternstats, ablation-dwell, ablation-taps, all)")
-		scale   = flag.String("scale", "quick", "measurement scale: quick or full")
-		csvPath = flag.String("csv", "", "also write raw series to this CSV file")
-		seed    = flag.Uint64("seed", 1, "experiment seed")
-		frames  = flag.Int("frames", 0, "override frames per measurement point")
-		list    = flag.Bool("list", false, "list experiments and exit")
+		exp         = flag.String("exp", "all", "experiment id (fig5..fig14, table1, table1opt, table2, patternstats, ablation-dwell, ablation-taps, all)")
+		scale       = flag.String("scale", "quick", "measurement scale: quick or full")
+		csvPath     = flag.String("csv", "", "also write raw series to this CSV file")
+		seed        = flag.Uint64("seed", 1, "experiment seed")
+		frames      = flag.Int("frames", 0, "override frames per measurement point")
+		list        = flag.Bool("list", false, "list experiments and exit")
+		obsPath     = flag.String("obs", "", "write periodic pipeline-metric snapshots to this file")
+		obsFormat   = flag.String("obs-format", "jsonl", "snapshot format: jsonl or csv")
+		obsInterval = flag.Duration("obs-interval", 2*time.Second, "snapshot writer period")
+		progress    = flag.Duration("progress", 0, "print live sweep progress to stderr at this period (0 = off)")
+		debugAddr   = flag.String("debug-addr", "", "serve /debug/bhss, /debug/vars and /debug/pprof on this address (empty = off)")
 	)
 	flag.Parse()
 
@@ -66,6 +73,53 @@ func main() {
 	sc.Seed = *seed
 	if *frames > 0 {
 		sc.Frames = *frames
+	}
+
+	// One pipeline observes every experiment of the invocation; it feeds
+	// the snapshot writer, the progress ticker and the debug endpoint, and
+	// never alters the measurements themselves.
+	met := obs.NewPipeline()
+	if *obsPath != "" || *progress > 0 || *debugAddr != "" {
+		sc.Obs = met
+	}
+	var writer *obs.SnapshotWriter
+	if *obsPath != "" {
+		format, err := obs.ParseFormat(*obsFormat)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%v\n", err)
+			os.Exit(2)
+		}
+		f, err := os.Create(*obsPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "obs: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		writer = obs.NewSnapshotWriter(f, format, met)
+		writer.Start(*obsInterval)
+		defer func() {
+			if err := writer.Stop(); err != nil {
+				fmt.Fprintf(os.Stderr, "obs: %v\n", err)
+			}
+		}()
+	}
+	if *progress > 0 {
+		ticker := time.NewTicker(*progress)
+		defer ticker.Stop()
+		go func() {
+			for range ticker.C {
+				fmt.Fprintf(os.Stderr, "%s\n", experiment.Progress(met))
+			}
+		}()
+	}
+	if *debugAddr != "" {
+		srv, addr, err := obs.ServeDebug(*debugAddr, met)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "debug server: %v\n", err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "debug server on http://%s/debug/bhss\n", addr)
 	}
 
 	ids := strings.Split(*exp, ",")

@@ -17,6 +17,7 @@ import (
 	"bhss/internal/hop"
 	"bhss/internal/iqstream"
 	"bhss/internal/jammer"
+	"bhss/internal/obs"
 	"bhss/internal/stats"
 )
 
@@ -30,16 +31,17 @@ func main() {
 // an error, so deferred cleanup actually runs (log.Fatalf skips defers).
 func run() (err error) {
 	var (
-		hubAddr = flag.String("hub", "127.0.0.1:4200", "bhssair hub address")
-		kind    = flag.String("kind", "bandlimited", "jammer kind: bandlimited, tone, sweep, hopping, pulsed")
-		bwMHz   = flag.Float64("bw", 2.5, "jammer bandwidth in MHz (sweep: span)")
-		rate    = flag.Float64("rate", 20, "sample rate in MHz")
-		powerDB = flag.Float64("power", 20, "jammer power in dB relative to a unit signal")
-		pattern = flag.String("pattern", "linear", "hopping jammer pattern")
-		period  = flag.Int("period", 65536, "sweep period / pulse period / hop dwell in samples")
-		duty    = flag.Float64("duty", 0.5, "pulsed jammer duty cycle")
-		seed    = flag.Uint64("seed", 7, "jammer noise seed")
-		blocks  = flag.Int("blocks", 0, "number of 4096-sample blocks to emit (0 = forever)")
+		hubAddr   = flag.String("hub", "127.0.0.1:4200", "bhssair hub address")
+		kind      = flag.String("kind", "bandlimited", "jammer kind: bandlimited, tone, sweep, hopping, pulsed")
+		bwMHz     = flag.Float64("bw", 2.5, "jammer bandwidth in MHz (sweep: span)")
+		rate      = flag.Float64("rate", 20, "sample rate in MHz")
+		powerDB   = flag.Float64("power", 20, "jammer power in dB relative to a unit signal")
+		pattern   = flag.String("pattern", "linear", "hopping jammer pattern")
+		period    = flag.Int("period", 65536, "sweep period / pulse period / hop dwell in samples")
+		duty      = flag.Float64("duty", 0.5, "pulsed jammer duty cycle")
+		seed      = flag.Uint64("seed", 7, "jammer noise seed")
+		blocks    = flag.Int("blocks", 0, "number of 4096-sample blocks to emit (0 = forever)")
+		debugAddr = flag.String("debug-addr", "", "serve /debug/bhss, /debug/vars and /debug/pprof on this address (empty = off)")
 	)
 	flag.Parse()
 
@@ -80,6 +82,17 @@ func run() (err error) {
 	}
 	if err != nil {
 		return err
+	}
+
+	if *debugAddr != "" {
+		// The jammer has no instrumented link of its own; the endpoint's
+		// value here is pprof plus the process-global metrics.
+		srv, addr, derr := obs.ServeDebug(*debugAddr, obs.NewPipeline())
+		if derr != nil {
+			return fmt.Errorf("debug server: %w", derr)
+		}
+		defer srv.Close()
+		log.Printf("debug server on http://%s/debug/bhss", addr)
 	}
 
 	client, err := iqstream.DialTx(*hubAddr, 0)

@@ -18,6 +18,7 @@ import (
 	"bhss/internal/core"
 	"bhss/internal/hop"
 	"bhss/internal/iqstream"
+	"bhss/internal/obs"
 )
 
 func main() {
@@ -30,11 +31,12 @@ func main() {
 // an error, so deferred cleanup actually runs (log.Fatalf skips defers).
 func run() (err error) {
 	var (
-		hubAddr = flag.String("hub", "127.0.0.1:4200", "bhssair hub address")
-		seed    = flag.Uint64("seed", 42, "pre-shared link seed")
-		pattern = flag.String("pattern", "linear", "hopping pattern: fixed, linear, exponential, parabolic")
-		count   = flag.Int("count", 10, "frames to receive before reporting (0 = forever)")
-		idleMS  = flag.Int("idle", 150, "stream-idle time in ms after which a decode is attempted")
+		hubAddr   = flag.String("hub", "127.0.0.1:4200", "bhssair hub address")
+		seed      = flag.Uint64("seed", 42, "pre-shared link seed")
+		pattern   = flag.String("pattern", "linear", "hopping pattern: fixed, linear, exponential, parabolic")
+		count     = flag.Int("count", 10, "frames to receive before reporting (0 = forever)")
+		idleMS    = flag.Int("idle", 150, "stream-idle time in ms after which a decode is attempted")
+		debugAddr = flag.String("debug-addr", "", "serve /debug/bhss, /debug/vars and /debug/pprof on this address (empty = off)")
 	)
 	flag.Parse()
 
@@ -57,6 +59,16 @@ func run() (err error) {
 	rx, err := core.NewReceiver(cfg)
 	if err != nil {
 		return err
+	}
+	if *debugAddr != "" {
+		met := obs.NewPipeline()
+		rx.SetObserver(met)
+		srv, addr, err := obs.ServeDebug(*debugAddr, met)
+		if err != nil {
+			return fmt.Errorf("debug server: %w", err)
+		}
+		defer srv.Close()
+		log.Printf("debug server on http://%s/debug/bhss", addr)
 	}
 	client, err := iqstream.DialRx(*hubAddr)
 	if err != nil {

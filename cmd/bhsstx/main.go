@@ -16,6 +16,7 @@ import (
 	"bhss/internal/core"
 	"bhss/internal/hop"
 	"bhss/internal/iqstream"
+	"bhss/internal/obs"
 )
 
 func patternByName(name string) (hop.Pattern, error) {
@@ -43,13 +44,14 @@ func main() {
 // an error, so deferred cleanup actually runs (log.Fatalf skips defers).
 func run() (err error) {
 	var (
-		hubAddr = flag.String("hub", "127.0.0.1:4200", "bhssair hub address")
-		seed    = flag.Uint64("seed", 42, "pre-shared link seed")
-		pattern = flag.String("pattern", "linear", "hopping pattern: fixed, linear, exponential, parabolic")
-		count   = flag.Int("count", 10, "number of frames to send (0 = forever)")
-		payload = flag.String("payload", "bandwidth hopping spread spectrum", "frame payload")
-		gainDB  = flag.Float64("gain", 0, "transmit gain in dB at the hub port")
-		gapMS   = flag.Int("gap", 50, "inter-frame gap in milliseconds")
+		hubAddr   = flag.String("hub", "127.0.0.1:4200", "bhssair hub address")
+		seed      = flag.Uint64("seed", 42, "pre-shared link seed")
+		pattern   = flag.String("pattern", "linear", "hopping pattern: fixed, linear, exponential, parabolic")
+		count     = flag.Int("count", 10, "number of frames to send (0 = forever)")
+		payload   = flag.String("payload", "bandwidth hopping spread spectrum", "frame payload")
+		gainDB    = flag.Float64("gain", 0, "transmit gain in dB at the hub port")
+		gapMS     = flag.Int("gap", 50, "inter-frame gap in milliseconds")
+		debugAddr = flag.String("debug-addr", "", "serve /debug/bhss, /debug/vars and /debug/pprof on this address (empty = off)")
 	)
 	flag.Parse()
 
@@ -62,6 +64,16 @@ func run() (err error) {
 	tx, err := core.NewTransmitter(cfg)
 	if err != nil {
 		return err
+	}
+	if *debugAddr != "" {
+		met := obs.NewPipeline()
+		tx.SetObserver(met)
+		srv, addr, err := obs.ServeDebug(*debugAddr, met)
+		if err != nil {
+			return fmt.Errorf("debug server: %w", err)
+		}
+		defer srv.Close()
+		log.Printf("debug server on http://%s/debug/bhss", addr)
 	}
 	client, err := iqstream.DialTx(*hubAddr, *gainDB)
 	if err != nil {

@@ -12,6 +12,7 @@ import (
 	"math"
 
 	"bhss/internal/dsp"
+	"bhss/internal/obs"
 	"bhss/internal/prng"
 )
 
@@ -21,6 +22,7 @@ type AWGN struct {
 	src      *prng.Source
 	variance float64
 	amp      float64
+	met      *obs.ChanMetrics
 }
 
 // NewAWGN returns a noise source with the given per-sample variance,
@@ -35,14 +37,25 @@ func NewAWGN(variance float64, seed uint64) *AWGN {
 // Variance returns the configured per-sample noise variance.
 func (a *AWGN) Variance() float64 { return a.variance }
 
+// SetObserver attaches channel metrics (nil detaches). Recording never
+// touches the sample stream or the noise source's PRNG state.
+func (a *AWGN) SetObserver(m *obs.ChanMetrics) { a.met = m }
+
 // Add adds noise to x in place.
 func (a *AWGN) Add(x []complex128) {
-	if a.variance == 0 {
-		return
+	var sw obs.Stopwatch
+	if a.met != nil {
+		sw = obs.Start()
 	}
-	g := complex(a.amp, 0)
-	for i := range x {
-		x[i] += a.src.ComplexNorm() * g
+	if a.variance != 0 {
+		g := complex(a.amp, 0)
+		for i := range x {
+			x[i] += a.src.ComplexNorm() * g
+		}
+	}
+	if a.met != nil {
+		a.met.NoiseSamples.Add(int64(len(x)))
+		a.met.MixNS.ObserveSince(sw)
 	}
 }
 

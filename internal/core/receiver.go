@@ -10,6 +10,7 @@ import (
 	"bhss/internal/dsss"
 	"bhss/internal/frame"
 	"bhss/internal/hop"
+	"bhss/internal/obs"
 	"bhss/internal/pulse"
 	"bhss/internal/spectral"
 	"bhss/internal/tracking"
@@ -69,6 +70,15 @@ type RxStats struct {
 	CFO float64
 }
 
+// Reset clears the stats for reuse, keeping the Hops backing array so a
+// recycled RxStats records the next burst without reallocating.
+func (s *RxStats) Reset() {
+	s.Hops = s.Hops[:0]
+	s.MeanMetric = 0
+	s.AcquisitionOffset = 0
+	s.CFO = 0
+}
+
 // Decode errors beyond those of package frame.
 var (
 	// ErrTruncatedBurst flags fewer samples than one hop of one symbol.
@@ -96,7 +106,28 @@ type Receiver struct {
 	// transform instead of redesigning per hop.
 	notchCache map[notchKey]*dsp.FIR
 
+	// met is the optional observer; nil skips all recording. Recording
+	// never touches sample data, so decode output is identical either way.
+	met *obs.Pipeline
+	// stats is the reusable per-burst diagnostic record DecodeBurst hands
+	// out, valid until the next DecodeBurst call.
+	stats RxStats
+
 	scratch rxScratch
+}
+
+// SetObserver attaches a metrics pipeline to the receiver (nil detaches).
+// Existing cached Welch estimators are rewired so PSD metrics flow
+// regardless of attachment order.
+func (r *Receiver) SetObserver(p *obs.Pipeline) {
+	r.met = p
+	for _, e := range r.welchCache {
+		if p != nil {
+			e.SetObserver(&p.PSD)
+		} else {
+			e.SetObserver(nil)
+		}
+	}
 }
 
 // notchKey identifies one cached excision design. The fingerprint hashes
@@ -163,11 +194,18 @@ func NewReceiver(cfg Config) (*Receiver, error) {
 // welch returns the cached reusable Welch estimator for segment length k.
 func (r *Receiver) welch(k int) (*spectral.Reusable, error) {
 	if e, ok := r.welchCache[k]; ok {
+		if r.met != nil {
+			r.met.Cache.WelchHit.Inc()
+		}
 		return e, nil
 	}
 	e, err := spectral.Welch(k).Reusable()
 	if err != nil {
 		return nil, err
+	}
+	if r.met != nil {
+		r.met.Cache.WelchMiss.Inc()
+		e.SetObserver(&r.met.PSD)
 	}
 	r.welchCache[k] = e
 	return e, nil
@@ -201,7 +239,13 @@ func (r *Receiver) pulseTaps(sps int) []float64 {
 // lowPass returns the cached channel-select filter for a hop bandwidth.
 func (r *Receiver) lowPass(sps int) *dsp.FIR {
 	if f, ok := r.lpfCache[sps]; ok {
+		if r.met != nil {
+			r.met.Cache.LowPassHit.Inc()
+		}
 		return f
+	}
+	if r.met != nil {
+		r.met.Cache.LowPassMiss.Inc()
 	}
 	// Keep the half-sine main lobe (~1.5/sps two-sided) while cutting the
 	// out-of-band jammer. Sharper transitions need more taps; the tap
@@ -228,6 +272,11 @@ type hopFilterCtx struct {
 //bhss:hotpath
 //bhss:scratchview ctx.raw aliases receiver scratch, valid until the next estimateHop call
 func (r *Receiver) estimateHop(seg []complex128, sps int) (FilterDecision, hopFilterCtx, HopReport) {
+	if r.met != nil {
+		// Open-coded defer (Go ≥1.14): no allocation, so the hot path stays
+		// at 0 allocs/op with recording enabled.
+		defer r.met.RecordStage(obs.StageRxEstimate, obs.Start())
+	}
 	report := HopReport{SamplesPerChip: sps}
 	// Resolution adapts to the hop: aim for ~32 bins across the signal
 	// band (in-band bins = K * 1.5/sps) so an in-band notch can be much
@@ -329,7 +378,13 @@ func (r *Receiver) estimateHop(seg []complex128, sps int) (FilterDecision, hopFi
 func (r *Receiver) pulseShapeGain(sps, k int) []float64 {
 	key := [2]int{sps, k}
 	if g, ok := r.shapeCache[key]; ok {
+		if r.met != nil {
+			r.met.Cache.ShapeHit.Inc()
+		}
 		return g
+	}
+	if r.met != nil {
+		r.met.Cache.ShapeMiss.Inc()
 	}
 	taps := r.pulseTaps(sps)
 	buf := make([]complex128, k)
@@ -384,6 +439,9 @@ func inBandBins(psd []float64, bw float64) []float64 {
 //bhss:hotpath
 //bhss:scratchview output is valid until the next filterHop call
 func (r *Receiver) filterHop(seg []complex128, sps int, decision FilterDecision, ctx hopFilterCtx) ([]complex128, error) {
+	if r.met != nil && decision != FilterNone {
+		defer r.met.RecordStage(obs.StageRxFilter, obs.Start())
+	}
 	switch decision {
 	case FilterLowPass:
 		r.scratch.filtered = r.lowPass(sps).Convolver().ApplySame(r.scratch.filtered[:0], seg)
@@ -429,6 +487,10 @@ func (r *Receiver) notchFilter(sps int, ctx hopFilterCtx) (*dsp.FIR, error) {
 	if ctx.refN <= 0 {
 		// Degenerate reference (no measurable signal): nothing to anchor
 		// a fingerprint on, design directly from the estimate.
+		if r.met != nil {
+			r.met.Cache.NotchMiss.Inc()
+			defer r.met.RecordStage(obs.StageRxFilterDesign, obs.Start())
+		}
 		return dsp.ShapedNotchFIR(psd, target, thr)
 	}
 	r.scratch.qpsd = resizeFloats(r.scratch.qpsd, k)
@@ -449,13 +511,27 @@ func (r *Receiver) notchFilter(sps int, ctx hopFilterCtx) (*dsp.FIR, error) {
 	}
 	key := notchKey{sps: sps, k: k, fp: fp}
 	if f, ok := r.notchCache[key]; ok {
+		if r.met != nil {
+			r.met.Cache.NotchHit.Inc()
+		}
 		return f, nil
 	}
+	var dsw obs.Stopwatch
+	if r.met != nil {
+		r.met.Cache.NotchMiss.Inc()
+		dsw = obs.Start()
+	}
 	f, err := dsp.ShapedNotchFIR(qpsd, target, thr)
+	if r.met != nil {
+		r.met.RecordStage(obs.StageRxFilterDesign, dsw)
+	}
 	if err != nil {
 		return nil, err
 	}
 	if len(r.notchCache) >= maxNotchCache {
+		if r.met != nil {
+			r.met.Cache.NotchEvict.Add(int64(len(r.notchCache)))
+		}
 		clear(r.notchCache)
 	}
 	r.notchCache[key] = f
@@ -521,19 +597,56 @@ func ratioOrInf(peak, ref float64) float64 {
 // counter whether or not decoding succeeds, keeping the seed streams in
 // lockstep with the transmitter. The returned stats are valid even when an
 // error is returned.
+//
+// The stats are a reusable receiver-owned record: they stay valid until the
+// next DecodeBurst call and must not be retained across calls. Callers that
+// manage their own record use DecodeBurstInto.
 func (r *Receiver) DecodeBurst(samples []complex128) ([]byte, *RxStats, error) {
+	r.stats.Reset()
+	payload, err := r.DecodeBurstInto(&r.stats, samples)
+	return payload, &r.stats, err
+}
+
+// DecodeBurstInto is DecodeBurst with a caller-supplied stats record, for
+// callers that pool or retain diagnostics. stats is overwritten (call Reset
+// to also recycle its Hops storage); it is filled in even when an error is
+// returned.
+func (r *Receiver) DecodeBurstInto(stats *RxStats, samples []complex128) ([]byte, error) {
+	if r.met == nil {
+		return r.decodeBurst(stats, samples)
+	}
+	sw := obs.Start()
+	r.met.Rx.Bursts.Inc()
+	r.met.Rx.Samples.Add(int64(len(samples)))
+	payload, err := r.decodeBurst(stats, samples)
+	r.met.RecordStage(obs.StageRxDecode, sw)
+	if err != nil {
+		r.met.Rx.Errors.Inc()
+	} else {
+		r.met.Rx.Decoded.Inc()
+	}
+	return payload, err
+}
+
+func (r *Receiver) decodeBurst(stats *RxStats, samples []complex128) ([]byte, error) {
 	fr := r.frame
 	r.frame++
-	stats := &RxStats{}
 
 	if r.cfg.Sync == PreambleSync {
+		var asw obs.Stopwatch
+		if r.met != nil {
+			asw = obs.Start()
+		}
 		offset, cfo, phase, err := r.acquire(samples, fr)
+		if r.met != nil {
+			r.met.RecordStage(obs.StageRxAcquire, asw)
+		}
 		if err != nil {
 			// No burst in this capture: give the frame counter back so a
 			// streaming receiver stays in lockstep with the transmitter
 			// while it scans for the next burst.
 			r.frame = fr
-			return nil, stats, err
+			return nil, err
 		}
 		stats.AcquisitionOffset = offset
 		stats.CFO = cfo
@@ -544,7 +657,7 @@ func (r *Receiver) DecodeBurst(samples []complex128) ([]byte, *RxStats, error) {
 
 	sched, err := hop.NewSchedule(r.dist, deriveSeed(r.cfg.Seed, fr, purposeHopPlan), r.cfg.SymbolsPerHop)
 	if err != nil {
-		return nil, stats, err
+		return nil, err
 	}
 	scramblerSeed := deriveSeed(r.cfg.Seed, fr, purposeScrambler)
 
@@ -566,7 +679,7 @@ func (r *Receiver) DecodeBurst(samples []complex128) ([]byte, *RxStats, error) {
 	if r.cfg.TrackingLoops {
 		loop, err = tracking.NewCostas(carrierLoopBW)
 		if err != nil {
-			return nil, stats, err
+			return nil, err
 		}
 	}
 
@@ -609,7 +722,7 @@ func (r *Receiver) DecodeBurst(samples []complex128) ([]byte, *RxStats, error) {
 			report = rep
 			filtered, err := r.filterHop(seg, sps, decision, ctx)
 			if err != nil {
-				return nil, stats, fmt.Errorf("core: hop filter: %w", err)
+				return nil, fmt.Errorf("core: hop filter: %w", err)
 			}
 			seg = filtered
 		} else {
@@ -617,6 +730,10 @@ func (r *Receiver) DecodeBurst(samples []complex128) ([]byte, *RxStats, error) {
 		}
 		report.BandwidthMHz = r.dist.Bandwidths[bwIdx]
 		stats.Hops = append(stats.Hops, report)
+		if r.met != nil {
+			r.met.Rx.Hops.Inc()
+			r.met.Rx.Decision[report.Decision].Inc()
+		}
 
 		if loop != nil {
 			if len(stats.Hops) == 1 {
@@ -627,12 +744,26 @@ func (r *Receiver) DecodeBurst(samples []complex128) ([]byte, *RxStats, error) {
 				// of the vulnerability the filters protect.
 				loop.SetFrequency(tracking.CoarseCFOInRange(seg, maxTrackedCFO))
 			}
+			var tsw obs.Stopwatch
+			if r.met != nil {
+				tsw = obs.Start()
+			}
 			r.scratch.tracked = append(r.scratch.tracked[:0], seg...)
 			loop.Process(r.scratch.tracked)
 			seg = r.scratch.tracked
+			if r.met != nil {
+				r.met.RecordStage(obs.StageRxTrack, tsw)
+			}
 		}
 
+		var dsw obs.Stopwatch
+		if r.met != nil {
+			dsw = obs.Start()
+		}
 		chips = pulse.DemodulateAppend(chips, seg, r.pulseTaps(sps), 0)
+		if r.met != nil {
+			r.met.RecordStage(obs.StageRxDemod, dsw)
+		}
 
 		if totalSymbols < 0 && len(chips) >= frame.HeaderSymbols*dsss.ComplexChipsPerSymbol {
 			rot, total := r.resolveHeader(chips, scramblerSeed)
@@ -642,7 +773,7 @@ func (r *Receiver) DecodeBurst(samples []complex128) ([]byte, *RxStats, error) {
 	}
 	r.scratch.chips = chips // keep the grown buffer for the next burst
 	if len(chips) < dsss.ComplexChipsPerSymbol {
-		return nil, stats, ErrTruncatedBurst
+		return nil, ErrTruncatedBurst
 	}
 	if rotation != 1 {
 		for i := range chips {
@@ -651,9 +782,16 @@ func (r *Receiver) DecodeBurst(samples []complex128) ([]byte, *RxStats, error) {
 	}
 	whole := len(chips) / dsss.ComplexChipsPerSymbol * dsss.ComplexChipsPerSymbol
 	despreader := dsss.NewDespreader(scramblerSeed)
+	var ssw obs.Stopwatch
+	if r.met != nil {
+		ssw = obs.Start()
+	}
 	symbols, metrics, err := despreader.Despread(chips[:whole])
+	if r.met != nil {
+		r.met.RecordStage(obs.StageRxDespread, ssw)
+	}
 	if err != nil {
-		return nil, stats, fmt.Errorf("core: %w", err)
+		return nil, fmt.Errorf("core: %w", err)
 	}
 	var metricSum float64
 	for _, m := range metrics {
@@ -662,9 +800,9 @@ func (r *Receiver) DecodeBurst(samples []complex128) ([]byte, *RxStats, error) {
 	stats.MeanMetric = metricSum / float64(len(symbols))
 	payload, err := frame.Decode(symbols)
 	if err != nil {
-		return nil, stats, err
+		return nil, err
 	}
-	return payload, stats, nil
+	return payload, nil
 }
 
 // resolveHeader despreads the header chips and returns the QPSK rotation

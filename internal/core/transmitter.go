@@ -6,6 +6,7 @@ import (
 	"bhss/internal/dsss"
 	"bhss/internal/frame"
 	"bhss/internal/hop"
+	"bhss/internal/obs"
 	"bhss/internal/prng"
 	"bhss/internal/pulse"
 )
@@ -57,10 +58,16 @@ type Transmitter struct {
 	frame  uint64
 	// pulse taps per samples-per-chip value, cached.
 	pulseCache map[int][]float64
+	// met is the optional observer; nil skips all recording.
+	met *obs.Pipeline
 	// chipBuf is the per-hop chip scratch reused across EncodeFrame calls.
 	//bhss:scratch
 	chipBuf []complex128
 }
+
+// SetObserver attaches a metrics pipeline to the transmitter (nil detaches).
+// Recording never touches the emitted samples.
+func (t *Transmitter) SetObserver(p *obs.Pipeline) { t.met = p }
 
 // NewTransmitter returns a transmitter for the configuration.
 func NewTransmitter(cfg Config) (*Transmitter, error) {
@@ -98,6 +105,11 @@ func planHops(cfg Config, dist hop.Distribution, fr uint64, nSymbols int) ([]int
 // advancing the frame counter. The returned burst carries the samples to
 // put on the air.
 func (t *Transmitter) EncodeFrame(payload []byte) (*Burst, error) {
+	var esw obs.Stopwatch
+	if t.met != nil {
+		esw = obs.Start()
+		defer t.met.RecordStage(obs.StageTxEncode, esw)
+	}
 	symbols, err := frame.Encode(payload)
 	if err != nil {
 		return nil, err
@@ -132,14 +144,25 @@ func (t *Transmitter) EncodeFrame(payload []byte) (*Burst, error) {
 		if symPos+n > len(symbols) {
 			n = len(symbols) - symPos
 		}
+		var hsw obs.Stopwatch
+		if t.met != nil {
+			hsw = obs.Start()
+		}
 		chips, err := spreader.SpreadAppend(t.chipBuf[:0], symbols[symPos:symPos+n])
 		if err != nil {
 			return nil, fmt.Errorf("core: %w", err)
+		}
+		if t.met != nil {
+			t.met.RecordStage(obs.StageTxSpread, hsw)
+			hsw = obs.Start()
 		}
 		t.chipBuf = chips
 		sps := t.spsTab[bwIdx]
 		start := len(burst.Samples)
 		burst.Samples = pulse.ModulateAppend(burst.Samples, chips, t.pulseTaps(sps))
+		if t.met != nil {
+			t.met.RecordStage(obs.StageTxModulate, hsw)
+		}
 		burst.Segments = append(burst.Segments, HopSegment{
 			BandwidthIndex: bwIdx,
 			BandwidthMHz:   t.dist.Bandwidths[bwIdx],
@@ -150,6 +173,11 @@ func (t *Transmitter) EncodeFrame(payload []byte) (*Burst, error) {
 			NumSamples:     len(burst.Samples) - start,
 		})
 		symPos += n
+	}
+	if t.met != nil {
+		t.met.Tx.Frames.Inc()
+		t.met.Tx.Symbols.Add(int64(len(symbols)))
+		t.met.Tx.Samples.Add(int64(len(burst.Samples)))
 	}
 	return burst, nil
 }

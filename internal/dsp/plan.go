@@ -5,6 +5,8 @@ import (
 	"math"
 	"math/bits"
 	"sync"
+
+	"bhss/internal/obs"
 )
 
 // FFTPlan caches everything a radix-2 FFT of one power-of-two size needs:
@@ -29,14 +31,25 @@ type FFTPlan struct {
 // touches a handful of sizes, so the cache is unbounded.
 var planCache sync.Map // int -> *FFTPlan
 
+// The plan cache is process-wide, so its hit/miss counters are too: they
+// register with obs as globals and show up in every pipeline snapshot.
+var planCacheHits, planCacheMisses obs.Counter
+
+func init() {
+	obs.RegisterGlobal("dsp.fftplan.hit", planCacheHits.Load)
+	obs.RegisterGlobal("dsp.fftplan.miss", planCacheMisses.Load)
+}
+
 // PlanFFT returns the (memoized) plan for an n-point transform. n must be a
 // power of two >= 1.
 //
 //bhss:planphase plan construction; a non-power-of-two size is a programming error
 func PlanFFT(n int) *FFTPlan {
 	if v, ok := planCache.Load(n); ok {
+		planCacheHits.Inc()
 		return v.(*FFTPlan)
 	}
+	planCacheMisses.Inc()
 	p, err := NewFFTPlan(n)
 	if err != nil {
 		panic(err)

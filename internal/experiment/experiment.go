@@ -16,6 +16,7 @@ import (
 	"bhss/internal/core"
 	"bhss/internal/dsp"
 	"bhss/internal/jammer"
+	"bhss/internal/obs"
 	"bhss/internal/prng"
 	"bhss/internal/stats"
 )
@@ -41,6 +42,11 @@ type Scale struct {
 	FilterTaps int
 	// Seed makes the whole experiment deterministic.
 	Seed uint64
+	// Obs, when non-nil, receives metrics from every link the experiment
+	// builds (a single pipeline shared across worker goroutines — recording
+	// is atomic). It never influences results: seeds, decisions and samples
+	// are identical with Obs set or nil.
+	Obs *obs.Pipeline
 }
 
 // QuickScale returns the reduced scale used by the benchmarks: enough
@@ -108,6 +114,11 @@ type Trial struct {
 // any reason — CRC, SFD, truncation — count as lost, mirroring the paper's
 // CRC-based loss definition.
 func (t Trial) PacketLoss(snrDB float64, pointSeed uint64) (float64, error) {
+	met := t.Scale.Obs
+	var psw obs.Stopwatch
+	if met != nil {
+		psw = obs.Start()
+	}
 	cfg := t.Config
 	cfg.FilterTaps = t.Scale.FilterTaps
 	tx, err := core.NewTransmitter(cfg)
@@ -118,6 +129,8 @@ func (t Trial) PacketLoss(snrDB float64, pointSeed uint64) (float64, error) {
 	if err != nil {
 		return 0, err
 	}
+	tx.SetObserver(met)
+	rx.SetObserver(met)
 	var jam jammer.Source
 	if t.NewJammer != nil {
 		jam, err = t.NewJammer(pointSeed ^ 0xa5a5a5a5)
@@ -126,6 +139,9 @@ func (t Trial) PacketLoss(snrDB float64, pointSeed uint64) (float64, error) {
 		}
 	}
 	noise := channel.NewAWGN(t.Scale.NoiseVar, pointSeed^0x5a5a5a5a)
+	if met != nil {
+		noise.SetObserver(&met.Chan)
+	}
 	src := prng.New(pointSeed)
 	payload := make([]byte, t.Scale.PayloadBytes)
 
@@ -170,6 +186,9 @@ func (t Trial) PacketLoss(snrDB float64, pointSeed uint64) (float64, error) {
 			for k := range rxSamples {
 				rxSamples[k] += j[k]
 			}
+			if met != nil {
+				met.Chan.JamSamples.Add(int64(len(j)))
+			}
 		}
 		noise.Add(rxSamples)
 		got, _, err := rx.DecodeBurst(rxSamples)
@@ -184,7 +203,16 @@ func (t Trial) PacketLoss(snrDB float64, pointSeed uint64) (float64, error) {
 			}
 		}
 	}
-	return float64(lost) / float64(t.Scale.Frames), nil
+	plr := float64(lost) / float64(t.Scale.Frames)
+	if met != nil {
+		met.Exp.Points.Inc()
+		met.Exp.Frames.Add(int64(t.Scale.Frames))
+		met.Exp.FramesLost.Add(int64(lost))
+		met.Exp.LastPLR.Store(plr)
+		met.Exp.LastSNRdB.Store(snrDB)
+		met.Exp.PointNS.ObserveSince(psw)
+	}
+	return plr, nil
 }
 
 // MinSNR returns the smallest SNR (dB) at which the packet-loss rate stays

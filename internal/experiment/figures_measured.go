@@ -68,6 +68,9 @@ func Fig13(sc Scale, bandwidths []float64) (Result, error) {
 			cells = append(cells, cell{bp, bj})
 		}
 	}
+	if sc.Obs != nil {
+		sc.Obs.Exp.Cells.Add(int64(len(cells)))
+	}
 	advs := make([]float64, len(cells))
 	err := forEach(len(cells), func(i int) error {
 		bp, bj := cells[i].bp, cells[i].bj
@@ -85,6 +88,9 @@ func Fig13(sc Scale, bandwidths []float64) (Result, error) {
 			return fmt.Errorf("fig13 bp=%v bj=%v: %w", bp, bj, err)
 		}
 		advs[i] = adv
+		if sc.Obs != nil {
+			sc.Obs.Exp.CellsDone.Inc()
+		}
 		return nil
 	})
 	if err != nil {
@@ -195,6 +201,9 @@ func Fig14(sc Scale, jammerBWs []float64) (Result, error) {
 	for i := range advs {
 		advs[i] = make([]float64, len(patterns))
 	}
+	if sc.Obs != nil {
+		sc.Obs.Exp.Cells.Add(int64(len(jammerBWs) * len(patterns)))
+	}
 	err = forEach(len(jammerBWs)*len(patterns), func(k int) error {
 		bi, pi := k/len(patterns), k%len(patterns)
 		bj, p := jammerBWs[bi], patterns[pi]
@@ -209,6 +218,9 @@ func Fig14(sc Scale, jammerBWs []float64) (Result, error) {
 			return fmt.Errorf("fig14 %v bj=%v: %w", p, bj, err)
 		}
 		advs[bi][pi] = baseSNR - snr
+		if sc.Obs != nil {
+			sc.Obs.Exp.CellsDone.Inc()
+		}
 		return nil
 	})
 	if err != nil {
@@ -257,6 +269,9 @@ func Table2(sc Scale) (Result, error) {
 	for i := range advs {
 		advs[i] = make([]float64, len(patterns))
 	}
+	if sc.Obs != nil {
+		sc.Obs.Exp.Cells.Add(int64(len(patterns) * len(patterns)))
+	}
 	err = forEach(len(patterns)*len(patterns), func(k int) error {
 		si, ji := k/len(patterns), k%len(patterns)
 		sp, jp := patterns[si], patterns[ji]
@@ -278,6 +293,9 @@ func Table2(sc Scale) (Result, error) {
 			return fmt.Errorf("table2 %v vs %v: %w", sp, jp, err)
 		}
 		advs[si][ji] = baseSNR - snr
+		if sc.Obs != nil {
+			sc.Obs.Exp.CellsDone.Inc()
+		}
 		return nil
 	})
 	if err != nil {

@@ -1,0 +1,98 @@
+package experiment
+
+import (
+	"reflect"
+	"runtime"
+	"sync"
+	"testing"
+
+	"bhss/internal/obs"
+)
+
+// TestFigureObserverParity asserts the tentpole observability contract at the
+// experiment level: attaching a metrics pipeline to a measured figure must
+// leave every number bit-identical. The observer only reads the signal path;
+// it never feeds back into it.
+func TestFigureObserverParity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("measured experiment")
+	}
+	ratios := []float64{10, 0.625}
+
+	plain := tinyScale()
+	base, err := Fig13(plain, ratios)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	watched := tinyScale()
+	watched.Obs = obs.NewPipeline()
+	observed, err := Fig13(watched, ratios)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if !reflect.DeepEqual(base, observed) {
+		t.Fatalf("observer perturbed the figure:\nplain:    %+v\nobserved: %+v", base, observed)
+	}
+
+	// The pipeline must have seen the sweep it watched: Fig13 runs one cell
+	// per signal/jammer bandwidth pair.
+	cells := int64(len(ratios) * len(ratios))
+	if got := watched.Obs.Exp.Cells.Load(); got != cells {
+		t.Fatalf("exp.cells = %d, want %d", got, cells)
+	}
+	if got := watched.Obs.Exp.CellsDone.Load(); got != cells {
+		t.Fatalf("exp.cells_done = %d, want %d", got, cells)
+	}
+	if watched.Obs.Exp.Points.Load() == 0 {
+		t.Fatal("exp.points never incremented")
+	}
+	if watched.Obs.Rx.Bursts.Load() == 0 {
+		t.Fatal("rx.bursts never incremented")
+	}
+	if Progress(watched.Obs) == "" {
+		t.Fatal("Progress returned an empty summary")
+	}
+}
+
+// TestFigureObserverRace hammers one shared pipeline from the experiment
+// worker pool under elevated parallelism; run with -race this is the
+// concurrency proof for the recording paths wired into Trial.PacketLoss.
+func TestFigureObserverRace(t *testing.T) {
+	if testing.Short() {
+		t.Skip("measured experiment")
+	}
+	old := runtime.GOMAXPROCS(4 * runtime.NumCPU())
+	defer runtime.GOMAXPROCS(old)
+
+	sc := tinyScale()
+	sc.Obs = obs.NewPipeline()
+
+	// A concurrent reader polls full snapshots while the workers write.
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				sc.Obs.SnapshotLight()
+				sc.Obs.Trace.Spans()
+			}
+		}
+	}()
+	bws := []float64{10, 2.5, 0.625}
+	if _, err := Fig13(sc, bws); err != nil {
+		t.Fatal(err)
+	}
+	close(stop)
+	wg.Wait()
+
+	if got, want := sc.Obs.Exp.CellsDone.Load(), int64(len(bws)*len(bws)); got != want {
+		t.Fatalf("exp.cells_done = %d, want %d", got, want)
+	}
+}

@@ -1,0 +1,42 @@
+package experiment
+
+import (
+	"fmt"
+
+	"bhss/internal/obs"
+)
+
+// Progress renders a one-line live status from an experiment pipeline: cell
+// completion, frame totals, the latest packet-loss reading, and the receive
+// decode rate. Intended for periodic stderr reporting while a sweep runs.
+func Progress(p *obs.Pipeline) string {
+	s := p.SnapshotLight()
+	var (
+		cells, done, frames, lost int64
+		plr, snr, rate            float64
+	)
+	for _, c := range s.Counters {
+		switch c.Name {
+		case "exp.cells":
+			cells = c.Value
+		case "exp.cells_done":
+			done = c.Value
+		case "exp.frames":
+			frames = c.Value
+		case "exp.frames_lost":
+			lost = c.Value
+		}
+	}
+	for _, g := range s.Gauges {
+		switch g.Name {
+		case "exp.last_plr":
+			plr = g.Value
+		case "exp.last_snr_db":
+			snr = g.Value
+		case "exp.frames_per_sec":
+			rate = g.Value
+		}
+	}
+	return fmt.Sprintf("cells %d/%d · frames %d (lost %d) · last point PLR %.2f @ %.1f dB · %.0f frames/s",
+		done, cells, frames, lost, plr, snr, rate)
+}

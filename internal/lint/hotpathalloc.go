@@ -6,6 +6,7 @@ import (
 	"go/printer"
 	"go/token"
 	"go/types"
+	"strings"
 )
 
 // HotPathAlloc flags direct heap allocations inside functions annotated
@@ -22,7 +23,11 @@ import (
 //   - func literals (the closure header itself allocates; the literal's body
 //     is not descended into)
 //   - string concatenation and string<->[]byte conversions
-//   - go and defer statements
+//   - go and defer statements — except a defer of an internal/obs recording
+//     call outside any loop: the obs package's recording API is alloc-free by
+//     contract, and a defer that is not in a loop is open-coded by the
+//     compiler (Go >= 1.14), so the instrumentation idiom
+//     `defer met.RecordStage(stage, obs.Start())` costs no heap allocation
 //   - append(...) growth, unless it follows the caller-amortized Append
 //     contract: either a self-assignment x = append(x, ...) or appending to
 //     a slice that is a parameter of the hotpath function (the dst-first
@@ -52,7 +57,20 @@ func runHotPathAlloc(pass *Pass) error {
 				}
 			}
 		}
-		w := &hotpathWalker{pass: pass, params: params}
+		// Record the source ranges of every loop in the body up front: a
+		// defer that sits inside one is heap-allocated per iteration, so
+		// even the sanctioned obs-recording defer is forbidden there.
+		var loops []posRange
+		ast.Inspect(fn.Body, func(n ast.Node) bool {
+			switch n.(type) {
+			case *ast.ForStmt, *ast.RangeStmt:
+				loops = append(loops, posRange{n.Pos(), n.End()})
+			case *ast.FuncLit:
+				return false // runs under its own contract
+			}
+			return true
+		})
+		w := &hotpathWalker{pass: pass, params: params, loops: loops}
 		ast.Inspect(fn.Body, w.visit)
 	})
 	return nil
@@ -61,6 +79,21 @@ func runHotPathAlloc(pass *Pass) error {
 type hotpathWalker struct {
 	pass   *Pass
 	params map[types.Object]bool
+	loops  []posRange
+}
+
+// posRange is a half-open source span [pos, end).
+type posRange struct {
+	pos, end token.Pos
+}
+
+func (w *hotpathWalker) inLoop(pos token.Pos) bool {
+	for _, l := range w.loops {
+		if l.pos <= pos && pos < l.end {
+			return true
+		}
+	}
+	return false
 }
 
 func (w *hotpathWalker) visit(n ast.Node) bool {
@@ -71,6 +104,18 @@ func (w *hotpathWalker) visit(n ast.Node) bool {
 	case *ast.GoStmt:
 		w.pass.Reportf(n.Pos(), "go statement allocates a goroutine in hot path")
 	case *ast.DeferStmt:
+		// Deferring an internal/obs recording call is the sanctioned
+		// instrumentation idiom: the obs API is alloc-free by contract and
+		// a defer outside any loop is open-coded (no heap allocation).
+		// Inside a loop the compiler falls back to heap-allocated defer
+		// records, one per iteration, so the exemption does not apply.
+		if w.isObsCall(n.Call) {
+			if !w.inLoop(n.Pos()) {
+				return true // still walk the call's arguments
+			}
+			w.pass.Reportf(n.Pos(), "deferred obs call inside a loop in hot path (per-iteration defer records allocate; record explicitly instead)")
+			return true
+		}
 		w.pass.Reportf(n.Pos(), "defer in hot path (allocates and delays cleanup)")
 	case *ast.CompositeLit:
 		switch w.pass.Info.TypeOf(n).Underlying().(type) {
@@ -170,6 +215,30 @@ func sliceBase(e ast.Expr) ast.Expr {
 		}
 		e = s.X
 	}
+}
+
+// obsPkgSuffix identifies the observability package whose recording API
+// (Counter.Inc, Histogram.ObserveSince, Pipeline.RecordStage, ...) is
+// covered by its own AllocsPerRun regression tests.
+const obsPkgSuffix = "/internal/obs"
+
+// isObsCall reports whether the call's callee resolves to a function or
+// method of the internal/obs package.
+func (w *hotpathWalker) isObsCall(call *ast.CallExpr) bool {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return false
+	}
+	fn, ok := w.pass.Info.Uses[id].(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return false
+	}
+	return strings.HasSuffix(fn.Pkg().Path(), obsPkgSuffix)
 }
 
 func (w *hotpathWalker) isBuiltin(call *ast.CallExpr, name string) bool {

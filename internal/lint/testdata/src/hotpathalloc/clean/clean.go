@@ -1,7 +1,9 @@
 // Package clean shows hot-path code that satisfies the zero-alloc contract:
-// self-assigned appends, dst-parameter appends, and unannotated functions
-// are all silent.
+// self-assigned appends, dst-parameter appends, deferred obs recording and
+// unannotated functions are all silent.
 package clean
+
+import "bhss/internal/obs"
 
 //bhss:hotpath
 func accumulate(dst []complex128, src []complex128) []complex128 {
@@ -29,7 +31,19 @@ func notHot() []int {
 	return make([]int, 4) // no //bhss:hotpath directive: unconstrained
 }
 
+// timed uses the sanctioned instrumentation idiom: a defer of an obs
+// recording call outside any loop is open-coded and alloc-free by contract.
+//
+//bhss:hotpath
+func timed(h *obs.Histogram, met *obs.Pipeline) {
+	defer h.ObserveSince(obs.Start())
+	if met != nil {
+		defer met.RecordStage(obs.StageRxEstimate, obs.Start())
+	}
+}
+
 var _ = accumulate
 var _ = appendTo
 var _ = (*buffer).fill
 var _ = notHot
+var _ = timed

@@ -2,6 +2,8 @@
 // allocates in a way the zero-alloc hot-path contract forbids.
 package flagged
 
+import "bhss/internal/obs"
+
 var sink []complex128
 
 type point struct{ x, y float64 }
@@ -39,5 +41,18 @@ func format(a, b string) int {
 	s2 := string(bs) // want "conversion allocates"
 	return len(c) + len(s2)
 }
+
+// timedLoop defers an obs recording call inside a loop: the exemption for
+// open-coded obs defers does not apply because the compiler heap-allocates
+// one defer record per iteration.
+//
+//bhss:hotpath
+func timedLoop(h *obs.Histogram, n int) {
+	for i := 0; i < n; i++ {
+		defer h.ObserveSince(obs.Start()) // want "deferred obs call inside a loop"
+	}
+}
+
+var _ = timedLoop
 
 func helper() {}

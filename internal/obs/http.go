@@ -1,0 +1,54 @@
+package obs
+
+import (
+	"encoding/json"
+	"expvar"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+)
+
+// publishOnce guards the process-wide expvar name: expvar.Publish panics on
+// duplicates, and tests (or a tool serving two pipelines) may call
+// ServeDebug more than once. The expvar view reads whichever pipeline was
+// registered first; the /debug/bhss endpoint of each server always reads
+// its own pipeline.
+var publishOnce sync.Once
+
+// ServeDebug starts an HTTP debug server on addr exposing:
+//
+//	/debug/bhss   — the pipeline's Snapshot as JSON
+//	/debug/vars   — expvar (includes the snapshot under the "bhss" key)
+//	/debug/pprof/ — net/http/pprof profiles
+//
+// It returns the running server (shut down with srv.Close) and the bound
+// address, useful when addr has port 0. The handlers are on a private mux so
+// enabling -debug-addr never touches http.DefaultServeMux.
+func ServeDebug(addr string, p *Pipeline) (*http.Server, net.Addr, error) {
+	publishOnce.Do(func() {
+		expvar.Publish("bhss", expvar.Func(func() any { return p.Snapshot() }))
+	})
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/bhss", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(p.Snapshot())
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, nil, err
+	}
+	srv := &http.Server{Handler: mux}
+	go func() { _ = srv.Serve(ln) }()
+	return srv, ln.Addr(), nil
+}

@@ -1,0 +1,61 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"testing"
+)
+
+func TestServeDebug(t *testing.T) {
+	p := NewPipeline()
+	p.Rx.Decoded.Add(9)
+	srv, addr, err := ServeDebug("127.0.0.1:0", p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	base := "http://" + addr.String()
+
+	get := func(path string) []byte {
+		resp, err := http.Get(base + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		return body
+	}
+
+	var snap Snapshot
+	if err := json.Unmarshal(get("/debug/bhss"), &snap); err != nil {
+		t.Fatalf("/debug/bhss not JSON: %v", err)
+	}
+	found := false
+	for _, c := range snap.Counters {
+		if c.Name == "rx.decoded" && c.Value == 9 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("/debug/bhss missing rx.decoded=9")
+	}
+
+	var vars map[string]json.RawMessage
+	if err := json.Unmarshal(get("/debug/vars"), &vars); err != nil {
+		t.Fatalf("/debug/vars not JSON: %v", err)
+	}
+	if _, ok := vars["bhss"]; !ok {
+		t.Fatal("/debug/vars missing bhss key")
+	}
+
+	if len(get("/debug/pprof/")) == 0 {
+		t.Fatal("/debug/pprof/ empty")
+	}
+}

@@ -1,0 +1,238 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+
+	"bhss/internal/alloctest"
+)
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	if c.Load() != 0 {
+		t.Fatalf("zero value = %d, want 0", c.Load())
+	}
+	c.Inc()
+	c.Add(41)
+	if got := c.Load(); got != 42 {
+		t.Fatalf("Load = %d, want 42", got)
+	}
+}
+
+func TestGauge(t *testing.T) {
+	var g Gauge
+	if g.Load() != 0 {
+		t.Fatalf("zero value = %v, want 0", g.Load())
+	}
+	g.Store(0.15625)
+	if got := g.Load(); got != 0.15625 {
+		t.Fatalf("Load = %v, want 0.15625", got)
+	}
+	g.Store(-3)
+	if got := g.Load(); got != -3 {
+		t.Fatalf("Load = %v, want -3", got)
+	}
+}
+
+func TestHistogramBasics(t *testing.T) {
+	var h Histogram
+	if h.Count() != 0 || h.Sum() != 0 || h.Max() != 0 || h.Mean() != 0 {
+		t.Fatal("zero-value histogram not empty")
+	}
+	if h.Quantile(0.5) != 0 {
+		t.Fatal("quantile of empty histogram not 0")
+	}
+	for _, v := range []int64{0, 1, 2, 3, 100, 1000} {
+		h.Observe(v)
+	}
+	if got := h.Count(); got != 6 {
+		t.Fatalf("Count = %d, want 6", got)
+	}
+	if got := h.Sum(); got != 1106 {
+		t.Fatalf("Sum = %d, want 1106", got)
+	}
+	if got := h.Max(); got != 1000 {
+		t.Fatalf("Max = %d, want 1000", got)
+	}
+	if got := h.Mean(); got != 1106.0/6 {
+		t.Fatalf("Mean = %v, want %v", got, 1106.0/6)
+	}
+}
+
+func TestHistogramQuantileBounds(t *testing.T) {
+	var h Histogram
+	// 100 values of 5 (bucket [4,8), upper bound 7) and one of 1000.
+	for i := 0; i < 100; i++ {
+		h.Observe(5)
+	}
+	h.Observe(1000)
+	if q := h.Quantile(0.5); q != 7 {
+		t.Fatalf("p50 = %d, want 7 (upper bound of [4,8))", q)
+	}
+	// p100 must cap at the observed max, not the bucket's upper edge.
+	if q := h.Quantile(1); q != 1000 {
+		t.Fatalf("p100 = %d, want 1000", q)
+	}
+	var single Histogram
+	single.Observe(0)
+	if q := single.Quantile(0.99); q != 0 {
+		t.Fatalf("p99 of {0} = %d, want 0", q)
+	}
+}
+
+func TestHistogramNegativeClamped(t *testing.T) {
+	var h Histogram
+	h.Observe(-5)
+	if h.Count() != 1 || h.Sum() != 0 || h.Max() != 0 {
+		t.Fatalf("negative observation not clamped: count=%d sum=%d max=%d",
+			h.Count(), h.Sum(), h.Max())
+	}
+}
+
+func TestStageString(t *testing.T) {
+	if got := StageRxEstimate.String(); got != "rx.estimate" {
+		t.Fatalf("StageRxEstimate = %q", got)
+	}
+	if got := Stage(200).String(); got != "unknown" {
+		t.Fatalf("out-of-range stage = %q", got)
+	}
+	for i := 0; i < NumStages; i++ {
+		if Stage(i).String() == "unknown" || Stage(i).String() == "" {
+			t.Fatalf("stage %d unnamed", i)
+		}
+	}
+}
+
+func TestTracerRing(t *testing.T) {
+	tr := NewTracer(4) // rounds up to 16
+	if len(tr.slots) != 16 {
+		t.Fatalf("capacity = %d, want 16", len(tr.slots))
+	}
+	for i := 0; i < 20; i++ {
+		tr.Record(StageRxDemod, Start())
+	}
+	spans := tr.Spans()
+	if len(spans) != 16 {
+		t.Fatalf("Spans = %d, want 16 (ring keeps most recent)", len(spans))
+	}
+	for i := 1; i < len(spans); i++ {
+		if spans[i].StartNS < spans[i-1].StartNS {
+			t.Fatalf("spans not oldest-first at %d", i)
+		}
+	}
+	if spans[0].Stage != "rx.demod" {
+		t.Fatalf("stage = %q, want rx.demod", spans[0].Stage)
+	}
+
+	var nilT *Tracer
+	nilT.Record(StageRxDemod, Start()) // must not panic
+	if nilT.Spans() != nil {
+		t.Fatal("nil tracer Spans != nil")
+	}
+}
+
+func TestSnapshotShape(t *testing.T) {
+	p := NewPipeline()
+	p.Tx.Frames.Add(3)
+	p.Rx.Decision[2].Inc()
+	p.Exp.LastPLR.Store(0.25)
+	p.RecordStage(StageRxEstimate, Start())
+
+	s := p.Snapshot()
+	counters := map[string]int64{}
+	for _, c := range s.Counters {
+		counters[c.Name] = c.Value
+	}
+	if counters["tx.frames"] != 3 {
+		t.Fatalf("tx.frames = %d, want 3", counters["tx.frames"])
+	}
+	if counters["rx.decision.excision"] != 1 {
+		t.Fatalf("rx.decision.excision = %d, want 1", counters["rx.decision.excision"])
+	}
+	var sawPLR bool
+	for _, g := range s.Gauges {
+		if g.Name == "exp.last_plr" {
+			sawPLR = true
+			if g.Value != 0.25 {
+				t.Fatalf("exp.last_plr = %v, want 0.25", g.Value)
+			}
+		}
+	}
+	if !sawPLR {
+		t.Fatal("exp.last_plr gauge missing")
+	}
+	var sawStage bool
+	for _, h := range s.Histograms {
+		if !strings.HasSuffix(h.Name, "_ns") && !strings.Contains(h.Name, ".") {
+			t.Fatalf("histogram %q violates naming scheme", h.Name)
+		}
+		if h.Name == "stage.rx.estimate_ns" {
+			sawStage = true
+			if h.Count != 1 {
+				t.Fatalf("stage.rx.estimate_ns count = %d, want 1", h.Count)
+			}
+		}
+	}
+	if !sawStage {
+		t.Fatal("stage.rx.estimate_ns histogram missing")
+	}
+	if len(s.Spans) != 1 {
+		t.Fatalf("Spans = %d, want 1", len(s.Spans))
+	}
+	if light := p.SnapshotLight(); light.Spans != nil {
+		t.Fatal("SnapshotLight carries spans")
+	}
+
+	// Two snapshots of the same pipeline must enumerate identical names in
+	// identical order — the CSV column-stability contract.
+	s2 := p.Snapshot()
+	if len(s2.Counters) != len(s.Counters) {
+		t.Fatal("counter set unstable across snapshots")
+	}
+	for i := range s.Counters {
+		if s.Counters[i].Name != s2.Counters[i].Name {
+			t.Fatalf("counter order unstable at %d: %q vs %q",
+				i, s.Counters[i].Name, s2.Counters[i].Name)
+		}
+	}
+}
+
+func TestRegisterGlobal(t *testing.T) {
+	RegisterGlobal("obstest.metric", func() int64 { return 7 })
+	// Re-registration with a different accessor is ignored (first wins).
+	RegisterGlobal("obstest.metric", func() int64 { return 99 })
+	s := NewPipeline().Snapshot()
+	for _, c := range s.Counters {
+		if c.Name == "obstest.metric" {
+			if c.Value != 7 {
+				t.Fatalf("obstest.metric = %d, want 7 (first registration wins)", c.Value)
+			}
+			return
+		}
+	}
+	t.Fatal("registered global missing from snapshot")
+}
+
+// TestRecordingZeroAlloc asserts the package's core contract: every
+// recording primitive allocates nothing, so //bhss:hotpath functions can
+// call them freely.
+func TestRecordingZeroAlloc(t *testing.T) {
+	p := NewPipeline()
+	var (
+		c Counter
+		g Gauge
+		h Histogram
+	)
+	alloctest.AssertZero(t, "Counter.Inc", func() { c.Inc() })
+	alloctest.AssertZero(t, "Counter.Add", func() { c.Add(3) })
+	alloctest.AssertZero(t, "Gauge.Store", func() { g.Store(1.5) })
+	alloctest.AssertZero(t, "Histogram.Observe", func() { h.Observe(1234) })
+	alloctest.AssertZero(t, "Histogram.ObserveSince", func() { h.ObserveSince(Start()) })
+	alloctest.AssertZero(t, "Tracer.Record", func() { p.Trace.Record(StageRxDemod, Start()) })
+	alloctest.AssertZero(t, "Pipeline.RecordStage", func() { p.RecordStage(StageRxDemod, Start()) })
+	alloctest.AssertZero(t, "deferred RecordStage", func() {
+		func() {
+			defer p.RecordStage(StageRxEstimate, Start())
+		}()
+	})
+}

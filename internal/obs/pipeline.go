@@ -1,0 +1,235 @@
+package obs
+
+// TxMetrics counts the transmitter's work.
+type TxMetrics struct {
+	// Frames is the number of EncodeFrame calls.
+	Frames Counter
+	// Symbols and Samples total the encoded DSSS symbols and emitted
+	// samples.
+	Symbols, Samples Counter
+}
+
+// RxMetrics counts the receiver's work and the §4.2 control decisions.
+type RxMetrics struct {
+	// Bursts is the number of DecodeBurst calls; Decoded and Errors split
+	// them by outcome.
+	Bursts, Decoded, Errors Counter
+	// Hops counts processed hop segments; Samples the consumed samples.
+	Hops, Samples Counter
+	// Decision counts hops per filter branch, indexed by the receiver's
+	// FilterDecision values: 0 none (eq. (10) threshold), 1 low-pass
+	// (eq. (4)), 2 excision/whitening (eq. (3)).
+	Decision [3]Counter
+}
+
+// CacheMetrics counts hits, misses and evictions on the receiver's design
+// caches (the PR 1 performance substrate this layer makes visible).
+type CacheMetrics struct {
+	// WelchHit/WelchMiss cover the per-segment-length reusable Welch
+	// estimator cache.
+	WelchHit, WelchMiss Counter
+	// NotchHit/NotchMiss cover the fingerprinted excision-design cache;
+	// NotchEvict counts designs dropped when the cache is cleared.
+	NotchHit, NotchMiss, NotchEvict Counter
+	// LowPassHit/LowPassMiss cover the per-bandwidth channel-select FIRs.
+	LowPassHit, LowPassMiss Counter
+	// ShapeHit/ShapeMiss cover the pulse-spectrum |G(f)|² tables.
+	ShapeHit, ShapeMiss Counter
+}
+
+// ChanMetrics counts simulated-medium work.
+type ChanMetrics struct {
+	// NoiseSamples counts samples that received AWGN; JamSamples counts
+	// jammer samples mixed into the medium.
+	NoiseSamples, JamSamples Counter
+	// MixNS times AWGN application per burst.
+	MixNS Histogram
+}
+
+// PSDMetrics counts spectral estimation work (attached to the reusable
+// Welch estimators).
+type PSDMetrics struct {
+	// Calls counts PSDInto invocations; Segments the averaged periodogram
+	// segments across them.
+	Calls, Segments Counter
+	// EstimateNS times each PSDInto call.
+	EstimateNS Histogram
+}
+
+// ExpMetrics tracks experiment-harness progress: sweep cells, measurement
+// points and per-point packet-loss results.
+type ExpMetrics struct {
+	// Cells is the total cell count of the running sweep; CellsDone the
+	// completed cells — together the live progress fraction.
+	Cells, CellsDone Counter
+	// Points counts packet-loss measurement points; Frames and FramesLost
+	// total the frames behind them.
+	Points, Frames, FramesLost Counter
+	// LastPLR and LastSNRdB describe the most recent measurement point.
+	LastPLR, LastSNRdB Gauge
+	// PointNS times whole packet-loss measurement points.
+	PointNS Histogram
+}
+
+// Pipeline bundles every metric of one transmitter/channel/receiver chain
+// (or one experiment sweep). Construct with NewPipeline and attach via the
+// SetObserver hooks; a single pipeline may be shared by many components and
+// goroutines — all recording is atomic.
+type Pipeline struct {
+	Tx    TxMetrics
+	Rx    RxMetrics
+	Cache CacheMetrics
+	Chan  ChanMetrics
+	PSD   PSDMetrics
+	Exp   ExpMetrics
+	// StageNS holds one latency histogram per pipeline stage.
+	StageNS [NumStages]Histogram
+	// Trace is the ring-buffer span tracer behind the stage histograms.
+	Trace *Tracer
+
+	start int64
+}
+
+// NewPipeline returns an empty pipeline with a 1024-span tracer.
+func NewPipeline() *Pipeline {
+	return &Pipeline{Trace: NewTracer(1024), start: Now()}
+}
+
+// RecordStage observes one completed stage execution into both the
+// per-stage latency histogram and the span ring. It is allocation-free and
+// nil-safe on the tracer; callers on hot paths use the deferred form:
+//
+//	defer p.RecordStage(obs.StageRxEstimate, obs.Start())
+func (p *Pipeline) RecordStage(stage Stage, sw Stopwatch) {
+	p.StageNS[stage].Observe(sw.ElapsedNS())
+	p.Trace.Record(stage, sw)
+}
+
+// CounterStat is one named counter value in a snapshot.
+type CounterStat struct {
+	Name  string `json:"name"`
+	Value int64  `json:"value"`
+}
+
+// GaugeStat is one named gauge value in a snapshot.
+type GaugeStat struct {
+	Name  string  `json:"name"`
+	Value float64 `json:"value"`
+}
+
+// HistogramStat summarizes one histogram in a snapshot. Quantiles are
+// factor-of-two upper bounds (see Histogram.Quantile).
+type HistogramStat struct {
+	Name  string  `json:"name"`
+	Count int64   `json:"count"`
+	Sum   int64   `json:"sum"`
+	Mean  float64 `json:"mean"`
+	P50   int64   `json:"p50"`
+	P90   int64   `json:"p90"`
+	P99   int64   `json:"p99"`
+	Max   int64   `json:"max"`
+}
+
+// Snapshot is one point-in-time reading of a pipeline: every counter, gauge
+// and histogram under its documented name, the registered process globals,
+// and the recent span trace. The field order is fixed, so CSV columns and
+// JSON layouts are stable across snapshots of the same build.
+type Snapshot struct {
+	UptimeNS   int64           `json:"uptime_ns"`
+	Counters   []CounterStat   `json:"counters"`
+	Gauges     []GaugeStat     `json:"gauges"`
+	Histograms []HistogramStat `json:"histograms"`
+	Spans      []SpanStat      `json:"spans,omitempty"`
+}
+
+// Snapshot reads the pipeline. It allocates (it is a reporting call, not a
+// recording call) and may run concurrently with recording; counters are read
+// one by one, so a snapshot is not a single atomic cut across metrics.
+func (p *Pipeline) Snapshot() Snapshot {
+	return p.snapshot(true)
+}
+
+// SnapshotLight is Snapshot without the span trace — the form the periodic
+// writers use, where per-span detail would dwarf the aggregate row.
+func (p *Pipeline) SnapshotLight() Snapshot {
+	return p.snapshot(false)
+}
+
+func (p *Pipeline) snapshot(withSpans bool) Snapshot {
+	s := Snapshot{UptimeNS: Now() - p.start}
+	c := func(name string, ctr *Counter) {
+		s.Counters = append(s.Counters, CounterStat{Name: name, Value: ctr.Load()})
+	}
+	c("tx.frames", &p.Tx.Frames)
+	c("tx.symbols", &p.Tx.Symbols)
+	c("tx.samples", &p.Tx.Samples)
+	c("rx.bursts", &p.Rx.Bursts)
+	c("rx.decoded", &p.Rx.Decoded)
+	c("rx.errors", &p.Rx.Errors)
+	c("rx.hops", &p.Rx.Hops)
+	c("rx.samples", &p.Rx.Samples)
+	c("rx.decision.none", &p.Rx.Decision[0])
+	c("rx.decision.lowpass", &p.Rx.Decision[1])
+	c("rx.decision.excision", &p.Rx.Decision[2])
+	c("cache.welch.hit", &p.Cache.WelchHit)
+	c("cache.welch.miss", &p.Cache.WelchMiss)
+	c("cache.notch.hit", &p.Cache.NotchHit)
+	c("cache.notch.miss", &p.Cache.NotchMiss)
+	c("cache.notch.evict", &p.Cache.NotchEvict)
+	c("cache.lowpass.hit", &p.Cache.LowPassHit)
+	c("cache.lowpass.miss", &p.Cache.LowPassMiss)
+	c("cache.shape.hit", &p.Cache.ShapeHit)
+	c("cache.shape.miss", &p.Cache.ShapeMiss)
+	c("chan.noise_samples", &p.Chan.NoiseSamples)
+	c("chan.jam_samples", &p.Chan.JamSamples)
+	c("psd.calls", &p.PSD.Calls)
+	c("psd.segments", &p.PSD.Segments)
+	c("exp.cells", &p.Exp.Cells)
+	c("exp.cells_done", &p.Exp.CellsDone)
+	c("exp.points", &p.Exp.Points)
+	c("exp.frames", &p.Exp.Frames)
+	c("exp.frames_lost", &p.Exp.FramesLost)
+	s.Counters = append(s.Counters, globalCounters()...)
+
+	s.Gauges = append(s.Gauges,
+		GaugeStat{Name: "exp.last_plr", Value: p.Exp.LastPLR.Load()},
+		GaugeStat{Name: "exp.last_snr_db", Value: p.Exp.LastSNRdB.Load()},
+	)
+	// Derived throughput gauges: decoded bursts and experiment frames per
+	// second of pipeline uptime.
+	if secs := float64(s.UptimeNS) / 1e9; secs > 0 {
+		s.Gauges = append(s.Gauges,
+			GaugeStat{Name: "rx.decoded_per_sec", Value: float64(p.Rx.Decoded.Load()) / secs},
+			GaugeStat{Name: "exp.frames_per_sec", Value: float64(p.Exp.Frames.Load()) / secs},
+		)
+	} else {
+		s.Gauges = append(s.Gauges,
+			GaugeStat{Name: "rx.decoded_per_sec"},
+			GaugeStat{Name: "exp.frames_per_sec"},
+		)
+	}
+
+	h := func(name string, hist *Histogram) {
+		s.Histograms = append(s.Histograms, HistogramStat{
+			Name:  name,
+			Count: hist.Count(),
+			Sum:   hist.Sum(),
+			Mean:  hist.Mean(),
+			P50:   hist.Quantile(0.50),
+			P90:   hist.Quantile(0.90),
+			P99:   hist.Quantile(0.99),
+			Max:   hist.Max(),
+		})
+	}
+	for i := range p.StageNS {
+		h("stage."+Stage(i).String()+"_ns", &p.StageNS[i])
+	}
+	h("chan.mix_ns", &p.Chan.MixNS)
+	h("psd.estimate_ns", &p.PSD.EstimateNS)
+	h("exp.point_ns", &p.Exp.PointNS)
+
+	if withSpans {
+		s.Spans = p.Trace.Spans()
+	}
+	return s
+}

@@ -1,0 +1,64 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestConcurrentRecording hammers every recording primitive from many
+// goroutines while snapshots are taken concurrently. Run under -race (CI
+// does) this proves the lock-free claims; run without it still checks the
+// counter totals.
+func TestConcurrentRecording(t *testing.T) {
+	p := NewPipeline()
+	const (
+		workers = 8
+		iters   = 2000
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				p.Rx.Hops.Inc()
+				p.Rx.Decision[w%3].Inc()
+				p.Exp.LastPLR.Store(float64(i) / iters)
+				p.StageNS[StageRxDemod].Observe(int64(i))
+				p.RecordStage(StageRxEstimate, Start())
+			}
+		}(w)
+	}
+	// Concurrent readers: snapshots and span dumps while recording runs.
+	readDone := make(chan struct{})
+	go func() {
+		defer close(readDone)
+		for i := 0; i < 50; i++ {
+			s := p.Snapshot()
+			if len(s.Counters) == 0 {
+				t.Error("snapshot lost its counters")
+				return
+			}
+			_ = p.Trace.Spans()
+		}
+	}()
+	wg.Wait()
+	<-readDone
+
+	if got := p.Rx.Hops.Load(); got != workers*iters {
+		t.Fatalf("rx.hops = %d, want %d", got, workers*iters)
+	}
+	var decisions int64
+	for i := range p.Rx.Decision {
+		decisions += p.Rx.Decision[i].Load()
+	}
+	if decisions != workers*iters {
+		t.Fatalf("decision total = %d, want %d", decisions, workers*iters)
+	}
+	if got := p.StageNS[StageRxDemod].Count(); got != workers*iters {
+		t.Fatalf("stage histogram count = %d, want %d", got, workers*iters)
+	}
+	if got := p.StageNS[StageRxDemod].Max(); got != iters-1 {
+		t.Fatalf("stage histogram max = %d, want %d", got, iters-1)
+	}
+}

@@ -1,0 +1,137 @@
+package obs
+
+import "sync/atomic"
+
+// Stage identifies one pipeline stage in span traces and per-stage latency
+// histograms. The numbering is stable export surface: snapshots report the
+// String form, but the ring buffer stores the raw value.
+type Stage uint8
+
+const (
+	// StageTxEncode is the transmitter's whole EncodeFrame call.
+	StageTxEncode Stage = iota
+	// StageTxSpread is one hop's DSSS spreading + scrambling.
+	StageTxSpread
+	// StageTxModulate is one hop's chip pulse modulation.
+	StageTxModulate
+	// StageRxAcquire is preamble acquisition (PreambleSync only).
+	StageRxAcquire
+	// StageRxEstimate is one hop's spectral analysis + filter decision
+	// (Welch PSD, band powers, shape-normalized indicator — §4.2).
+	StageRxEstimate
+	// StageRxFilterDesign is one excision-filter design (notch-cache miss).
+	StageRxFilterDesign
+	// StageRxFilter is one hop's suppression-filter application.
+	StageRxFilter
+	// StageRxTrack is one hop's carrier-loop pass.
+	StageRxTrack
+	// StageRxDemod is one hop's matched-filter chip demodulation.
+	StageRxDemod
+	// StageRxDespread is the burst's correlation despreading.
+	StageRxDespread
+	// StageRxDecode is the receiver's whole DecodeBurst call.
+	StageRxDecode
+	numStages
+)
+
+// NumStages is the number of defined pipeline stages.
+const NumStages = int(numStages)
+
+var stageNames = [numStages]string{
+	"tx.encode",
+	"tx.spread",
+	"tx.modulate",
+	"rx.acquire",
+	"rx.estimate",
+	"rx.filter_design",
+	"rx.filter",
+	"rx.track",
+	"rx.demod",
+	"rx.despread",
+	"rx.decode",
+}
+
+// String names the stage ("rx.estimate").
+func (s Stage) String() string {
+	if int(s) < len(stageNames) {
+		return stageNames[s]
+	}
+	return "unknown"
+}
+
+// span is one ring slot. Fields are individually atomic so concurrent
+// recorders and snapshot readers never race; a reader overlapping a writer
+// may observe a torn span (fields from two different recordings), which is
+// acceptable for diagnostics and documented on Tracer.
+type span struct {
+	stage atomic.Int64
+	start atomic.Int64
+	dur   atomic.Int64
+}
+
+// Tracer is a fixed-capacity ring buffer of stage spans. Recording claims a
+// slot with one atomic increment and stores three words — no locks, no
+// allocation — so it is safe to call from //bhss:hotpath functions and from
+// many goroutines at once. The ring keeps the most recent spans; older ones
+// are overwritten. Snapshot reads are race-free but best-effort: a span
+// being overwritten concurrently may read torn. Use the per-stage histograms
+// for exact aggregates; the tracer answers "what did the last N stage
+// executions look like, in order".
+type Tracer struct {
+	next  atomic.Uint64
+	mask  uint64
+	slots []span
+}
+
+// NewTracer returns a tracer holding the most recent capacity spans
+// (rounded up to a power of two, minimum 16).
+func NewTracer(capacity int) *Tracer {
+	n := 16
+	for n < capacity {
+		n <<= 1
+	}
+	return &Tracer{mask: uint64(n - 1), slots: make([]span, n)}
+}
+
+// Record stores one completed span: the stage, the stopwatch's start
+// instant, and the elapsed time up to now.
+func (t *Tracer) Record(stage Stage, sw Stopwatch) {
+	if t == nil || len(t.slots) == 0 {
+		return
+	}
+	end := Now()
+	i := t.next.Add(1) - 1
+	sl := &t.slots[i&t.mask]
+	sl.stage.Store(int64(stage))
+	sl.start.Store(int64(sw))
+	sl.dur.Store(end - int64(sw))
+}
+
+// SpanStat is one traced span as reported in snapshots.
+type SpanStat struct {
+	Stage   string `json:"stage"`
+	StartNS int64  `json:"start_ns"`
+	DurNS   int64  `json:"dur_ns"`
+}
+
+// Spans returns the buffered spans, oldest first.
+func (t *Tracer) Spans() []SpanStat {
+	if t == nil {
+		return nil
+	}
+	n := t.next.Load()
+	count := uint64(len(t.slots))
+	if n < count {
+		count = n
+	}
+	out := make([]SpanStat, 0, count)
+	for i := n - count; i < n; i++ {
+		sl := &t.slots[i&t.mask]
+		out = append(out, SpanStat{
+			Stage:   Stage(sl.stage.Load()).String(),
+			StartNS: sl.start.Load(),
+			DurNS:   sl.dur.Load(),
+		})
+	}
+	return out
+}

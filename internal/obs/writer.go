@@ -1,0 +1,152 @@
+package obs
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// Format selects the snapshot writer's on-disk encoding.
+type Format int
+
+const (
+	// FormatJSONL writes one JSON snapshot per line (SnapshotLight layout).
+	FormatJSONL Format = iota
+	// FormatCSV writes a header row of metric names, then one value row per
+	// snapshot. The column set is fixed at the first write.
+	FormatCSV
+)
+
+// ParseFormat maps the -obs-format flag values "jsonl" and "csv".
+func ParseFormat(s string) (Format, error) {
+	switch s {
+	case "jsonl":
+		return FormatJSONL, nil
+	case "csv":
+		return FormatCSV, nil
+	}
+	return 0, fmt.Errorf("obs: unknown snapshot format %q (want jsonl or csv)", s)
+}
+
+// SnapshotWriter periodically serializes a pipeline's SnapshotLight to an
+// io.Writer as JSONL or CSV. It is a reporting component: it allocates
+// freely and must not be called from hot paths. Write/Start/Stop are safe
+// for concurrent use with each other and with metric recording.
+type SnapshotWriter struct {
+	mu       sync.Mutex
+	w        io.Writer
+	format   Format
+	pipeline *Pipeline
+
+	// csvCols pins the CSV column names after the header row is emitted so
+	// later rows stay aligned even if global metrics register mid-run.
+	csvCols []string
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+// NewSnapshotWriter returns a writer emitting p's snapshots to w.
+func NewSnapshotWriter(w io.Writer, format Format, p *Pipeline) *SnapshotWriter {
+	return &SnapshotWriter{w: w, format: format, pipeline: p}
+}
+
+// Write serializes one snapshot now.
+func (s *SnapshotWriter) Write() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.write(s.pipeline.SnapshotLight())
+}
+
+func (s *SnapshotWriter) write(snap Snapshot) error {
+	switch s.format {
+	case FormatCSV:
+		return s.writeCSV(snap)
+	default:
+		enc := json.NewEncoder(s.w)
+		return enc.Encode(snap)
+	}
+}
+
+func (s *SnapshotWriter) writeCSV(snap Snapshot) error {
+	cw := csv.NewWriter(s.w)
+	if s.csvCols == nil {
+		s.csvCols = append(s.csvCols, "uptime_ns")
+		for _, c := range snap.Counters {
+			s.csvCols = append(s.csvCols, c.Name)
+		}
+		for _, g := range snap.Gauges {
+			s.csvCols = append(s.csvCols, g.Name)
+		}
+		for _, h := range snap.Histograms {
+			s.csvCols = append(s.csvCols,
+				h.Name+".count", h.Name+".mean", h.Name+".p50", h.Name+".p90", h.Name+".p99", h.Name+".max")
+		}
+		if err := cw.Write(s.csvCols); err != nil {
+			return err
+		}
+	}
+	// Values are matched to the pinned columns by name so a snapshot with
+	// extra late-registered metrics still writes an aligned row.
+	vals := make(map[string]string, len(s.csvCols))
+	vals["uptime_ns"] = strconv.FormatInt(snap.UptimeNS, 10)
+	for _, c := range snap.Counters {
+		vals[c.Name] = strconv.FormatInt(c.Value, 10)
+	}
+	for _, g := range snap.Gauges {
+		vals[g.Name] = strconv.FormatFloat(g.Value, 'g', -1, 64)
+	}
+	for _, h := range snap.Histograms {
+		vals[h.Name+".count"] = strconv.FormatInt(h.Count, 10)
+		vals[h.Name+".mean"] = strconv.FormatFloat(h.Mean, 'g', -1, 64)
+		vals[h.Name+".p50"] = strconv.FormatInt(h.P50, 10)
+		vals[h.Name+".p90"] = strconv.FormatInt(h.P90, 10)
+		vals[h.Name+".p99"] = strconv.FormatInt(h.P99, 10)
+		vals[h.Name+".max"] = strconv.FormatInt(h.Max, 10)
+	}
+	row := make([]string, len(s.csvCols))
+	for i, col := range s.csvCols {
+		row[i] = vals[col]
+	}
+	if err := cw.Write(row); err != nil {
+		return err
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// Start launches a goroutine writing one snapshot every interval until Stop.
+// Start may be called at most once.
+func (s *SnapshotWriter) Start(interval time.Duration) {
+	s.stop = make(chan struct{})
+	s.done = make(chan struct{})
+	go func() {
+		defer close(s.done)
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				// Periodic write errors are not fatal to the run; the
+				// final Stop write returns any persistent error.
+				_ = s.Write()
+			case <-s.stop:
+				return
+			}
+		}
+	}()
+}
+
+// Stop halts the periodic goroutine (if started) and writes one final
+// snapshot so the output always ends with the run's complete totals.
+func (s *SnapshotWriter) Stop() error {
+	if s.stop != nil {
+		close(s.stop)
+		<-s.done
+	}
+	return s.Write()
+}

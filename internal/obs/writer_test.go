@@ -1,0 +1,112 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/csv"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestParseFormat(t *testing.T) {
+	if f, err := ParseFormat("jsonl"); err != nil || f != FormatJSONL {
+		t.Fatalf("jsonl -> %v, %v", f, err)
+	}
+	if f, err := ParseFormat("csv"); err != nil || f != FormatCSV {
+		t.Fatalf("csv -> %v, %v", f, err)
+	}
+	if _, err := ParseFormat("xml"); err == nil {
+		t.Fatal("xml accepted")
+	}
+}
+
+func TestSnapshotWriterJSONL(t *testing.T) {
+	p := NewPipeline()
+	p.Tx.Frames.Add(5)
+	var buf bytes.Buffer
+	w := NewSnapshotWriter(&buf, FormatJSONL, p)
+	if err := w.Write(); err != nil {
+		t.Fatal(err)
+	}
+	p.Tx.Frames.Add(2)
+	if err := w.Write(); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("lines = %d, want 2", len(lines))
+	}
+	for i, want := range []int64{5, 7} {
+		var snap Snapshot
+		if err := json.Unmarshal([]byte(lines[i]), &snap); err != nil {
+			t.Fatalf("line %d: %v", i, err)
+		}
+		var got int64 = -1
+		for _, c := range snap.Counters {
+			if c.Name == "tx.frames" {
+				got = c.Value
+			}
+		}
+		if got != want {
+			t.Fatalf("line %d tx.frames = %d, want %d", i, got, want)
+		}
+		if snap.Spans != nil {
+			t.Fatalf("line %d carries spans; writer must use SnapshotLight", i)
+		}
+	}
+}
+
+func TestSnapshotWriterCSV(t *testing.T) {
+	p := NewPipeline()
+	p.Rx.Bursts.Inc()
+	var buf bytes.Buffer
+	w := NewSnapshotWriter(&buf, FormatCSV, p)
+	if err := w.Write(); err != nil {
+		t.Fatal(err)
+	}
+	p.Rx.Bursts.Inc()
+	if err := w.Write(); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d, want 3 (header + 2 snapshots)", len(rows))
+	}
+	header := rows[0]
+	if header[0] != "uptime_ns" {
+		t.Fatalf("first column = %q, want uptime_ns", header[0])
+	}
+	col := -1
+	for i, name := range header {
+		if name == "rx.bursts" {
+			col = i
+		}
+	}
+	if col < 0 {
+		t.Fatal("rx.bursts column missing")
+	}
+	if rows[1][col] != "1" || rows[2][col] != "2" {
+		t.Fatalf("rx.bursts rows = %q, %q; want 1, 2", rows[1][col], rows[2][col])
+	}
+	for i := 1; i < len(rows); i++ {
+		if len(rows[i]) != len(header) {
+			t.Fatalf("row %d width %d != header width %d", i, len(rows[i]), len(header))
+		}
+	}
+}
+
+func TestSnapshotWriterStop(t *testing.T) {
+	p := NewPipeline()
+	var buf bytes.Buffer
+	w := NewSnapshotWriter(&buf, FormatJSONL, p)
+	// Stop without Start still emits the final snapshot.
+	if err := w.Stop(); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Count(buf.String(), "\n") != 1 {
+		t.Fatalf("Stop wrote %q, want exactly one snapshot line", buf.String())
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"math"
 
 	"bhss/internal/dsp"
+	"bhss/internal/obs"
 )
 
 // Estimator configures an averaged-periodogram PSD estimator.
@@ -74,9 +75,14 @@ type Reusable struct {
 	win      []float64
 	winPower float64
 	plan     *dsp.FFTPlan // power-of-two fast path; nil otherwise
+	met      *obs.PSDMetrics
 	//bhss:scratch
 	seg []complex128
 }
+
+// SetObserver attaches PSD metrics (nil detaches). Recording is
+// allocation-free and never alters the estimate.
+func (r *Reusable) SetObserver(m *obs.PSDMetrics) { r.met = m }
 
 // Reusable validates the estimator's configuration and pre-computes the
 // window and FFT plan.
@@ -113,6 +119,10 @@ func (r *Reusable) SegmentLength() int { return r.est.SegmentLength }
 //
 //bhss:hotpath
 func (r *Reusable) PSDInto(dst []float64, x []complex128) error {
+	var sw obs.Stopwatch
+	if r.met != nil {
+		sw = obs.Start()
+	}
 	k := r.est.SegmentLength
 	if len(dst) != k {
 		return fmt.Errorf("spectral: destination holds %d bins, need %d", len(dst), k)
@@ -143,6 +153,11 @@ func (r *Reusable) PSDInto(dst []float64, x []complex128) error {
 	scale := 1 / (float64(segments) * r.winPower)
 	for i := range dst {
 		dst[i] *= scale
+	}
+	if r.met != nil {
+		r.met.Calls.Inc()
+		r.met.Segments.Add(int64(segments))
+		r.met.EstimateNS.ObserveSince(sw)
 	}
 	// With this scaling, sum(psd)/K equals the average signal power; a
 	// white signal of power P yields a flat PSD of height P per bin.

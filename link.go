@@ -36,6 +36,22 @@ type SimLink struct {
 	channel ChannelModel
 	noise   *channel.AWGN
 	src     *prng.Source
+	met     *Observer
+}
+
+// WithObserver attaches a metrics pipeline to the link's transmitter,
+// receiver and channel (nil detaches) and returns the link for chaining.
+// Observation never alters what the link transmits or decodes.
+func (l *SimLink) WithObserver(p *Observer) *SimLink {
+	l.met = p
+	l.Tx.SetObserver(p)
+	l.Rx.SetObserver(p)
+	if p != nil {
+		l.noise.SetObserver(&p.Chan)
+	} else {
+		l.noise.SetObserver(nil)
+	}
+	return l
 }
 
 // NewSimLink builds the transmitter/receiver pair for cfg and connects them
@@ -90,6 +106,9 @@ func (l *SimLink) Send(payload []byte) ([]byte, *RxStats, error) {
 		j := l.Jammer.Emit(len(rx))
 		for i := range rx {
 			rx[i] += j[i]
+		}
+		if l.met != nil {
+			l.met.Chan.JamSamples.Add(int64(len(j)))
 		}
 	}
 	l.noise.Add(rx)
