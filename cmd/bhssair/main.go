@@ -12,23 +12,33 @@ import (
 	"flag"
 	"log"
 
+	"bhss/internal/impair"
 	"bhss/internal/iqstream"
 	"bhss/internal/obs"
 )
 
 func main() {
 	var (
-		listen    = flag.String("listen", "127.0.0.1:4200", "listen address")
-		noise     = flag.Float64("noise", 0.01, "AWGN floor variance per sample")
-		block     = flag.Int("block", 4096, "mixing block size in samples")
-		seed      = flag.Uint64("seed", 1, "noise seed")
-		quiet     = flag.Bool("quiet", false, "suppress connection logs")
-		debugAddr = flag.String("debug-addr", "", "serve /debug/bhss, /debug/vars and /debug/pprof on this address (empty = off)")
+		listen     = flag.String("listen", "127.0.0.1:4200", "listen address")
+		noise      = flag.Float64("noise", 0.01, "AWGN floor variance per sample")
+		block      = flag.Int("block", 4096, "mixing block size in samples")
+		seed       = flag.Uint64("seed", 1, "noise seed")
+		impairSpec = flag.String("impair", "", "RF front-end impairment spec, e.g. cfo=2e3,ppm=20,phnoise=-80,quant=8 (empty = ideal)")
+		rate       = flag.Float64("rate", 20, "nominal sample rate in MHz (scales the impairment spec's physical units)")
+		quiet      = flag.Bool("quiet", false, "suppress connection logs")
+		debugAddr  = flag.String("debug-addr", "", "serve /debug/bhss, /debug/vars and /debug/pprof on this address (empty = off)")
 	)
 	flag.Parse()
 
+	front, err := impair.NewFromSpec(*impairSpec, *rate, *seed)
+	if err != nil {
+		log.Fatalf("bhssair: %v", err)
+	}
+
 	if *debugAddr != "" {
-		srv, addr, err := obs.ServeDebug(*debugAddr, obs.NewPipeline())
+		p := obs.NewPipeline()
+		front.SetObserver(&p.Impair)
+		srv, addr, err := obs.ServeDebug(*debugAddr, p)
 		if err != nil {
 			log.Fatalf("bhssair: debug server: %v", err)
 		}
@@ -40,6 +50,7 @@ func main() {
 		BlockSize: *block,
 		NoiseVar:  *noise,
 		Seed:      *seed,
+		Impair:    front,
 	}
 	if !*quiet {
 		cfg.Logf = log.Printf
@@ -48,7 +59,7 @@ func main() {
 	if err != nil {
 		log.Fatalf("bhssair: %v", err)
 	}
-	log.Printf("virtual air hub listening on %s (noise %.4g, block %d)", hub.Addr(), *noise, *block)
+	log.Printf("virtual air hub listening on %s (noise %.4g, block %d, impair %q)", hub.Addr(), *noise, *block, *impairSpec)
 	if err := hub.Serve(); err != nil {
 		log.Fatalf("bhssair: %v", err)
 	}

@@ -22,12 +22,14 @@ import (
 	"time"
 
 	"bhss/internal/experiment"
+	"bhss/internal/impair"
 	"bhss/internal/obs"
 )
 
 func main() {
 	var (
-		exp         = flag.String("exp", "all", "experiment id (fig5..fig14, table1, table1opt, table2, patternstats, ablation-dwell, ablation-taps, all)")
+		exp         = flag.String("exp", "all", "experiment id (fig5..fig14, table1, table1opt, table2, patternstats, ablation-dwell, ablation-taps, fidelity, all)")
+		impairSpec  = flag.String("impair", "", "RF front-end impairment spec applied to every measured trial, e.g. cfo=2e3,ppm=20,phnoise=-80,quant=8 (empty = ideal; headline figures are pinned with it empty)")
 		scale       = flag.String("scale", "quick", "measurement scale: quick or full")
 		csvPath     = flag.String("csv", "", "also write raw series to this CSV file")
 		seed        = flag.Uint64("seed", 1, "experiment seed")
@@ -56,6 +58,7 @@ func main() {
   table2          hopping signal vs hopping jammer             (minutes)
   ablation-dwell  power advantage vs symbols per hop           (minutes)
   ablation-taps   power advantage vs filter tap budget         (minutes)
+  fidelity        packet loss vs front-end impairment severity (minutes)
   all             everything above`)
 		return
 	}
@@ -74,6 +77,11 @@ func main() {
 	if *frames > 0 {
 		sc.Frames = *frames
 	}
+	if _, err := impair.ParseSpec(*impairSpec); err != nil {
+		fmt.Fprintf(os.Stderr, "%v\n", err)
+		os.Exit(2)
+	}
+	sc.Impair = *impairSpec
 
 	// One pipeline observes every experiment of the invocation; it feeds
 	// the snapshot writer, the progress ticker and the debug endpoint, and
@@ -196,6 +204,8 @@ func run(id string, sc experiment.Scale) (experiment.Result, error) {
 		return experiment.AblationHopDwell(sc, nil)
 	case "ablation-taps":
 		return experiment.AblationFilterTaps(sc, nil)
+	case "fidelity":
+		return experiment.FidelitySweep(sc, nil, nil)
 	default:
 		return experiment.Result{}, fmt.Errorf("unknown experiment %q", id)
 	}

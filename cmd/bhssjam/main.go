@@ -15,6 +15,7 @@ import (
 	"log"
 
 	"bhss/internal/hop"
+	"bhss/internal/impair"
 	"bhss/internal/iqstream"
 	"bhss/internal/jammer"
 	"bhss/internal/obs"
@@ -40,10 +41,16 @@ func run() (err error) {
 		period    = flag.Int("period", 65536, "sweep period / pulse period / hop dwell in samples")
 		duty      = flag.Float64("duty", 0.5, "pulsed jammer duty cycle")
 		seed      = flag.Uint64("seed", 7, "jammer noise seed")
-		blocks    = flag.Int("blocks", 0, "number of 4096-sample blocks to emit (0 = forever)")
-		debugAddr = flag.String("debug-addr", "", "serve /debug/bhss, /debug/vars and /debug/pprof on this address (empty = off)")
+		blocks     = flag.Int("blocks", 0, "number of 4096-sample blocks to emit (0 = forever)")
+		impairSpec = flag.String("impair", "", "jammer hardware impairment spec, e.g. cfo=5e3,quant=8 (empty = ideal)")
+		debugAddr  = flag.String("debug-addr", "", "serve /debug/bhss, /debug/vars and /debug/pprof on this address (empty = off)")
 	)
 	flag.Parse()
+
+	front, err := impair.NewFromSpec(*impairSpec, *rate, *seed)
+	if err != nil {
+		return err
+	}
 
 	power := stats.FromDB(*powerDB)
 	var src jammer.Source
@@ -108,7 +115,13 @@ func run() (err error) {
 	log.Printf("jamming: %s, %.3f MHz, %.1f dB", *kind, *bwMHz, *powerDB)
 	const block = 4096
 	for i := 0; *blocks == 0 || i < *blocks; i++ {
-		if err := client.Send(src.Emit(block)); err != nil {
+		// Even the attacker's hardware is imperfect; stream its blocks
+		// through the impairment chain so oscillator state persists.
+		out := src.Emit(block)
+		if front.Len() > 0 {
+			out = front.Process(out)
+		}
+		if err := client.Send(out); err != nil {
 			return fmt.Errorf("send: %w", err)
 		}
 	}

@@ -17,6 +17,7 @@ import (
 
 	"bhss/internal/core"
 	"bhss/internal/hop"
+	"bhss/internal/impair"
 	"bhss/internal/iqstream"
 	"bhss/internal/obs"
 )
@@ -35,8 +36,9 @@ func run() (err error) {
 		seed      = flag.Uint64("seed", 42, "pre-shared link seed")
 		pattern   = flag.String("pattern", "linear", "hopping pattern: fixed, linear, exponential, parabolic")
 		count     = flag.Int("count", 10, "frames to receive before reporting (0 = forever)")
-		idleMS    = flag.Int("idle", 150, "stream-idle time in ms after which a decode is attempted")
-		debugAddr = flag.String("debug-addr", "", "serve /debug/bhss, /debug/vars and /debug/pprof on this address (empty = off)")
+		idleMS     = flag.Int("idle", 150, "stream-idle time in ms after which a decode is attempted")
+		impairSpec = flag.String("impair", "", "receiver front-end impairment spec, e.g. cfo=2e3,ppm=20,quant=8 (empty = ideal)")
+		debugAddr  = flag.String("debug-addr", "", "serve /debug/bhss, /debug/vars and /debug/pprof on this address (empty = off)")
 	)
 	flag.Parse()
 
@@ -57,6 +59,10 @@ func run() (err error) {
 	cfg.Pattern = p
 	cfg.Sync = core.PreambleSync
 	rx, err := core.NewReceiver(cfg)
+	if err != nil {
+		return err
+	}
+	front, err := impair.NewFromSpec(*impairSpec, cfg.SampleRate, *seed)
 	if err != nil {
 		return err
 	}
@@ -87,6 +93,12 @@ func run() (err error) {
 			block, err := client.Recv()
 			if err != nil {
 				return
+			}
+			// This receiver's own front end distorts the stream before any
+			// DSP sees it; the chain is streaming, so block boundaries do
+			// not appear in its output. Only this goroutine touches it.
+			if front.Len() > 0 {
+				block = front.ProcessAppend(make([]complex128, 0, len(block)+8), block)
 			}
 			blocks <- block
 		}

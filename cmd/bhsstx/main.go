@@ -15,6 +15,7 @@ import (
 
 	"bhss/internal/core"
 	"bhss/internal/hop"
+	"bhss/internal/impair"
 	"bhss/internal/iqstream"
 	"bhss/internal/obs"
 )
@@ -50,8 +51,9 @@ func run() (err error) {
 		count     = flag.Int("count", 10, "number of frames to send (0 = forever)")
 		payload   = flag.String("payload", "bandwidth hopping spread spectrum", "frame payload")
 		gainDB    = flag.Float64("gain", 0, "transmit gain in dB at the hub port")
-		gapMS     = flag.Int("gap", 50, "inter-frame gap in milliseconds")
-		debugAddr = flag.String("debug-addr", "", "serve /debug/bhss, /debug/vars and /debug/pprof on this address (empty = off)")
+		gapMS      = flag.Int("gap", 50, "inter-frame gap in milliseconds")
+		impairSpec = flag.String("impair", "", "transmit-chain impairment spec, e.g. cfo=2e3,ppm=20 (empty = ideal)")
+		debugAddr  = flag.String("debug-addr", "", "serve /debug/bhss, /debug/vars and /debug/pprof on this address (empty = off)")
 	)
 	flag.Parse()
 
@@ -62,6 +64,10 @@ func run() (err error) {
 	cfg := core.DefaultConfig(*seed)
 	cfg.Pattern = p
 	tx, err := core.NewTransmitter(cfg)
+	if err != nil {
+		return err
+	}
+	front, err := impair.NewFromSpec(*impairSpec, cfg.SampleRate, *seed)
 	if err != nil {
 		return err
 	}
@@ -91,7 +97,13 @@ func run() (err error) {
 		if err != nil {
 			return fmt.Errorf("encode: %w", err)
 		}
-		if err := client.Send(burst.Samples); err != nil {
+		// The transmit chain's own hardware imperfections, streamed so
+		// oscillator and clock state carry across frames.
+		samples := burst.Samples
+		if front.Len() > 0 {
+			samples = front.Process(samples)
+		}
+		if err := client.Send(samples); err != nil {
 			return fmt.Errorf("send: %w", err)
 		}
 		log.Printf("frame %d: %d samples over %d hops", i, len(burst.Samples), len(burst.Segments))

@@ -12,6 +12,7 @@ import (
 	"math"
 
 	"bhss/internal/dsp"
+	"bhss/internal/impair"
 	"bhss/internal/obs"
 	"bhss/internal/prng"
 )
@@ -158,6 +159,11 @@ func Combine(streams ...[]complex128) []complex128 {
 type Link struct {
 	AttenuationDB float64
 	Impairments   Impairments
+	// Front, when non-nil, is the receiver front-end impairment chain
+	// (internal/impair) applied after attenuation. For multi-port setups
+	// apply one chain to the combined signal with ApplyFront instead, so
+	// the front end distorts jammer and signal alike, as hardware does.
+	Front *impair.Chain
 }
 
 // Transmit pushes a burst through the link and returns the received
@@ -165,7 +171,17 @@ type Link struct {
 func (l Link) Transmit(x []complex128) []complex128 {
 	out := l.Impairments.Apply(x)
 	Attenuate(out, l.AttenuationDB)
-	return out
+	return ApplyFront(l.Front, out)
+}
+
+// ApplyFront passes x through the receiver front-end chain and returns the
+// impaired samples (a new slice; the chain may change the length when a
+// clock-skew stage resamples). A nil or empty chain returns x unchanged.
+func ApplyFront(front *impair.Chain, x []complex128) []complex128 {
+	if front.Len() == 0 {
+		return x
+	}
+	return front.ProcessAppend(make([]complex128, 0, len(x)+len(x)/128+8), x)
 }
 
 // NoiseVarForSNR returns the AWGN variance that realizes the given SNR (dB)

@@ -1,0 +1,171 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"bhss/internal/impair"
+)
+
+// fuzzRxConfig is a deliberately small link so each fuzz iteration builds
+// its receiver in microseconds while still exercising the estimation,
+// filtering, tracking and despreading paths.
+func fuzzRxConfig(sync SyncMode) Config {
+	cfg := DefaultConfig(99)
+	cfg.Bandwidths = []float64{10, 5, 2.5}
+	cfg.SymbolsPerHop = 4
+	cfg.FilterTaps = 129
+	cfg.Sync = sync
+	cfg.TrackingLoops = true
+	return cfg
+}
+
+// fuzzSamples maps raw fuzz bytes onto IQ samples, deliberately including
+// non-finite values: 0x7e encodes NaN, 0x7f +Inf, 0x80 −Inf; everything
+// else becomes a small signed amplitude. This gives the fuzzer direct
+// reach into the receiver's input-validation and clipping behavior.
+func fuzzSamples(data []byte) []complex128 {
+	rail := func(b byte) float64 {
+		switch b {
+		case 0x7e:
+			return math.NaN()
+		case 0x7f:
+			return math.Inf(1)
+		case 0x80:
+			return math.Inf(-1)
+		}
+		return float64(int8(b)) / 32
+	}
+	samples := make([]complex128, len(data)/2)
+	for i := range samples {
+		samples[i] = complex(rail(data[2*i]), rail(data[2*i+1]))
+	}
+	return samples
+}
+
+// FuzzDecodeBurst feeds arbitrary — truncated, corrupted, non-finite — IQ
+// captures to Receiver.DecodeBurst in both sync modes: it must never
+// panic, only return errors, and any accepted payload must be well-formed.
+// This is the runtime half of the panicpolicy contract for the whole
+// receive path.
+//
+// Each exec costs up to a few ms (a full receiver decode), so pass
+// -fuzzminimizetime=10x when fuzzing interactively: the default 60s
+// *time-based* minimization budget per new interesting input makes the
+// engine look hung (execs frozen, CPU pegged) whenever coverage grows.
+func FuzzDecodeBurst(f *testing.F) {
+	// Seed corpus: a real burst (quantized through the byte mapping), an
+	// impaired one, silence, a runt, and non-finite rails.
+	tx, err := NewTransmitter(fuzzRxConfig(IdealSync))
+	if err != nil {
+		f.Fatal(err)
+	}
+	burst, err := tx.EncodeFrame([]byte{0xA5, 0x5A})
+	if err != nil {
+		f.Fatal(err)
+	}
+	pack := func(x []complex128) []byte {
+		out := make([]byte, 2*len(x))
+		for i, v := range x {
+			re := int8(real(v) * 32)
+			im := int8(imag(v) * 32)
+			out[2*i], out[2*i+1] = byte(re), byte(im)
+		}
+		return out
+	}
+	f.Add(pack(burst.Samples), false)
+	chain, err := impair.NewFromSpec("cfo=2e3,ppm=20,phnoise=-80,quant=8", 20, 1)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(pack(chain.ProcessAppend(nil, burst.Samples)), true)
+	f.Add([]byte{}, false)
+	f.Add([]byte{1, 2, 3}, true)
+	f.Add([]byte{0x7e, 0x7f, 0x80, 0x00, 0x10, 0x20}, false)
+
+	f.Fuzz(func(t *testing.T, data []byte, preamble bool) {
+		if len(data) > 1<<16 {
+			data = data[:1<<16] // bound per-iteration cost, not coverage
+		}
+		sync := IdealSync
+		if preamble {
+			sync = PreambleSync
+		}
+		rx, err := NewReceiver(fuzzRxConfig(sync))
+		if err != nil {
+			t.Fatalf("receiver construction: %v", err)
+		}
+		samples := fuzzSamples(data)
+		payload, stats, err := rx.DecodeBurst(samples)
+		if err != nil {
+			if payload != nil {
+				t.Fatal("error return with non-nil payload")
+			}
+			return
+		}
+		if stats == nil {
+			t.Fatal("nil stats on success")
+		}
+		if len(payload) > 255 {
+			t.Fatalf("accepted payload of impossible length %d", len(payload))
+		}
+	})
+}
+
+// TestDecodeBurstNonFinite pins the bugfix-sweep contract: NaN or Inf
+// anywhere in the capture is rejected with ErrNonFiniteInput before it can
+// reach the PSD estimator's FFT (where one NaN smears across every bin and
+// silently corrupts the filter decision).
+func TestDecodeBurstNonFinite(t *testing.T) {
+	cfg := fuzzRxConfig(IdealSync)
+	tx, err := NewTransmitter(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	burst, err := tx.EncodeFrame([]byte("payload"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := []struct {
+		name string
+		v    complex128
+	}{
+		{"nan-re", complex(math.NaN(), 0)},
+		{"nan-im", complex(0, math.NaN())},
+		{"inf-re", complex(math.Inf(1), 0)},
+		{"neginf-im", complex(0, math.Inf(-1))},
+	}
+	for _, tc := range bad {
+		t.Run(tc.name, func(t *testing.T) {
+			rx, err := NewReceiver(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			samples := append([]complex128(nil), burst.Samples...)
+			samples[len(samples)/2] = tc.v
+			_, _, err = rx.DecodeBurst(samples)
+			if err != ErrNonFiniteInput {
+				t.Fatalf("DecodeBurst = %v, want ErrNonFiniteInput", err)
+			}
+		})
+	}
+}
+
+// TestDecodeBurstZeroLength pins the zero-length capture path: an error,
+// never a panic or an empty success.
+func TestDecodeBurstZeroLength(t *testing.T) {
+	for _, sync := range []SyncMode{IdealSync, PreambleSync} {
+		rx, err := NewReceiver(fuzzRxConfig(sync))
+		if err != nil {
+			t.Fatal(err)
+		}
+		payload, _, err := rx.DecodeBurst(nil)
+		if err == nil {
+			t.Fatalf("sync %v: zero-length burst decoded to %q, want error", sync, payload)
+		}
+		payload, _, err = rx.DecodeBurst([]complex128{})
+		if err == nil {
+			t.Fatalf("sync %v: empty burst decoded to %q, want error", sync, payload)
+		}
+	}
+}

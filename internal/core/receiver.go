@@ -68,6 +68,15 @@ type RxStats struct {
 	// CFO is the estimated carrier offset in cycles/sample
 	// (PreambleSync only).
 	CFO float64
+	// CarrierFreq is the residual carrier offset tracked by the Costas
+	// loop at the end of the burst, in cycles/sample (TrackingLoops only).
+	CarrierFreq float64
+	// CarrierLock is the carrier loop's final lock quality in [0, 1]
+	// (tracking.Costas.LockQuality; TrackingLoops only). CarrierLocked is
+	// CarrierLock compared against tracking.DefaultLockThreshold — the
+	// receiver's own verdict on whether the constellation was stable.
+	CarrierLock   float64
+	CarrierLocked bool
 }
 
 // Reset clears the stats for reuse, keeping the Hops backing array so a
@@ -77,6 +86,9 @@ func (s *RxStats) Reset() {
 	s.MeanMetric = 0
 	s.AcquisitionOffset = 0
 	s.CFO = 0
+	s.CarrierFreq = 0
+	s.CarrierLock = 0
+	s.CarrierLocked = false
 }
 
 // Decode errors beyond those of package frame.
@@ -85,6 +97,11 @@ var (
 	ErrTruncatedBurst = errors.New("core: burst shorter than one symbol")
 	// ErrNoPreamble flags a failed acquisition in PreambleSync mode.
 	ErrNoPreamble = errors.New("core: preamble not found")
+	// ErrNonFiniteInput flags NaN or Inf samples in the capture. They are
+	// rejected up front: one NaN entering the PSD estimator's FFT would
+	// otherwise smear across every bin and silently corrupt the filter
+	// decision rather than fail loudly.
+	ErrNonFiniteInput = errors.New("core: burst contains non-finite samples")
 )
 
 // Receiver is the BHSS receiver of Figure 6.
@@ -632,6 +649,14 @@ func (r *Receiver) decodeBurst(stats *RxStats, samples []complex128) ([]byte, er
 	fr := r.frame
 	r.frame++
 
+	for _, v := range samples {
+		re, im := real(v), imag(v)
+		// A finite value minus itself is 0; NaN and ±Inf are not.
+		if re-re != 0 || im-im != 0 {
+			return nil, ErrNonFiniteInput
+		}
+	}
+
 	if r.cfg.Sync == PreambleSync {
 		var asw obs.Stopwatch
 		if r.met != nil {
@@ -772,6 +797,11 @@ func (r *Receiver) decodeBurst(stats *RxStats, samples []complex128) ([]byte, er
 		}
 	}
 	r.scratch.chips = chips // keep the grown buffer for the next burst
+	if loop != nil {
+		stats.CarrierFreq = loop.Frequency()
+		stats.CarrierLock = loop.LockQuality()
+		stats.CarrierLocked = stats.CarrierLock >= tracking.DefaultLockThreshold
+	}
 	if len(chips) < dsss.ComplexChipsPerSymbol {
 		return nil, ErrTruncatedBurst
 	}

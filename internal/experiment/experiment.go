@@ -15,6 +15,7 @@ import (
 	"bhss/internal/channel"
 	"bhss/internal/core"
 	"bhss/internal/dsp"
+	"bhss/internal/impair"
 	"bhss/internal/jammer"
 	"bhss/internal/obs"
 	"bhss/internal/prng"
@@ -42,6 +43,14 @@ type Scale struct {
 	FilterTaps int
 	// Seed makes the whole experiment deterministic.
 	Seed uint64
+	// Impair is an RF front-end impairment spec (impair.ParseSpec grammar,
+	// e.g. "cfo=2e3,ppm=20,phnoise=-80,quant=8") applied to the composite
+	// received signal — after gain, jammer and noise — of every trial
+	// built from this scale, so the front end distorts signal and jammer
+	// alike, as the testbed's shared receiver chain did. Empty keeps the
+	// medium pristine; the headline figures (Fig13's 15.47 dB) are pinned
+	// with it empty.
+	Impair string
 	// Obs, when non-nil, receives metrics from every link the experiment
 	// builds (a single pipeline shared across worker goroutines — recording
 	// is atomic). It never influences results: seeds, decisions and samples
@@ -114,6 +123,15 @@ type Trial struct {
 // any reason — CRC, SFD, truncation — count as lost, mirroring the paper's
 // CRC-based loss definition.
 func (t Trial) PacketLoss(snrDB float64, pointSeed uint64) (float64, error) {
+	plr, _, err := t.PacketLossDetail(snrDB, pointSeed)
+	return plr, err
+}
+
+// PacketLossDetail is PacketLoss plus the mean carrier-lock quality the
+// receiver reported across the point's frames (0 when tracking loops are
+// disabled) — the observable behind the hardware-fidelity sweep's
+// "where do the loops lose lock" question.
+func (t Trial) PacketLossDetail(snrDB float64, pointSeed uint64) (plr, meanLock float64, err error) {
 	met := t.Scale.Obs
 	var psw obs.Stopwatch
 	if met != nil {
@@ -123,11 +141,11 @@ func (t Trial) PacketLoss(snrDB float64, pointSeed uint64) (float64, error) {
 	cfg.FilterTaps = t.Scale.FilterTaps
 	tx, err := core.NewTransmitter(cfg)
 	if err != nil {
-		return 0, err
+		return 0, 0, err
 	}
 	rx, err := core.NewReceiver(cfg)
 	if err != nil {
-		return 0, err
+		return 0, 0, err
 	}
 	tx.SetObserver(met)
 	rx.SetObserver(met)
@@ -135,29 +153,44 @@ func (t Trial) PacketLoss(snrDB float64, pointSeed uint64) (float64, error) {
 	if t.NewJammer != nil {
 		jam, err = t.NewJammer(pointSeed ^ 0xa5a5a5a5)
 		if err != nil {
-			return 0, err
+			return 0, 0, err
 		}
 	}
 	noise := channel.NewAWGN(t.Scale.NoiseVar, pointSeed^0x5a5a5a5a)
 	if met != nil {
 		noise.SetObserver(&met.Chan)
 	}
+	// The receiver front-end impairment chain, applied to the composite
+	// signal just before decoding. Stage state (oscillator phase, clock
+	// drift, dropout runs) persists across the point's frames, as it
+	// would on hardware; the point seed keeps it deterministic.
+	var front *impair.Chain
+	if t.Scale.Impair != "" {
+		front, err = impair.NewFromSpec(t.Scale.Impair, cfg.SampleRate, pointSeed^0x3c3c3c3c)
+		if err != nil {
+			return 0, 0, err
+		}
+		if met != nil {
+			front.SetObserver(&met.Impair)
+		}
+	}
 	src := prng.New(pointSeed)
 	payload := make([]byte, t.Scale.PayloadBytes)
 
 	gain := math.Sqrt(t.Scale.NoiseVar) * stats.AmplitudeFromDB(snrDB)
 	lost := 0
+	lockSum := 0.0
 	// The receive buffer is reused across frames: each frame copies the
 	// burst in and applies channel effects in place, so the trial loop
 	// stays off the allocator in steady state.
-	var rxSamples []complex128
+	var rxSamples, impaired []complex128
 	for i := 0; i < t.Scale.Frames; i++ {
 		for b := range payload {
 			payload[b] = byte(src.Uint64())
 		}
 		burst, err := tx.EncodeFrame(payload)
 		if err != nil {
-			return 0, err
+			return 0, 0, err
 		}
 		rxSamples = append(rxSamples[:0], burst.Samples...)
 		if gain != 1 {
@@ -191,7 +224,13 @@ func (t Trial) PacketLoss(snrDB float64, pointSeed uint64) (float64, error) {
 			}
 		}
 		noise.Add(rxSamples)
-		got, _, err := rx.DecodeBurst(rxSamples)
+		decodeIn := rxSamples
+		if front.Len() > 0 {
+			impaired = front.ProcessAppend(impaired[:0], rxSamples)
+			decodeIn = impaired
+		}
+		got, st, err := rx.DecodeBurst(decodeIn)
+		lockSum += st.CarrierLock
 		if err != nil || len(got) != len(payload) {
 			lost++
 			continue
@@ -203,7 +242,8 @@ func (t Trial) PacketLoss(snrDB float64, pointSeed uint64) (float64, error) {
 			}
 		}
 	}
-	plr := float64(lost) / float64(t.Scale.Frames)
+	plr = float64(lost) / float64(t.Scale.Frames)
+	meanLock = lockSum / float64(t.Scale.Frames)
 	if met != nil {
 		met.Exp.Points.Inc()
 		met.Exp.Frames.Add(int64(t.Scale.Frames))
@@ -212,7 +252,7 @@ func (t Trial) PacketLoss(snrDB float64, pointSeed uint64) (float64, error) {
 		met.Exp.LastSNRdB.Store(snrDB)
 		met.Exp.PointNS.ObserveSince(psw)
 	}
-	return plr, nil
+	return plr, meanLock, nil
 }
 
 // MinSNR returns the smallest SNR (dB) at which the packet-loss rate stays

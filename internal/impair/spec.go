@@ -1,0 +1,416 @@
+package impair
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+
+	"bhss/internal/prng"
+)
+
+// Spec grammar (documented in README.md and DESIGN.md §11):
+//
+//	spec    := "" | entry { "," entry }
+//	entry   := key "=" value
+//	key     := cfo | phase | ppm | drift | phnoise | iqgain | iqphase
+//	         | dc | quant | clip | mpath | drop | seed
+//
+//	cfo=<Hz>        carrier frequency offset
+//	phase=<rad>     initial carrier phase offset
+//	ppm=<ppm>       static sample-clock offset, |ppm| <= 1000
+//	drift=<ppm/s>   sample-clock drift rate, |drift| <= 1e6
+//	phnoise=<dBc/Hz> Wiener phase noise: SSB density at 10 kHz offset
+//	iqgain=<dB>     IQ gain imbalance
+//	iqphase=<deg>   IQ quadrature phase error
+//	dc=<re>[:<im>]  DC offset (rails)
+//	quant=<bits>    ADC quantization, 1..24 bits (0 disables)
+//	clip=<amp>      ADC full-scale amplitude (default 1.5)
+//	mpath=<d:gdB:pdeg>{+<d:gdB:pdeg>}  static multipath echoes:
+//	                integer delay in samples (0..4096, max 16 echoes),
+//	                gain in dB, phase in degrees. The direct path is an
+//	                implicit unit tap at delay 0 unless a 0-delay tap is
+//	                given explicitly.
+//	drop=<p>:<len>  burst dropouts: per-sample start probability p in
+//	                [0,1), mean burst length in samples (>= 1)
+//	seed=<uint64>   chain seed override (default: the seed passed to Chain)
+//
+// All values must be finite; unknown keys, malformed numbers and
+// out-of-range parameters are errors. Zero values are identity: a stage
+// whose every parameter is zero is omitted from the chain, so
+// ParseSpec("") and ParseSpec("cfo=0,ppm=0") both build empty,
+// bit-transparent chains.
+
+// MpathTap is one multipath echo of a SpecConfig.
+type MpathTap struct {
+	Delay    int     // samples
+	GainDB   float64 // tap gain in dB
+	PhaseDeg float64 // tap phase in degrees
+}
+
+// Limits enforced by ParseSpec so a hostile spec cannot make Chain allocate
+// unbounded memory or build a degenerate resampler.
+const (
+	maxEchoDelay = 4096
+	maxEchoes    = 16
+	maxPPM       = 1000
+	maxDriftPPM  = 1e6
+	maxQuantBits = 24
+)
+
+// SpecConfig is the parsed form of an impairment spec string. The zero
+// value builds an empty (bit-transparent) chain.
+type SpecConfig struct {
+	CFOHz    float64
+	PhaseRad float64
+
+	PPM           float64
+	DriftPPMPerS  float64
+
+	// PhaseNoiseDBc is the oscillator's single-sideband phase-noise
+	// density L(f) in dBc/Hz at a 10 kHz offset, mapped onto the Wiener
+	// model's per-sample increment via
+	// sigma² = 10^(L/10)·(2π·10kHz)²/fs. HasPhaseNoise gates the stage
+	// (0 dBc/Hz is a legal, extremely noisy oscillator, not "off").
+	PhaseNoiseDBc float64
+	HasPhaseNoise bool
+
+	IQGainDB   float64
+	IQPhaseDeg float64
+
+	DCOffsetI float64
+	DCOffsetQ float64
+
+	QuantBits int
+	ClipAmp   float64 // 0 = default full scale
+
+	Mpath []MpathTap
+
+	DropProb    float64
+	DropMeanLen float64
+
+	Seed    uint64
+	HasSeed bool
+}
+
+// phaseNoiseRefHz is the offset frequency at which PhaseNoiseDBc is
+// specified.
+const phaseNoiseRefHz = 1e4
+
+// DefaultClip is the quantizer's full-scale amplitude when the spec does
+// not set clip=. Unit-power signals plus strong jammers still mostly fit;
+// overdrive clips, as a real front end would.
+const DefaultClip = 1.5
+
+// ParseSpec parses an impairment spec string. The empty string parses to
+// the zero SpecConfig. It never panics, whatever the input.
+func ParseSpec(spec string) (SpecConfig, error) {
+	var c SpecConfig
+	spec = strings.TrimSpace(spec)
+	if spec == "" {
+		return c, nil
+	}
+	for _, entry := range strings.Split(spec, ",") {
+		entry = strings.TrimSpace(entry)
+		if entry == "" {
+			return c, fmt.Errorf("impair: empty entry in spec %q", spec)
+		}
+		key, val, ok := strings.Cut(entry, "=")
+		if !ok {
+			return c, fmt.Errorf("impair: entry %q is not key=value", entry)
+		}
+		key = strings.TrimSpace(key)
+		val = strings.TrimSpace(val)
+		var err error
+		switch key {
+		case "cfo":
+			c.CFOHz, err = parseFinite(key, val)
+		case "phase":
+			c.PhaseRad, err = parseFinite(key, val)
+		case "ppm":
+			c.PPM, err = parseFiniteRange(key, val, maxPPM)
+		case "drift":
+			c.DriftPPMPerS, err = parseFiniteRange(key, val, maxDriftPPM)
+		case "phnoise":
+			c.PhaseNoiseDBc, err = parseFinite(key, val)
+			c.HasPhaseNoise = err == nil
+		case "iqgain":
+			c.IQGainDB, err = parseFiniteRange(key, val, 40)
+		case "iqphase":
+			c.IQPhaseDeg, err = parseFiniteRange(key, val, 90)
+		case "dc":
+			c.DCOffsetI, c.DCOffsetQ, err = parsePair(key, val)
+		case "quant":
+			var bits int64
+			bits, err = strconv.ParseInt(val, 10, 32)
+			if err != nil {
+				err = fmt.Errorf("impair: quant=%q: not an integer", val)
+			} else if bits < 0 || bits > maxQuantBits {
+				err = fmt.Errorf("impair: quant=%d out of 0..%d", bits, maxQuantBits)
+			} else {
+				c.QuantBits = int(bits)
+			}
+		case "clip":
+			c.ClipAmp, err = parseFinite(key, val)
+			if err == nil && c.ClipAmp <= 0 {
+				err = fmt.Errorf("impair: clip=%v must be positive", c.ClipAmp)
+			}
+		case "mpath":
+			c.Mpath, err = parseMpath(val)
+		case "drop":
+			c.DropProb, c.DropMeanLen, err = parsePair(key, val)
+			if err == nil {
+				if c.DropProb < 0 || c.DropProb >= 1 {
+					err = fmt.Errorf("impair: drop probability %v out of [0,1)", c.DropProb)
+				} else if c.DropProb > 0 && (c.DropMeanLen < 1 || c.DropMeanLen > 1e9) {
+					err = fmt.Errorf("impair: drop mean length %v out of [1,1e9]", c.DropMeanLen)
+				}
+			}
+		case "seed":
+			c.Seed, err = strconv.ParseUint(val, 10, 64)
+			if err != nil {
+				err = fmt.Errorf("impair: seed=%q: not a uint64", val)
+			} else {
+				c.HasSeed = true
+			}
+		default:
+			err = fmt.Errorf("impair: unknown key %q", key)
+		}
+		if err != nil {
+			return SpecConfig{}, err
+		}
+	}
+	return c, nil
+}
+
+// parseFinite parses a float64 and rejects NaN and infinities.
+func parseFinite(key, val string) (float64, error) {
+	f, err := strconv.ParseFloat(val, 64)
+	if err != nil || math.IsNaN(f) || math.IsInf(f, 0) {
+		return 0, fmt.Errorf("impair: %s=%q: not a finite number", key, val)
+	}
+	return f, nil
+}
+
+// parseFiniteRange additionally enforces |f| <= limit.
+func parseFiniteRange(key, val string, limit float64) (float64, error) {
+	f, err := parseFinite(key, val)
+	if err != nil {
+		return 0, err
+	}
+	if math.Abs(f) > limit {
+		return 0, fmt.Errorf("impair: %s=%v exceeds ±%v", key, f, limit)
+	}
+	return f, nil
+}
+
+// parsePair parses "a" or "a:b" (b defaults to 0).
+func parsePair(key, val string) (a, b float64, err error) {
+	first, second, has := strings.Cut(val, ":")
+	a, err = parseFinite(key, first)
+	if err != nil {
+		return 0, 0, err
+	}
+	if has {
+		b, err = parseFinite(key, second)
+		if err != nil {
+			return 0, 0, err
+		}
+	}
+	return a, b, nil
+}
+
+// parseMpath parses "d:gdB:pdeg" echoes joined by '+'.
+func parseMpath(val string) ([]MpathTap, error) {
+	if val == "" {
+		return nil, nil
+	}
+	parts := strings.Split(val, "+")
+	if len(parts) > maxEchoes {
+		return nil, fmt.Errorf("impair: mpath has %d echoes, max %d", len(parts), maxEchoes)
+	}
+	taps := make([]MpathTap, 0, len(parts))
+	for _, p := range parts {
+		fields := strings.Split(p, ":")
+		if len(fields) != 3 {
+			return nil, fmt.Errorf("impair: mpath echo %q is not delay:gaindB:phasedeg", p)
+		}
+		d, err := strconv.ParseInt(strings.TrimSpace(fields[0]), 10, 32)
+		if err != nil || d < 0 || d > maxEchoDelay {
+			return nil, fmt.Errorf("impair: mpath delay %q out of 0..%d", fields[0], maxEchoDelay)
+		}
+		g, err := parseFinite("mpath gain", fields[1])
+		if err != nil {
+			return nil, err
+		}
+		if g > 40 {
+			return nil, fmt.Errorf("impair: mpath gain %v dB exceeds +40", g)
+		}
+		ph, err := parseFinite("mpath phase", fields[2])
+		if err != nil {
+			return nil, err
+		}
+		taps = append(taps, MpathTap{Delay: int(d), GainDB: g, PhaseDeg: ph})
+	}
+	return taps, nil
+}
+
+// String renders the config in canonical spec form: fixed key order,
+// identity stages omitted. Parse(String()) reproduces the config exactly
+// (the round-trip property the fuzz campaign pins).
+func (c SpecConfig) String() string {
+	var b strings.Builder
+	add := func(key, val string) {
+		if b.Len() > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(key)
+		b.WriteByte('=')
+		b.WriteString(val)
+	}
+	g := func(f float64) string { return strconv.FormatFloat(f, 'g', -1, 64) }
+	if len(c.Mpath) > 0 {
+		var mp strings.Builder
+		for i, tap := range c.Mpath {
+			if i > 0 {
+				mp.WriteByte('+')
+			}
+			fmt.Fprintf(&mp, "%d:%s:%s", tap.Delay, g(tap.GainDB), g(tap.PhaseDeg))
+		}
+		add("mpath", mp.String())
+	}
+	if c.CFOHz != 0 {
+		add("cfo", g(c.CFOHz))
+	}
+	if c.PhaseRad != 0 {
+		add("phase", g(c.PhaseRad))
+	}
+	if c.HasPhaseNoise {
+		add("phnoise", g(c.PhaseNoiseDBc))
+	}
+	if c.PPM != 0 {
+		add("ppm", g(c.PPM))
+	}
+	if c.DriftPPMPerS != 0 {
+		add("drift", g(c.DriftPPMPerS))
+	}
+	if c.IQGainDB != 0 {
+		add("iqgain", g(c.IQGainDB))
+	}
+	if c.IQPhaseDeg != 0 {
+		add("iqphase", g(c.IQPhaseDeg))
+	}
+	if c.DCOffsetI != 0 || c.DCOffsetQ != 0 {
+		add("dc", g(c.DCOffsetI)+":"+g(c.DCOffsetQ))
+	}
+	if c.QuantBits != 0 {
+		add("quant", strconv.Itoa(c.QuantBits))
+	}
+	if c.ClipAmp != 0 {
+		add("clip", g(c.ClipAmp))
+	}
+	if c.DropProb != 0 {
+		add("drop", g(c.DropProb)+":"+g(c.DropMeanLen))
+	}
+	if c.HasSeed {
+		add("seed", strconv.FormatUint(c.Seed, 10))
+	}
+	return b.String()
+}
+
+// Enabled reports whether any stage would be built.
+func (c SpecConfig) Enabled() bool {
+	return c.CFOHz != 0 || c.PhaseRad != 0 || c.HasPhaseNoise ||
+		c.PPM != 0 || c.DriftPPMPerS != 0 ||
+		c.IQGainDB != 0 || c.IQPhaseDeg != 0 ||
+		c.DCOffsetI != 0 || c.DCOffsetQ != 0 ||
+		c.QuantBits != 0 || len(c.Mpath) > 0 || c.DropProb != 0
+}
+
+// Chain builds the seeded stage chain for a front end running at
+// sampleRateMHz (the repo's convention: 20 = 20 MS/s). The spec's seed=
+// key, when present, overrides the seed argument. Stage order is fixed:
+// multipath → CFO → phase noise → sample clock → IQ imbalance → DC offset
+// → quantizer → dropouts (medium first, then the analog front end, the
+// ADC, and transport loss).
+func (c SpecConfig) Chain(sampleRateMHz float64, seed uint64) (*Chain, error) {
+	if sampleRateMHz <= 0 || math.IsNaN(sampleRateMHz) || math.IsInf(sampleRateMHz, 0) {
+		return nil, fmt.Errorf("impair: sample rate %v MHz must be positive and finite", sampleRateMHz)
+	}
+	fsHz := sampleRateMHz * 1e6
+	if c.HasSeed {
+		seed = c.Seed
+	}
+	// Per-stage sub-seeds drawn in fixed order so adding one stage never
+	// changes another stage's noise.
+	seeds := prng.New(seed)
+	phnoiseSeed := seeds.Uint64()
+	dropSeed := seeds.Uint64()
+
+	var stages []Stage
+	if len(c.Mpath) > 0 {
+		maxDelay := 0
+		for _, tap := range c.Mpath {
+			if tap.Delay > maxDelay {
+				maxDelay = tap.Delay
+			}
+		}
+		taps := make([]complex128, maxDelay+1)
+		explicitDirect := false
+		for _, tap := range c.Mpath {
+			if tap.Delay == 0 {
+				explicitDirect = true
+			}
+			amp := math.Pow(10, tap.GainDB/20)
+			ph := tap.PhaseDeg * math.Pi / 180
+			taps[tap.Delay] += complex(amp*math.Cos(ph), amp*math.Sin(ph))
+		}
+		if !explicitDirect {
+			taps[0] += 1
+		}
+		stages = append(stages, newMultipath(taps))
+	}
+	if c.CFOHz != 0 || c.PhaseRad != 0 {
+		stages = append(stages, newCFO(c.CFOHz/fsHz, c.PhaseRad))
+	}
+	if c.HasPhaseNoise {
+		// Wiener phase noise with per-sample variance sigma²: the phase
+		// PSD is S_phi(f) = sigma²·fs/(2πf)², and L(f) ≈ S_phi(f) for
+		// small phase deviations, so pinning L at the reference offset
+		// gives sigma² = 10^(L/10)·(2π·f_ref)²/fs.
+		lin := math.Pow(10, c.PhaseNoiseDBc/10)
+		sigma := math.Sqrt(lin * (2 * math.Pi * phaseNoiseRefHz) * (2 * math.Pi * phaseNoiseRefHz) / fsHz)
+		stages = append(stages, newPhaseNoise(sigma, phnoiseSeed))
+	}
+	if c.PPM != 0 || c.DriftPPMPerS != 0 {
+		stages = append(stages, newClock(c.PPM, c.DriftPPMPerS, fsHz))
+	}
+	if c.IQGainDB != 0 || c.IQPhaseDeg != 0 {
+		stages = append(stages, newIQImbalance(c.IQGainDB, c.IQPhaseDeg*math.Pi/180))
+	}
+	if c.DCOffsetI != 0 || c.DCOffsetQ != 0 {
+		stages = append(stages, newDCOffset(c.DCOffsetI, c.DCOffsetQ))
+	}
+	if c.QuantBits != 0 {
+		clip := c.ClipAmp
+		if clip == 0 {
+			clip = DefaultClip
+		}
+		stages = append(stages, newQuantizer(c.QuantBits, clip))
+	}
+	if c.DropProb != 0 {
+		stages = append(stages, newDropout(c.DropProb, c.DropMeanLen, dropSeed))
+	}
+	return NewChain(stages...), nil
+}
+
+// NewFromSpec parses spec and builds the chain in one step; the common
+// entry point for the cmd tools' -impair flags. An empty spec returns an
+// empty (transparent, non-nil) chain.
+func NewFromSpec(spec string, sampleRateMHz float64, seed uint64) (*Chain, error) {
+	cfg, err := ParseSpec(spec)
+	if err != nil {
+		return nil, err
+	}
+	return cfg.Chain(sampleRateMHz, seed)
+}

@@ -12,6 +12,7 @@ import (
 	"sync"
 	"time"
 
+	"bhss/internal/impair"
 	"bhss/internal/prng"
 )
 
@@ -23,6 +24,12 @@ type HubConfig struct {
 	NoiseVar float64
 	// Seed drives the noise generator.
 	Seed uint64
+	// Impair, when non-nil, is the receiver front-end impairment chain
+	// (internal/impair) applied to each mixed block after the noise floor,
+	// so every receiver sees the same distorted stream — the hub plays the
+	// shared front end of the testbed. Only the mixing goroutine touches
+	// it.
+	Impair *impair.Chain
 	// Logf receives hub events; nil silences them.
 	Logf func(format string, args ...any)
 }
@@ -226,6 +233,7 @@ func (h *Hub) kick() {
 // receiver.
 func (h *Hub) mixLoop() {
 	block := make([]complex128, h.cfg.BlockSize)
+	var impaired []complex128
 	var txIDs []int
 	noiseAmp := 0.0
 	if h.cfg.NoiseVar > 0 {
@@ -291,13 +299,26 @@ func (h *Hub) mixLoop() {
 				rxs = append(rxs, rx)
 			}
 			h.mu.Unlock()
-			for _, rx := range rxs {
-				if rx.err {
-					continue
+			out := block
+			if h.cfg.Impair.Len() > 0 {
+				impaired = h.cfg.Impair.ProcessAppend(impaired[:0], block)
+				out = impaired
+			}
+			// A clock-skew stage can emit slightly more than BlockSize
+			// samples; chunk to respect the wire format's MaxBlock.
+			for off := 0; off < len(out); off += MaxBlock {
+				end := off + MaxBlock
+				if end > len(out) {
+					end = len(out)
 				}
-				if err := rx.w.WriteBlock(block); err != nil {
-					rx.err = true
-					rx.c.Close()
+				for _, rx := range rxs {
+					if rx.err {
+						continue
+					}
+					if err := rx.w.WriteBlock(out[off:end]); err != nil {
+						rx.err = true
+						rx.c.Close()
+					}
 				}
 			}
 		}

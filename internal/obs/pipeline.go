@@ -37,6 +37,41 @@ type CacheMetrics struct {
 	ShapeHit, ShapeMiss Counter
 }
 
+// NumImpairStages is the number of impairment stage kinds; it must match
+// impair.NumKinds (pinned by a test in internal/impair, which cannot be
+// imported here without a cycle).
+const NumImpairStages = 8
+
+// impairStageNames mirrors the impair package's Kind spec keys, in Kind
+// order (also pinned by the internal/impair test).
+var impairStageNames = [NumImpairStages]string{
+	"mpath", "cfo", "phnoise", "clock", "iq", "dc", "quant", "drop",
+}
+
+// ImpairStageName returns the snapshot name suffix for impairment stage
+// kind i ("" when out of range); internal/impair's tests pin these against
+// its Kind.String values.
+func ImpairStageName(i int) string {
+	if i < 0 || i >= NumImpairStages {
+		return ""
+	}
+	return impairStageNames[i]
+}
+
+// ImpairMetrics counts RF-impairment chain work (internal/impair).
+type ImpairMetrics struct {
+	// In and Out total the samples entering and leaving the chain; they
+	// differ when a clock-skew stage resamples.
+	In, Out Counter
+	// Dropped counts samples zeroed by dropout stages.
+	Dropped Counter
+	// Stage counts samples entering each stage kind, indexed by
+	// impair.Kind.
+	Stage [NumImpairStages]Counter
+	// ChainNS times whole-chain block processing.
+	ChainNS Histogram
+}
+
 // ChanMetrics counts simulated-medium work.
 type ChanMetrics struct {
 	// NoiseSamples counts samples that received AWGN; JamSamples counts
@@ -76,12 +111,13 @@ type ExpMetrics struct {
 // SetObserver hooks; a single pipeline may be shared by many components and
 // goroutines — all recording is atomic.
 type Pipeline struct {
-	Tx    TxMetrics
-	Rx    RxMetrics
-	Cache CacheMetrics
-	Chan  ChanMetrics
-	PSD   PSDMetrics
-	Exp   ExpMetrics
+	Tx     TxMetrics
+	Rx     RxMetrics
+	Cache  CacheMetrics
+	Chan   ChanMetrics
+	Impair ImpairMetrics
+	PSD    PSDMetrics
+	Exp    ExpMetrics
 	// StageNS holds one latency histogram per pipeline stage.
 	StageNS [NumStages]Histogram
 	// Trace is the ring-buffer span tracer behind the stage histograms.
@@ -182,6 +218,12 @@ func (p *Pipeline) snapshot(withSpans bool) Snapshot {
 	c("cache.shape.miss", &p.Cache.ShapeMiss)
 	c("chan.noise_samples", &p.Chan.NoiseSamples)
 	c("chan.jam_samples", &p.Chan.JamSamples)
+	c("impair.in", &p.Impair.In)
+	c("impair.out", &p.Impair.Out)
+	c("impair.dropped", &p.Impair.Dropped)
+	for i := range p.Impair.Stage {
+		c("impair.stage."+impairStageNames[i], &p.Impair.Stage[i])
+	}
 	c("psd.calls", &p.PSD.Calls)
 	c("psd.segments", &p.PSD.Segments)
 	c("exp.cells", &p.Exp.Cells)
@@ -225,6 +267,7 @@ func (p *Pipeline) snapshot(withSpans bool) Snapshot {
 		h("stage."+Stage(i).String()+"_ns", &p.StageNS[i])
 	}
 	h("chan.mix_ns", &p.Chan.MixNS)
+	h("impair.chain_ns", &p.Impair.ChainNS)
 	h("psd.estimate_ns", &p.PSD.EstimateNS)
 	h("exp.point_ns", &p.Exp.PointNS)
 

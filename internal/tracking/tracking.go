@@ -127,7 +127,24 @@ type Costas struct {
 	// up the error on the low-amplitude samples of a shaped pulse
 	// (half-sine chips pass through zero at every boundary).
 	avgMag float64
+	// errEMA is a slow EMA of the absolute normalized loop error, the
+	// basis of LockQuality: near zero when the loop tracks, near one when
+	// the constellation spins.
+	errEMA float64
 }
+
+// lockRate is the EMA rate of the lock-quality error average: slow enough
+// to ride out pulse-shape nulls, fast enough to settle within one hop.
+const lockRate = 0.01
+
+// DefaultLockThreshold is the LockQuality value above which the carrier
+// loop is considered locked. Calibrated by the measured bands in
+// lock_test.go (table in DESIGN.md §11): locked loops settle above ≈0.9
+// (≈0.85 under heavy noise) while spinning constellations plateau near
+// ≈0.75 — the QPSK decision-directed error of a uniformly rotating
+// constellation averages about half the normalized amplitude rather than
+// railing, so the usable threshold sits in the narrow band between.
+const DefaultLockThreshold = 0.85
 
 // NewCostas returns a Costas loop with the given normalized loop bandwidth
 // (typical 0.005..0.05). Damping is fixed at 1/sqrt(2).
@@ -180,6 +197,20 @@ func (c *Costas) SetLoopBandwidth(loopBW float64) error {
 // Phase returns the current loop phase in radians.
 func (c *Costas) Phase() float64 { return c.phase }
 
+// LockQuality maps the loop's recent error activity to [0, 1]: 1 means the
+// decision-directed error has been near zero (carrier locked), 0 means the
+// error rails (unlocked, constellation spinning). Compare against
+// DefaultLockThreshold.
+func (c *Costas) LockQuality() float64 {
+	q := 1 - c.errEMA/2
+	if q < 0 {
+		q = 0
+	} else if q > 1 {
+		q = 1
+	}
+	return q
+}
+
 // Process derotates x in place by the tracked carrier, updating the loop
 // per sample with the QPSK decision-directed error
 // e = sign(I)·Q − sign(Q)·I.
@@ -217,6 +248,11 @@ func (c *Costas) Process(x []complex128) {
 			err = 2
 		} else if err < -2 {
 			err = -2
+		}
+		if err >= 0 {
+			c.errEMA += lockRate * (err - c.errEMA)
+		} else {
+			c.errEMA += lockRate * (-err - c.errEMA)
 		}
 		c.freq += c.beta * err
 		if c.freq > maxW {
