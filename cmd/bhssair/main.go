@@ -6,11 +6,24 @@
 // Usage:
 //
 //	bhssair -listen 127.0.0.1:4200 -noise 0.01
+//	bhssair -chaos resetevery=500,trunc=0.01,seed=9   # fault-injecting air
+//
+// With -chaos the hub itself moves to an ephemeral port and a fault
+// injecting proxy (internal/iqstream.ChaosProxy) serves -listen instead,
+// so every client experiences the configured resets, stalls, truncations
+// and latency while the hub stays honest. SIGINT/SIGTERM trigger a
+// graceful Shutdown that drains pending transmitter samples to the
+// receivers before closing.
 package main
 
 import (
+	"context"
 	"flag"
 	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"bhss/internal/impair"
 	"bhss/internal/iqstream"
@@ -18,6 +31,14 @@ import (
 )
 
 func main() {
+	if err := run(); err != nil {
+		log.Fatalf("bhssair: %v", err)
+	}
+}
+
+// run keeps main a thin exit-code adapter: every failure flows back here as
+// an error, so deferred cleanup actually runs (log.Fatalf skips defers).
+func run() error {
 	var (
 		listen     = flag.String("listen", "127.0.0.1:4200", "listen address")
 		noise      = flag.Float64("noise", 0.01, "AWGN floor variance per sample")
@@ -27,40 +48,87 @@ func main() {
 		rate       = flag.Float64("rate", 20, "nominal sample rate in MHz (scales the impairment spec's physical units)")
 		quiet      = flag.Bool("quiet", false, "suppress connection logs")
 		debugAddr  = flag.String("debug-addr", "", "serve /debug/bhss, /debug/vars and /debug/pprof on this address (empty = off)")
+
+		chaosSpec   = flag.String("chaos", "", "fault-injection spec, e.g. latency=5:2,reset=0.001,trunc=0.01,seed=9 (empty = no proxy)")
+		maxPending  = flag.Int("max-pending", 0, "per-transmitter pending queue bound in samples (0 = default)")
+		overflow    = flag.String("overflow", "block", "pending-queue overflow policy: block or drop-oldest")
+		overflowDL  = flag.Duration("overflow-deadline", 0, "max backpressure wait under the block policy (0 = default, negative = unbounded)")
+		rxBuffer    = flag.Int("rx-buffer", 0, "per-receiver outbound queue depth in mixed blocks (0 = default)")
+		stallBudget = flag.Duration("stall-budget", 0, "slow-consumer eviction window (0 = default, negative = never evict)")
+		writeDL     = flag.Duration("write-deadline", 0, "per-write socket deadline toward receivers (0 = default, negative = none)")
+		drainWait   = flag.Duration("drain", 10*time.Second, "graceful-shutdown drain budget on SIGINT/SIGTERM")
 	)
 	flag.Parse()
 
+	policy, err := iqstream.ParseOverflowPolicy(*overflow)
+	if err != nil {
+		return err
+	}
 	front, err := impair.NewFromSpec(*impairSpec, *rate, *seed)
 	if err != nil {
-		log.Fatalf("bhssair: %v", err)
+		return err
 	}
 
+	cfg := iqstream.HubConfig{
+		BlockSize:        *block,
+		NoiseVar:         *noise,
+		Seed:             *seed,
+		Impair:           front,
+		MaxPending:       *maxPending,
+		Overflow:         policy,
+		OverflowDeadline: *overflowDL,
+		RxBuffer:         *rxBuffer,
+		StallBudget:      *stallBudget,
+		WriteDeadline:    *writeDL,
+	}
+	if !*quiet {
+		cfg.Logf = log.Printf
+	}
 	if *debugAddr != "" {
 		p := obs.NewPipeline()
 		front.SetObserver(&p.Impair)
+		cfg.Metrics = &p.Hub
 		srv, addr, err := obs.ServeDebug(*debugAddr, p)
 		if err != nil {
-			log.Fatalf("bhssair: debug server: %v", err)
+			return err
 		}
 		defer srv.Close()
 		log.Printf("debug server on http://%s/debug/bhss", addr)
 	}
 
-	cfg := iqstream.HubConfig{
-		BlockSize: *block,
-		NoiseVar:  *noise,
-		Seed:      *seed,
-		Impair:    front,
+	// Under -chaos the public address belongs to the fault injector; the
+	// hub hides on an ephemeral port behind it.
+	hubAddr := *listen
+	if *chaosSpec != "" {
+		hubAddr = "127.0.0.1:0"
 	}
-	if !*quiet {
-		cfg.Logf = log.Printf
-	}
-	hub, err := iqstream.NewHub(*listen, cfg)
+	hub, err := iqstream.NewHub(hubAddr, cfg)
 	if err != nil {
-		log.Fatalf("bhssair: %v", err)
+		return err
 	}
-	log.Printf("virtual air hub listening on %s (noise %.4g, block %d, impair %q)", hub.Addr(), *noise, *block, *impairSpec)
-	if err := hub.Serve(); err != nil {
-		log.Fatalf("bhssair: %v", err)
+	if *chaosSpec != "" {
+		proxy, err := iqstream.NewChaosProxyFromSpec(*listen, hub.Addr().String(), *chaosSpec, *seed, cfg.Logf)
+		if err != nil {
+			hub.Close()
+			return err
+		}
+		defer proxy.Close()
+		go proxy.Serve()
+		log.Printf("chaos proxy on %s -> hub %s (%s)", proxy.Addr(), hub.Addr(), *chaosSpec)
 	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		s := <-sig
+		log.Printf("%v: draining hub (budget %v)", s, *drainWait)
+		ctx, cancel := context.WithTimeout(context.Background(), *drainWait)
+		defer cancel()
+		if err := hub.Shutdown(ctx); err != nil {
+			log.Printf("shutdown: %v", err)
+		}
+	}()
+
+	log.Printf("virtual air hub listening on %s (noise %.4g, block %d, impair %q)", *listen, *noise, *block, *impairSpec)
+	return hub.Serve()
 }

@@ -24,12 +24,15 @@ import (
 	"bhss/internal/experiment"
 	"bhss/internal/impair"
 	"bhss/internal/obs"
+	"bhss/internal/soak"
 )
 
 func main() {
 	var (
-		exp         = flag.String("exp", "all", "experiment id (fig5..fig14, table1, table1opt, table2, patternstats, ablation-dwell, ablation-taps, fidelity, all)")
+		exp         = flag.String("exp", "all", "experiment id (fig5..fig14, table1, table1opt, table2, patternstats, ablation-dwell, ablation-taps, fidelity, soak, all)")
 		impairSpec  = flag.String("impair", "", "RF front-end impairment spec applied to every measured trial, e.g. cfo=2e3,ppm=20,phnoise=-80,quant=8 (empty = ideal; headline figures are pinned with it empty)")
+		chaosSpec   = flag.String("chaos", "", "fault-injection spec for -exp soak, e.g. resetevery=700,trunc=0.001,seed=9 (empty = clean link)")
+		soakSecs    = flag.Float64("soak-seconds", 0, "simulated seconds of traffic for -exp soak (0 = default)")
 		scale       = flag.String("scale", "quick", "measurement scale: quick or full")
 		csvPath     = flag.String("csv", "", "also write raw series to this CSV file")
 		seed        = flag.Uint64("seed", 1, "experiment seed")
@@ -59,7 +62,8 @@ func main() {
   ablation-dwell  power advantage vs symbols per hop           (minutes)
   ablation-taps   power advantage vs filter tap budget         (minutes)
   fidelity        packet loss vs front-end impairment severity (minutes)
-  all             everything above`)
+  soak            transport-resilience soak over a chaos proxy (seconds)
+  all             every paper artifact above (soak excluded)`)
 		return
 	}
 
@@ -139,7 +143,27 @@ func main() {
 	}
 	var allResults []experiment.Result
 	for _, id := range ids {
-		res, err := run(strings.TrimSpace(id), sc)
+		id = strings.TrimSpace(id)
+		if id == "soak" {
+			// The soak is a transport check, not a paper artifact: it
+			// reports via its own summary line and has no Result series.
+			rep, err := soak.Run(soak.Config{
+				Seed:       sc.Seed,
+				ChaosSpec:  *chaosSpec,
+				SimSeconds: *soakSecs,
+				Metrics:    sc.Obs,
+				Logf: func(format string, args ...any) {
+					fmt.Fprintf(os.Stderr, format+"\n", args...)
+				},
+			})
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "soak: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Println(rep.String())
+			continue
+		}
+		res, err := run(id, sc)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "%s: %v\n", id, err)
 			os.Exit(1)

@@ -1,6 +1,8 @@
 // Command bhssjam is a networked jammer: it connects to a bhssair hub and
 // streams interference of a configurable kind and power, reproducing the
-// attacker of the paper's testbed.
+// attacker of the paper's testbed. Like bhsstx it rides a
+// ReconnectingClient, so a transport fault pauses the interference for one
+// backoff cycle instead of killing the attack.
 //
 // Usage:
 //
@@ -43,6 +45,8 @@ func run() (err error) {
 		seed      = flag.Uint64("seed", 7, "jammer noise seed")
 		blocks     = flag.Int("blocks", 0, "number of 4096-sample blocks to emit (0 = forever)")
 		impairSpec = flag.String("impair", "", "jammer hardware impairment spec, e.g. cfo=5e3,quant=8 (empty = ideal)")
+		retries    = flag.Int("retries", 0, "dial attempts per (re)connect cycle (0 = default, negative = forever)")
+		backoff    = flag.Duration("backoff", 0, "first reconnect backoff delay (0 = default)")
 		debugAddr  = flag.String("debug-addr", "", "serve /debug/bhss, /debug/vars and /debug/pprof on this address (empty = off)")
 	)
 	flag.Parse()
@@ -91,10 +95,11 @@ func run() (err error) {
 		return err
 	}
 
+	met := obs.NewPipeline()
 	if *debugAddr != "" {
-		// The jammer has no instrumented link of its own; the endpoint's
-		// value here is pprof plus the process-global metrics.
-		srv, addr, derr := obs.ServeDebug(*debugAddr, obs.NewPipeline())
+		// The jammer has no instrumented DSP chain of its own; the
+		// endpoint's value here is pprof plus the link counters.
+		srv, addr, derr := obs.ServeDebug(*debugAddr, met)
 		if derr != nil {
 			return fmt.Errorf("debug server: %w", derr)
 		}
@@ -102,7 +107,13 @@ func run() (err error) {
 		log.Printf("debug server on http://%s/debug/bhss", addr)
 	}
 
-	client, err := iqstream.DialTx(*hubAddr, 0)
+	client, err := iqstream.DialTxReconnecting(*hubAddr, 0, iqstream.ReconnectConfig{
+		BackoffBase: *backoff,
+		MaxAttempts: *retries,
+		Seed:        *seed,
+		Metrics:     &met.Net,
+		Logf:        log.Printf,
+	})
 	if err != nil {
 		return fmt.Errorf("dial: %w", err)
 	}

@@ -1,5 +1,8 @@
 // Command bhsstx is a networked BHSS transmitter: it connects to a bhssair
-// hub and sends framed payloads as bandwidth-hopping bursts.
+// hub and sends framed payloads as bandwidth-hopping bursts. The hub link
+// is a ReconnectingClient: a transport fault mid-run redials with seeded
+// exponential backoff and the stream continues, losing at most the burst
+// that was in flight.
 //
 // Usage:
 //
@@ -53,6 +56,8 @@ func run() (err error) {
 		gainDB    = flag.Float64("gain", 0, "transmit gain in dB at the hub port")
 		gapMS      = flag.Int("gap", 50, "inter-frame gap in milliseconds")
 		impairSpec = flag.String("impair", "", "transmit-chain impairment spec, e.g. cfo=2e3,ppm=20 (empty = ideal)")
+		retries    = flag.Int("retries", 0, "dial attempts per (re)connect cycle (0 = default, negative = forever)")
+		backoff    = flag.Duration("backoff", 0, "first reconnect backoff delay (0 = default)")
 		debugAddr  = flag.String("debug-addr", "", "serve /debug/bhss, /debug/vars and /debug/pprof on this address (empty = off)")
 	)
 	flag.Parse()
@@ -71,8 +76,8 @@ func run() (err error) {
 	if err != nil {
 		return err
 	}
+	met := obs.NewPipeline()
 	if *debugAddr != "" {
-		met := obs.NewPipeline()
 		tx.SetObserver(met)
 		srv, addr, err := obs.ServeDebug(*debugAddr, met)
 		if err != nil {
@@ -81,7 +86,13 @@ func run() (err error) {
 		defer srv.Close()
 		log.Printf("debug server on http://%s/debug/bhss", addr)
 	}
-	client, err := iqstream.DialTx(*hubAddr, *gainDB)
+	client, err := iqstream.DialTxReconnecting(*hubAddr, *gainDB, iqstream.ReconnectConfig{
+		BackoffBase: *backoff,
+		MaxAttempts: *retries,
+		Seed:        *seed,
+		Metrics:     &met.Net,
+		Logf:        log.Printf,
+	})
 	if err != nil {
 		return fmt.Errorf("dial: %w", err)
 	}
@@ -110,6 +121,9 @@ func run() (err error) {
 		if *gapMS > 0 {
 			time.Sleep(time.Duration(*gapMS) * time.Millisecond)
 		}
+	}
+	if n := client.Reconnects(); n > 0 {
+		log.Printf("link: %d reconnects", n)
 	}
 	return nil
 }

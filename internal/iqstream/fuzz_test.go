@@ -32,3 +32,36 @@ func FuzzReadBlock(f *testing.F) {
 		}
 	})
 }
+
+// FuzzParseChaosSpec throws arbitrary strings at the chaos spec parser: it
+// must never panic, only return errors. Whenever it accepts a spec, the
+// canonical String() form must be a fixed point (Parse ∘ String ≡ id on
+// canonical forms) and must reproduce the config exactly, so -chaos flag
+// values round-trip through logs and scripts without drift.
+func FuzzParseChaosSpec(f *testing.F) {
+	f.Add("")
+	f.Add("latency=5:2,stall=0.1:250,reset=0.01")
+	f.Add("resetevery=4096,trunc=0.05,short=0.5,drop=0.001,seed=42")
+	f.Add("latency=NaN")
+	f.Add("reset=1.5,drop=-0")
+	f.Add("=,=,=")
+	f.Add("seed=18446744073709551615")
+	f.Add("stall=1:60000,resetevery=1073741824")
+	f.Fuzz(func(t *testing.T, spec string) {
+		cfg, err := ParseChaosSpec(spec)
+		if err != nil {
+			return
+		}
+		canon := cfg.String()
+		cfg2, err := ParseChaosSpec(canon)
+		if err != nil {
+			t.Fatalf("canonical form %q of accepted spec %q does not re-parse: %v", canon, spec, err)
+		}
+		if cfg2 != cfg {
+			t.Fatalf("canonical round trip of %q changed the config: %+v -> %+v", spec, cfg, cfg2)
+		}
+		if canon2 := cfg2.String(); canon2 != canon {
+			t.Fatalf("canonical form not a fixed point: %q -> %q", canon, canon2)
+		}
+	})
+}

@@ -2,6 +2,8 @@ package iqstream
 
 import (
 	"bufio"
+	"context"
+	"errors"
 	"fmt"
 	"log"
 	"math"
@@ -13,7 +15,63 @@ import (
 	"time"
 
 	"bhss/internal/impair"
+	"bhss/internal/obs"
 	"bhss/internal/prng"
+)
+
+// OverflowPolicy selects what the hub does when a transmitter's pending
+// queue would exceed HubConfig.MaxPending samples.
+type OverflowPolicy int
+
+const (
+	// OverflowBlock applies backpressure: the hub stops reading from the
+	// transmitter's socket until the mixer drains the queue, and closes the
+	// connection if the wait exceeds HubConfig.OverflowDeadline.
+	OverflowBlock OverflowPolicy = iota
+	// OverflowDropOldest keeps reading and discards the oldest pending
+	// samples to stay within the bound: receivers see a spliced stream,
+	// exactly like a hardware ring-buffer overrun.
+	OverflowDropOldest
+)
+
+// String renders the policy in the form ParseOverflowPolicy accepts.
+func (p OverflowPolicy) String() string {
+	switch p {
+	case OverflowBlock:
+		return "block"
+	case OverflowDropOldest:
+		return "drop-oldest"
+	}
+	return fmt.Sprintf("OverflowPolicy(%d)", int(p))
+}
+
+// ParseOverflowPolicy parses the cmd-tool flag form of an overflow policy.
+func ParseOverflowPolicy(s string) (OverflowPolicy, error) {
+	switch s {
+	case "block":
+		return OverflowBlock, nil
+	case "drop-oldest":
+		return OverflowDropOldest, nil
+	}
+	return 0, fmt.Errorf("iqstream: unknown overflow policy %q (want block or drop-oldest)", s)
+}
+
+// Transport-resilience defaults (DESIGN.md §12). Zero config fields take
+// these values; negative durations disable the corresponding bound.
+const (
+	// DefaultMaxPending bounds each transmitter's pending queue at 1 Mi
+	// samples (16 MiB of complex128).
+	DefaultMaxPending = 1 << 20
+	// DefaultRxBuffer is the per-receiver outbound queue depth in blocks.
+	DefaultRxBuffer = 64
+	// DefaultOverflowDeadline bounds an OverflowBlock backpressure wait.
+	DefaultOverflowDeadline = 10 * time.Second
+	// DefaultStallBudget is the accounting window for slow-consumer
+	// eviction: a receiver that drops more mixed blocks than it accepts
+	// across one whole window is disconnected.
+	DefaultStallBudget = 5 * time.Second
+	// DefaultWriteDeadline bounds each socket write to a receiver.
+	DefaultWriteDeadline = 10 * time.Second
 )
 
 // HubConfig parameterizes the virtual RF medium.
@@ -30,6 +88,32 @@ type HubConfig struct {
 	// shared front end of the testbed. Only the mixing goroutine touches
 	// it.
 	Impair *impair.Chain
+	// MaxPending bounds each transmitter's pending queue in samples (a
+	// soft bound: it may be exceeded by at most one wire block). Zero
+	// means DefaultMaxPending.
+	MaxPending int
+	// Overflow selects the policy applied at the MaxPending bound.
+	Overflow OverflowPolicy
+	// OverflowDeadline bounds an OverflowBlock backpressure wait before
+	// the transmitter is disconnected. Zero means
+	// DefaultOverflowDeadline; negative disables the deadline.
+	OverflowDeadline time.Duration
+	// RxBuffer is the per-receiver outbound queue depth in mixed blocks.
+	// Zero means DefaultRxBuffer.
+	RxBuffer int
+	// StallBudget is the slow-consumer accounting window: a receiver
+	// that drops more mixed blocks than it accepts across one whole
+	// window (i.e. the consumer loses the majority of the stream) is
+	// evicted. Zero means DefaultStallBudget; negative disables
+	// eviction.
+	StallBudget time.Duration
+	// WriteDeadline bounds each socket write to a receiver so a wedged
+	// peer cannot pin its writer goroutine forever. Zero means
+	// DefaultWriteDeadline; negative disables the deadline.
+	WriteDeadline time.Duration
+	// Metrics, when non-nil, receives hub transport counters (typically
+	// &pipeline.Hub of an obs.Pipeline).
+	Metrics *obs.HubMetrics
 	// Logf receives hub events; nil silences them.
 	Logf func(format string, args ...any)
 }
@@ -39,17 +123,26 @@ type HubConfig struct {
 // block-by-block with per-port gain, adds AWGN and broadcasts the mixture
 // to every receiver. Transmitters that have no data pending contribute
 // silence for that block, so receivers observe a continuous stream.
+//
+// Resilience properties (DESIGN.md §12): per-transmitter pending queues
+// are bounded with a configurable overflow policy; every receiver is
+// served by its own buffered writer goroutine, so one slow or wedged
+// receiver never stalls the mixer or its peers — it is evicted once it
+// has dropped the majority of a whole StallBudget window's blocks.
 type Hub struct {
 	cfg HubConfig
 	ln  net.Listener
+	met *obs.HubMetrics
 
 	mu        sync.Mutex
 	txQueues  map[int]*txQueue
+	txConns   map[int]net.Conn
 	rxConns   map[int]*rxConn
 	nextID    int
 	closed    bool
+	draining  bool
+	highWater int
 	wake      chan struct{}
-	noiseAmp  float64
 	noise     *prng.Source
 	closeOnce sync.Once
 	done      chan struct{}
@@ -59,12 +152,47 @@ type txQueue struct {
 	gain    float64
 	pending []complex128
 	active  bool
+	warned  bool
+	// space (capacity 1) is signalled by the mixer whenever it drains
+	// samples from this queue; blocked enqueues wait on it.
+	space chan struct{}
 }
 
 type rxConn struct {
-	w   *Writer
-	c   net.Conn
-	err bool
+	id int
+	c  net.Conn
+	w  *Writer
+	// out carries mixed blocks to this receiver's writer goroutine. The
+	// mixer's sends are non-blocking; closed exactly once via gone.
+	out  chan []complex128
+	gone bool
+	// Stall accounting (mixer-owned, under Hub.mu). A receiver whose
+	// socket drains slower than the mix rate still frees a queue slot
+	// every time its writer pops a block, so "queue continuously full" is
+	// never observable; instead each StallBudget-long window tallies
+	// accepted vs dropped blocks and the receiver is evicted when drops
+	// win the majority.
+	epochStart int64 // obs.Now() when the current window opened (0 = idle)
+	epochOK    int64 // blocks accepted this window
+	epochDrops int64 // blocks dropped this window
+}
+
+// Errors surfaced in hub logs and returned by Shutdown.
+var (
+	errHubClosed        = errors.New("iqstream: hub closed")
+	errOverflowDeadline = errors.New("iqstream: tx overflow deadline exceeded")
+)
+
+// normDur maps the config convention (zero = default, negative = disabled)
+// onto a plain duration (0 = disabled).
+func normDur(v, def time.Duration) time.Duration {
+	if v == 0 {
+		return def
+	}
+	if v < 0 {
+		return 0
+	}
+	return v
 }
 
 // NewHub starts a hub listening on addr ("127.0.0.1:0" for an ephemeral
@@ -79,8 +207,32 @@ func NewHub(addr string, cfg HubConfig) (*Hub, error) {
 	if cfg.NoiseVar < 0 {
 		return nil, fmt.Errorf("iqstream: negative noise variance")
 	}
+	if cfg.MaxPending < 0 {
+		return nil, fmt.Errorf("iqstream: negative MaxPending")
+	}
+	if cfg.MaxPending == 0 {
+		cfg.MaxPending = DefaultMaxPending
+	}
+	if cfg.RxBuffer < 0 {
+		return nil, fmt.Errorf("iqstream: negative RxBuffer")
+	}
+	if cfg.RxBuffer == 0 {
+		cfg.RxBuffer = DefaultRxBuffer
+	}
+	switch cfg.Overflow {
+	case OverflowBlock, OverflowDropOldest:
+	default:
+		return nil, fmt.Errorf("iqstream: unknown overflow policy %d", cfg.Overflow)
+	}
+	cfg.OverflowDeadline = normDur(cfg.OverflowDeadline, DefaultOverflowDeadline)
+	cfg.StallBudget = normDur(cfg.StallBudget, DefaultStallBudget)
+	cfg.WriteDeadline = normDur(cfg.WriteDeadline, DefaultWriteDeadline)
 	if cfg.Logf == nil {
 		cfg.Logf = func(string, ...any) {}
+	}
+	met := cfg.Metrics
+	if met == nil {
+		met = new(obs.HubMetrics)
 	}
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
@@ -89,14 +241,13 @@ func NewHub(addr string, cfg HubConfig) (*Hub, error) {
 	h := &Hub{
 		cfg:      cfg,
 		ln:       ln,
+		met:      met,
 		txQueues: map[int]*txQueue{},
+		txConns:  map[int]net.Conn{},
 		rxConns:  map[int]*rxConn{},
 		wake:     make(chan struct{}, 1),
 		noise:    prng.New(cfg.Seed),
 		done:     make(chan struct{}),
-	}
-	if cfg.NoiseVar > 0 {
-		h.noiseAmp = 1
 	}
 	return h, nil
 }
@@ -104,19 +255,80 @@ func NewHub(addr string, cfg HubConfig) (*Hub, error) {
 // Addr returns the hub's listen address.
 func (h *Hub) Addr() net.Addr { return h.ln.Addr() }
 
-// Close stops the hub and disconnects all clients.
+// Close stops the hub immediately and disconnects all clients, transmitters
+// included, so no serve goroutine is left blocked on a peer that never
+// hangs up. Pending samples are discarded; use Shutdown to drain first.
 func (h *Hub) Close() error {
 	h.closeOnce.Do(func() {
 		h.mu.Lock()
 		h.closed = true
 		for _, rx := range h.rxConns {
-			rx.c.Close()
+			h.removeRxLocked(rx, "hub closed")
+		}
+		for _, c := range h.txConns {
+			c.Close()
 		}
 		h.mu.Unlock()
 		h.ln.Close()
 		close(h.done)
 	})
 	return nil
+}
+
+// Shutdown gracefully stops the hub: it stops accepting connections,
+// disconnects the transmitters, keeps mixing until every pending sample has
+// been mixed and handed to the receivers' writers (or until ctx expires),
+// then closes. Pending samples are undrainable without receivers; in that
+// case Shutdown closes immediately.
+func (h *Hub) Shutdown(ctx context.Context) error {
+	h.mu.Lock()
+	if h.closed {
+		h.mu.Unlock()
+		return nil
+	}
+	h.draining = true
+	conns := make([]net.Conn, 0, len(h.txConns))
+	for _, c := range h.txConns {
+		conns = append(conns, c)
+	}
+	h.mu.Unlock()
+	h.ln.Close()
+	for _, c := range conns {
+		c.Close()
+	}
+	tick := time.NewTicker(5 * time.Millisecond)
+	defer tick.Stop()
+	for !h.drained() {
+		h.kick()
+		select {
+		case <-ctx.Done():
+			h.Close()
+			return ctx.Err()
+		case <-tick.C:
+		}
+	}
+	return h.Close()
+}
+
+// drained reports whether every pending sample has been mixed and flushed
+// out of the receivers' queues (vacuously true without receivers).
+func (h *Hub) drained() bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if len(h.rxConns) == 0 {
+		return true
+	}
+	for _, q := range h.txQueues {
+		if len(q.pending) > 0 {
+			return false
+		}
+	}
+	for _, rx := range h.rxConns {
+		if len(rx.out) > 0 {
+			return false
+		}
+	}
+	return true
 }
 
 // Serve accepts clients and runs the mixer until Close. It returns after
@@ -127,9 +339,9 @@ func (h *Hub) Serve() error {
 		conn, err := h.ln.Accept()
 		if err != nil {
 			h.mu.Lock()
-			closed := h.closed
+			stopping := h.closed || h.draining
 			h.mu.Unlock()
-			if closed {
+			if stopping {
 				return nil
 			}
 			return err
@@ -139,7 +351,10 @@ func (h *Hub) Serve() error {
 }
 
 // handle performs the one-line handshake and registers the client.
-// Handshake: "IQHUB tx <gain_db>\n" or "IQHUB rx\n".
+// Handshake: "IQHUB tx <gain_db>\n" or "IQHUB rx\n". A malformed gain is a
+// hard error ("ERR bad gain"), not a silent 0 dB fallback: a transmitter
+// whose gain did not parse would otherwise run an entire experiment at the
+// wrong power.
 func (h *Hub) handle(conn net.Conn) {
 	br := bufio.NewReader(conn)
 	line, err := br.ReadString('\n')
@@ -149,17 +364,19 @@ func (h *Hub) handle(conn net.Conn) {
 	}
 	fields := strings.Fields(strings.TrimSpace(line))
 	if len(fields) < 2 || fields[0] != "IQHUB" {
-		fmt.Fprintf(conn, "ERR bad handshake\n")
-		conn.Close()
+		h.reject(conn, "ERR bad handshake")
 		return
 	}
 	switch fields[1] {
 	case "tx":
 		gainDB := 0.0
 		if len(fields) >= 3 {
-			if g, err := strconv.ParseFloat(fields[2], 64); err == nil {
-				gainDB = g
+			g, err := strconv.ParseFloat(fields[2], 64)
+			if err != nil || math.IsNaN(g) || math.IsInf(g, 0) {
+				h.reject(conn, "ERR bad gain")
+				return
 			}
+			gainDB = g
 		}
 		fmt.Fprintf(conn, "OK\n")
 		h.serveTx(conn, br, gainDB)
@@ -167,47 +384,134 @@ func (h *Hub) handle(conn net.Conn) {
 		fmt.Fprintf(conn, "OK\n")
 		h.serveRx(conn)
 	default:
-		fmt.Fprintf(conn, "ERR unknown role %q\n", fields[1])
-		conn.Close()
+		h.reject(conn, fmt.Sprintf("ERR unknown role %q", fields[1]))
 	}
 }
 
+func (h *Hub) reject(conn net.Conn, reply string) {
+	h.met.HandshakeRejects.Inc()
+	fmt.Fprintf(conn, "%s\n", reply)
+	conn.Close()
+}
+
 func (h *Hub) serveTx(conn net.Conn, br *bufio.Reader, gainDB float64) {
-	defer conn.Close()
 	h.mu.Lock()
+	if h.closed || h.draining {
+		h.mu.Unlock()
+		conn.Close()
+		return
+	}
 	id := h.nextID
 	h.nextID++
-	q := &txQueue{gain: dbToAmp(gainDB), active: true}
+	q := &txQueue{gain: dbToAmp(gainDB), active: true, space: make(chan struct{}, 1)}
 	h.txQueues[id] = q
+	h.txConns[id] = conn
 	h.mu.Unlock()
+	h.met.TxAccepted.Inc()
 	h.cfg.Logf("tx %d connected (gain %.1f dB)", id, gainDB)
 
 	r := NewReader(br)
+	reason := "stream ended"
 	for {
 		block, err := r.ReadBlock()
 		if err != nil {
+			reason = err.Error()
 			break
 		}
-		h.mu.Lock()
-		q.pending = append(q.pending, block...)
-		h.mu.Unlock()
-		h.kick()
+		if err := h.enqueueTx(id, q, block); err != nil {
+			reason = err.Error()
+			break
+		}
 	}
 	h.mu.Lock()
 	q.active = false
+	delete(h.txConns, id)
 	h.mu.Unlock()
+	conn.Close()
 	h.kick()
-	h.cfg.Logf("tx %d disconnected", id)
+	h.cfg.Logf("tx %d disconnected (%s)", id, reason)
+}
+
+// enqueueTx appends one decoded block to the transmitter's pending queue,
+// honouring the MaxPending bound and the configured overflow policy.
+func (h *Hub) enqueueTx(id int, q *txQueue, block []complex128) error {
+	if len(block) == 0 {
+		return nil
+	}
+	var timer *time.Timer
+	var expired <-chan time.Time
+	defer func() {
+		if timer != nil {
+			timer.Stop()
+		}
+	}()
+	for {
+		h.mu.Lock()
+		if h.closed {
+			h.mu.Unlock()
+			return errHubClosed
+		}
+		// An oversized single block is admitted into an empty queue so it
+		// cannot deadlock the bound.
+		fits := len(q.pending) == 0 || len(q.pending)+len(block) <= h.cfg.MaxPending
+		if !fits && h.cfg.Overflow == OverflowDropOldest {
+			over := len(q.pending) + len(block) - h.cfg.MaxPending
+			if over > len(q.pending) {
+				over = len(q.pending)
+			}
+			q.pending = q.pending[over:]
+			h.met.TxOverflowDrops.Add(int64(over))
+			if !q.warned {
+				q.warned = true
+				h.cfg.Logf("tx %d overflow: dropping oldest pending samples (queue bound %d)", id, h.cfg.MaxPending)
+			}
+			fits = true
+		}
+		if fits {
+			q.pending = append(q.pending, block...)
+			if n := len(q.pending); n > h.highWater {
+				h.highWater = n
+				h.met.QueueHighWater.Store(float64(n))
+			}
+			h.mu.Unlock()
+			h.kick()
+			return nil
+		}
+		h.mu.Unlock()
+		h.met.TxOverflowWaits.Inc()
+		if timer == nil && h.cfg.OverflowDeadline > 0 {
+			timer = time.NewTimer(h.cfg.OverflowDeadline)
+			expired = timer.C
+		}
+		select {
+		case <-q.space:
+		case <-expired:
+			h.met.TxOverflowKills.Inc()
+			h.cfg.Logf("tx %d overflow: blocked past %v deadline, closing", id, h.cfg.OverflowDeadline)
+			return errOverflowDeadline
+		case <-h.done:
+			return errHubClosed
+		}
+	}
 }
 
 func (h *Hub) serveRx(conn net.Conn) {
 	h.mu.Lock()
+	if h.closed || h.draining {
+		h.mu.Unlock()
+		conn.Close()
+		return
+	}
 	id := h.nextID
 	h.nextID++
-	h.rxConns[id] = &rxConn{w: NewWriter(conn), c: conn}
+	rx := &rxConn{id: id, c: conn, w: NewWriter(conn), out: make(chan []complex128, h.cfg.RxBuffer)}
+	h.rxConns[id] = rx
 	h.mu.Unlock()
+	h.met.RxAccepted.Inc()
 	h.cfg.Logf("rx %d connected", id)
-	// The mixer pushes; the handler just waits for the connection to die.
+	go h.rxWriter(rx)
+	// The writer goroutine pushes; the handler just waits for the
+	// connection to die.
 	buf := make([]byte, 1)
 	for {
 		if _, err := conn.Read(buf); err != nil {
@@ -215,10 +519,43 @@ func (h *Hub) serveRx(conn net.Conn) {
 		}
 	}
 	h.mu.Lock()
-	delete(h.rxConns, id)
+	h.removeRxLocked(rx, "peer closed")
 	h.mu.Unlock()
-	conn.Close()
-	h.cfg.Logf("rx %d disconnected", id)
+}
+
+// rxWriter drains one receiver's outbound queue onto its socket. It is the
+// only goroutine that writes to the connection, so the mixer never blocks
+// on a peer's TCP window.
+func (h *Hub) rxWriter(rx *rxConn) {
+	for block := range rx.out {
+		if wd := h.cfg.WriteDeadline; wd > 0 {
+			//bhss:allow(detrand) transport deadline: wall clock bounds socket writes and never feeds the simulation
+			_ = rx.c.SetWriteDeadline(time.Now().Add(wd))
+		}
+		if err := rx.w.WriteBlock(block); err != nil {
+			h.mu.Lock()
+			h.removeRxLocked(rx, "write failed: "+err.Error())
+			h.mu.Unlock()
+			// Drain until the mixer's close so its non-blocking sends see
+			// queue space rather than a phantom stall.
+			for range rx.out { //nolint:revive // intentional discard
+			}
+			return
+		}
+	}
+}
+
+// removeRxLocked unregisters a receiver exactly once: out of the map, out
+// channel closed (stopping the writer), socket closed. Callers hold h.mu.
+func (h *Hub) removeRxLocked(rx *rxConn, reason string) {
+	if rx.gone {
+		return
+	}
+	rx.gone = true
+	delete(h.rxConns, rx.id)
+	close(rx.out)
+	rx.c.Close()
+	h.cfg.Logf("rx %d disconnected (%s)", rx.id, reason)
 }
 
 func (h *Hub) kick() {
@@ -245,83 +582,138 @@ func (h *Hub) mixLoop() {
 			return
 		case <-h.wake:
 		}
-		for {
-			h.mu.Lock()
-			havePending := false
-			for _, q := range h.txQueues {
-				if len(q.pending) > 0 {
-					havePending = true
-					break
-				}
-			}
-			if !havePending || len(h.rxConns) == 0 {
-				// Garbage-collect drained, disconnected transmitters.
-				for id, q := range h.txQueues {
-					if !q.active && len(q.pending) == 0 {
-						delete(h.txQueues, id)
-					}
-				}
-				h.mu.Unlock()
-				break
-			}
-			for i := range block {
-				block[i] = 0
-			}
-			// Mix in ascending port-id order: float addition is
-			// order-sensitive, and map iteration order is randomized, so
-			// summing in map order would make the mixture nondeterministic
-			// across runs of the same scenario.
-			txIDs = txIDs[:0]
-			for id := range h.txQueues {
-				txIDs = append(txIDs, id)
-			}
-			sort.Ints(txIDs)
-			for _, id := range txIDs {
-				q := h.txQueues[id]
-				n := len(q.pending)
-				if n > h.cfg.BlockSize {
-					n = h.cfg.BlockSize
-				}
-				g := complex(q.gain, 0)
-				for i := 0; i < n; i++ {
-					block[i] += q.pending[i] * g
-				}
-				q.pending = q.pending[n:]
-			}
-			if noiseAmp > 0 {
-				a := complex(noiseAmp, 0)
-				for i := range block {
-					block[i] += h.noise.ComplexNorm() * a
-				}
-			}
-			rxs := make([]*rxConn, 0, len(h.rxConns))
-			for _, rx := range h.rxConns {
-				rxs = append(rxs, rx)
-			}
-			h.mu.Unlock()
-			out := block
-			if h.cfg.Impair.Len() > 0 {
-				impaired = h.cfg.Impair.ProcessAppend(impaired[:0], block)
-				out = impaired
-			}
-			// A clock-skew stage can emit slightly more than BlockSize
-			// samples; chunk to respect the wire format's MaxBlock.
-			for off := 0; off < len(out); off += MaxBlock {
-				end := off + MaxBlock
-				if end > len(out) {
-					end = len(out)
-				}
-				for _, rx := range rxs {
-					if rx.err {
-						continue
-					}
-					if err := rx.w.WriteBlock(out[off:end]); err != nil {
-						rx.err = true
-						rx.c.Close()
-					}
-				}
+		for h.mixOnce(block, &impaired, &txIDs, noiseAmp) {
+		}
+	}
+}
+
+// mixOnce mixes and delivers a single block; it reports false when there is
+// nothing to do (no pending samples or no receivers).
+func (h *Hub) mixOnce(block []complex128, impaired *[]complex128, txIDs *[]int, noiseAmp float64) bool {
+	h.mu.Lock()
+	havePending := false
+	for _, q := range h.txQueues {
+		if len(q.pending) > 0 {
+			havePending = true
+			break
+		}
+	}
+	if !havePending || len(h.rxConns) == 0 {
+		// Garbage-collect drained, disconnected transmitters.
+		for id, q := range h.txQueues {
+			if !q.active && len(q.pending) == 0 {
+				delete(h.txQueues, id)
 			}
 		}
+		h.mu.Unlock()
+		return false
+	}
+	for i := range block {
+		block[i] = 0
+	}
+	// Mix in ascending port-id order: float addition is order-sensitive,
+	// and map iteration order is randomized, so summing in map order would
+	// make the mixture nondeterministic across runs of the same scenario.
+	ids := (*txIDs)[:0]
+	for id := range h.txQueues {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	*txIDs = ids
+	for _, id := range ids {
+		q := h.txQueues[id]
+		n := len(q.pending)
+		if n > h.cfg.BlockSize {
+			n = h.cfg.BlockSize
+		}
+		g := complex(q.gain, 0)
+		for i := 0; i < n; i++ {
+			block[i] += q.pending[i] * g
+		}
+		q.pending = q.pending[n:]
+		if n > 0 {
+			select {
+			case q.space <- struct{}{}:
+			default:
+			}
+		}
+	}
+	if noiseAmp > 0 {
+		a := complex(noiseAmp, 0)
+		for i := range block {
+			block[i] += h.noise.ComplexNorm() * a
+		}
+	}
+	h.mu.Unlock()
+	out := block
+	if h.cfg.Impair.Len() > 0 {
+		*impaired = h.cfg.Impair.ProcessAppend((*impaired)[:0], block)
+		out = *impaired
+	}
+	// The receivers' writer goroutines consume asynchronously, so they get
+	// their own immutable copy — the mixer is about to reuse its scratch.
+	ship := make([]complex128, len(out))
+	copy(ship, out)
+	h.met.MixedBlocks.Inc()
+	h.met.MixedSamples.Add(int64(len(ship)))
+	h.deliver(ship)
+	return true
+}
+
+// deliver fans a mixed block out to every receiver queue without ever
+// blocking: a full queue costs that receiver the block (counted), and a
+// receiver that drops more blocks than it accepts across a whole
+// StallBudget window costs it the connection. The majority test — rather
+// than "queue full for the whole budget" — is deliberate: a hopelessly
+// slow socket still dribbles a block out every few milliseconds, freeing a
+// queue slot and making momentary full/empty states useless as a health
+// signal; the accept/drop ratio over the window is robust to that.
+func (h *Hub) deliver(ship []complex128) {
+	now := obs.Now()
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for _, rx := range h.rxConns {
+		var ok, dropped int64
+		// A clock-skew impair stage can emit slightly more than BlockSize
+		// samples; chunk to respect the wire format's MaxBlock.
+		for off := 0; off < len(ship) && dropped == 0; off += MaxBlock {
+			end := off + MaxBlock
+			if end > len(ship) {
+				end = len(ship)
+			}
+			select {
+			case rx.out <- ship[off:end]:
+				ok++
+			default:
+				dropped++
+			}
+		}
+		if dropped > 0 {
+			h.met.RxQueueDrops.Add(dropped)
+		}
+		budget := h.cfg.StallBudget
+		if budget <= 0 {
+			continue
+		}
+		if rx.epochStart == 0 {
+			if dropped == 0 {
+				continue // healthy and idle: no window to account
+			}
+			rx.epochStart = now
+		}
+		rx.epochOK += ok
+		rx.epochDrops += dropped
+		if now-rx.epochStart < int64(budget) {
+			continue
+		}
+		if rx.epochDrops > rx.epochOK {
+			h.met.RxEvictions.Inc()
+			h.removeRxLocked(rx, fmt.Sprintf(
+				"evicted: dropped %d of %d blocks over stall budget %v",
+				rx.epochDrops, rx.epochDrops+rx.epochOK, budget))
+			continue
+		}
+		rx.epochStart, rx.epochOK, rx.epochDrops = 0, 0, 0
 	}
 }
 

@@ -1,0 +1,33 @@
+package iqstream
+
+import (
+	"runtime"
+	"testing"
+	"time"
+)
+
+// checkGoroutines pins the goroutine count: register it first thing in a
+// test and the cleanup fails the test if, after a grace period, more
+// goroutines are alive than when it was registered (a goleak-style check
+// with no external dependency). The grace period absorbs the normal
+// teardown latency of handler goroutines unwinding from closed sockets.
+func checkGoroutines(t *testing.T) {
+	t.Helper()
+	start := runtime.NumGoroutine()
+	t.Cleanup(func() {
+		deadline := time.Now().Add(5 * time.Second)
+		for {
+			n := runtime.NumGoroutine()
+			if n <= start {
+				return
+			}
+			if time.Now().After(deadline) {
+				buf := make([]byte, 1<<20)
+				t.Errorf("goroutine leak: %d at start, %d after teardown\n%s",
+					start, n, buf[:runtime.Stack(buf, true)])
+				return
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+	})
+}

@@ -72,6 +72,44 @@ type ImpairMetrics struct {
 	ChainNS Histogram
 }
 
+// HubMetrics counts the virtual-air hub's transport work
+// (internal/iqstream.Hub): connection lifecycle, queue pressure and the
+// resilience-layer decisions (overflow drops, backpressure waits,
+// slow-receiver evictions).
+type HubMetrics struct {
+	// TxAccepted and RxAccepted count completed handshakes by role;
+	// HandshakeRejects counts connections refused with an ERR reply.
+	TxAccepted, RxAccepted, HandshakeRejects Counter
+	// MixedBlocks and MixedSamples total the mixer's output.
+	MixedBlocks, MixedSamples Counter
+	// TxOverflowDrops counts pending samples discarded by the drop-oldest
+	// overflow policy; TxOverflowWaits counts backpressure stalls under the
+	// block policy; TxOverflowKills counts transmitters disconnected when
+	// the block policy's deadline expired.
+	TxOverflowDrops, TxOverflowWaits, TxOverflowKills Counter
+	// RxQueueDrops counts mixed blocks not delivered to a receiver whose
+	// outbound queue was full; RxEvictions counts receivers disconnected
+	// after a full stall budget.
+	RxQueueDrops, RxEvictions Counter
+	// QueueHighWater is the largest per-transmitter pending queue depth
+	// observed, in samples.
+	QueueHighWater Gauge
+}
+
+// NetMetrics counts client-side transport resilience events
+// (internal/iqstream.ReconnectingClient and its cmd-tool callers).
+type NetMetrics struct {
+	// DialAttempts counts every dial (including the first); DialFailures
+	// the ones that did not yield a usable link (refused, handshake error).
+	DialAttempts, DialFailures Counter
+	// Reconnects counts successful re-establishments after a link fault.
+	Reconnects Counter
+	// StreamGaps counts receive-side discontinuities reported to the
+	// caller (ErrStreamGap); Reacquired counts the post-gap burst
+	// re-acquisitions the caller completed.
+	StreamGaps, Reacquired Counter
+}
+
 // ChanMetrics counts simulated-medium work.
 type ChanMetrics struct {
 	// NoiseSamples counts samples that received AWGN; JamSamples counts
@@ -118,6 +156,8 @@ type Pipeline struct {
 	Impair ImpairMetrics
 	PSD    PSDMetrics
 	Exp    ExpMetrics
+	Hub    HubMetrics
+	Net    NetMetrics
 	// StageNS holds one latency histogram per pipeline stage.
 	StageNS [NumStages]Histogram
 	// Trace is the ring-buffer span tracer behind the stage histograms.
@@ -226,6 +266,21 @@ func (p *Pipeline) snapshot(withSpans bool) Snapshot {
 	}
 	c("psd.calls", &p.PSD.Calls)
 	c("psd.segments", &p.PSD.Segments)
+	c("hub.tx_accepted", &p.Hub.TxAccepted)
+	c("hub.rx_accepted", &p.Hub.RxAccepted)
+	c("hub.handshake_rejects", &p.Hub.HandshakeRejects)
+	c("hub.mixed_blocks", &p.Hub.MixedBlocks)
+	c("hub.mixed_samples", &p.Hub.MixedSamples)
+	c("hub.tx_overflow_drops", &p.Hub.TxOverflowDrops)
+	c("hub.tx_overflow_waits", &p.Hub.TxOverflowWaits)
+	c("hub.tx_overflow_kills", &p.Hub.TxOverflowKills)
+	c("hub.rx_queue_drops", &p.Hub.RxQueueDrops)
+	c("hub.rx_evictions", &p.Hub.RxEvictions)
+	c("net.dial_attempts", &p.Net.DialAttempts)
+	c("net.dial_failures", &p.Net.DialFailures)
+	c("net.reconnects", &p.Net.Reconnects)
+	c("net.stream_gaps", &p.Net.StreamGaps)
+	c("net.reacquired", &p.Net.Reacquired)
 	c("exp.cells", &p.Exp.Cells)
 	c("exp.cells_done", &p.Exp.CellsDone)
 	c("exp.points", &p.Exp.Points)
@@ -236,6 +291,7 @@ func (p *Pipeline) snapshot(withSpans bool) Snapshot {
 	s.Gauges = append(s.Gauges,
 		GaugeStat{Name: "exp.last_plr", Value: p.Exp.LastPLR.Load()},
 		GaugeStat{Name: "exp.last_snr_db", Value: p.Exp.LastSNRdB.Load()},
+		GaugeStat{Name: "hub.queue_high_water", Value: p.Hub.QueueHighWater.Load()},
 	)
 	// Derived throughput gauges: decoded bursts and experiment frames per
 	// second of pipeline uptime.
