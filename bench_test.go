@@ -17,10 +17,16 @@ import (
 	"bhss/internal/experiment"
 )
 
-// benchScale keeps the measured benches to seconds per iteration.
+// benchScale keeps the measured benches to seconds per iteration. Under
+// -short it shrinks further to a smoke scale: enough frames to exercise every
+// stage of each experiment driver, not enough to reproduce the paper's
+// numbers — the smoke run checks for bit-rot, not for dB.
 func benchScale() experiment.Scale {
 	sc := experiment.QuickScale()
 	sc.Frames = 12
+	if testing.Short() {
+		sc.Frames = 3
+	}
 	sc.SNRTolDB = 2
 	return sc
 }
@@ -156,7 +162,10 @@ func BenchmarkAblationFilterTaps(b *testing.B) {
 }
 
 // BenchmarkLinkThroughput measures the end-to-end encode+decode rate of the
-// library itself (not a paper artifact; a performance regression guard).
+// library itself (not a paper artifact; a performance regression guard). It
+// uses the steady-state EncodeFrameInto path — the API a real modem loop
+// would sit on — and reports bytes/s of IQ pushed through the pipeline
+// (16 bytes per complex sample).
 func BenchmarkLinkThroughput(b *testing.B) {
 	cfg := DefaultConfig(1)
 	tx, err := NewTransmitter(cfg)
@@ -168,17 +177,58 @@ func BenchmarkLinkThroughput(b *testing.B) {
 		b.Fatal(err)
 	}
 	payload := make([]byte, 32)
+	var buf []complex128
+	var samples int64
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		burst, err := tx.EncodeFrame(payload)
+		burst, err := tx.EncodeFrameInto(buf[:0], payload)
 		if err != nil {
 			b.Fatal(err)
 		}
+		buf = burst.Samples
+		samples += int64(len(burst.Samples))
 		if _, _, err := rx.DecodeBurst(burst.Samples); err != nil {
 			b.Fatal(err)
 		}
 	}
+	b.SetBytes(samples * 16 / int64(b.N))
+}
+
+// BenchmarkLinkThroughputPipelined is BenchmarkLinkThroughput with the
+// receiver's concurrent decode pipeline enabled: same bit-exact output,
+// stages overlapped across cores.
+func BenchmarkLinkThroughputPipelined(b *testing.B) {
+	cfg := DefaultConfig(1)
+	tx, err := NewTransmitter(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rx, err := NewReceiver(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := rx.EnablePipeline(PipelineConfig{}); err != nil {
+		b.Fatal(err)
+	}
+	defer rx.Close()
+	payload := make([]byte, 32)
+	var buf []complex128
+	var samples int64
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		burst, err := tx.EncodeFrameInto(buf[:0], payload)
+		if err != nil {
+			b.Fatal(err)
+		}
+		buf = burst.Samples
+		samples += int64(len(burst.Samples))
+		if _, _, err := rx.DecodeBurst(burst.Samples); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(samples * 16 / int64(b.N))
 }
 
 // BenchmarkLinkThroughputObs is BenchmarkLinkThroughput with the metrics
@@ -198,18 +248,23 @@ func BenchmarkLinkThroughputObs(b *testing.B) {
 	tx.SetObserver(met)
 	rx.SetObserver(met)
 	payload := make([]byte, 32)
+	var buf []complex128
+	var samples int64
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		burst, err := tx.EncodeFrame(payload)
+		burst, err := tx.EncodeFrameInto(buf[:0], payload)
 		if err != nil {
 			b.Fatal(err)
 		}
+		buf = burst.Samples
+		samples += int64(len(burst.Samples))
 		if _, _, err := rx.DecodeBurst(burst.Samples); err != nil {
 			b.Fatal(err)
 		}
 	}
 	b.StopTimer()
+	b.SetBytes(samples * 16 / int64(b.N))
 	if met.Rx.Decoded.Load() != int64(b.N) {
 		b.Fatalf("observer counted %d decodes, ran %d", met.Rx.Decoded.Load(), b.N)
 	}

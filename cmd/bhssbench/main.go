@@ -18,9 +18,12 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/exec"
+	"runtime/debug"
 	"strings"
 	"time"
 
+	"bhss/internal/dsp/simd"
 	"bhss/internal/experiment"
 	"bhss/internal/impair"
 	"bhss/internal/obs"
@@ -38,6 +41,7 @@ func main() {
 		seed        = flag.Uint64("seed", 1, "experiment seed")
 		frames      = flag.Int("frames", 0, "override frames per measurement point")
 		list        = flag.Bool("list", false, "list experiments and exit")
+		benchOut    = flag.String("bench-out", "", "for -exp throughput: also write the machine-readable result to this JSON file (the committed baseline is BENCH_link.json)")
 		obsPath     = flag.String("obs", "", "write periodic pipeline-metric snapshots to this file")
 		obsFormat   = flag.String("obs-format", "jsonl", "snapshot format: jsonl or csv")
 		obsInterval = flag.Duration("obs-interval", 2*time.Second, "snapshot writer period")
@@ -63,7 +67,8 @@ func main() {
   ablation-taps   power advantage vs filter tap budget         (minutes)
   fidelity        packet loss vs front-end impairment severity (minutes)
   soak            transport-resilience soak over a chaos proxy (seconds)
-  all             every paper artifact above (soak excluded)`)
+  throughput      end-to-end link rate, serial + pipelined     (seconds)
+  all             every paper artifact above (soak and throughput excluded)`)
 		return
 	}
 
@@ -144,6 +149,34 @@ func main() {
 	var allResults []experiment.Result
 	for _, id := range ids {
 		id = strings.TrimSpace(id)
+		if id == "throughput" {
+			// The library performance check, not a paper artifact: measure
+			// the end-to-end link on both receive paths and optionally
+			// write the machine-readable baseline (BENCH_link.json).
+			res, err := experiment.LinkThroughput(gitRev(), simd.Active().String())
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "throughput: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Println(res.String())
+			if *benchOut != "" {
+				f, err := os.Create(*benchOut)
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "bench-out: %v\n", err)
+					os.Exit(1)
+				}
+				werr := res.WriteJSON(f)
+				if cerr := f.Close(); werr == nil {
+					werr = cerr
+				}
+				if werr != nil {
+					fmt.Fprintf(os.Stderr, "bench-out: %v\n", werr)
+					os.Exit(1)
+				}
+				fmt.Printf("baseline written to %s\n", *benchOut)
+			}
+			continue
+		}
 		if id == "soak" {
 			// The soak is a transport check, not a paper artifact: it
 			// reports via its own summary line and has no Result series.
@@ -194,6 +227,33 @@ func main() {
 		}
 		fmt.Printf("raw series written to %s\n", *csvPath)
 	}
+}
+
+// gitRev resolves the source revision for the benchmark record: the VCS
+// stamp when the binary was built with one, otherwise `git rev-parse` (the
+// `go run` path), otherwise "unknown".
+func gitRev() string {
+	if info, ok := debug.ReadBuildInfo(); ok {
+		rev, dirty := "", false
+		for _, s := range info.Settings {
+			switch s.Key {
+			case "vcs.revision":
+				rev = s.Value
+			case "vcs.modified":
+				dirty = s.Value == "true"
+			}
+		}
+		if rev != "" {
+			if dirty {
+				rev += "-dirty"
+			}
+			return rev
+		}
+	}
+	if out, err := exec.Command("git", "rev-parse", "HEAD").Output(); err == nil {
+		return strings.TrimSpace(string(out))
+	}
+	return "unknown"
 }
 
 func run(id string, sc experiment.Scale) (experiment.Result, error) {

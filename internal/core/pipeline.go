@@ -1,0 +1,362 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"bhss/internal/dsss"
+	"bhss/internal/frame"
+	"bhss/internal/hop"
+	"bhss/internal/obs"
+	"bhss/internal/pulse"
+	"bhss/internal/tracking"
+)
+
+// PipelineConfig parameterizes the receiver's opt-in concurrent decode
+// pipeline. When enabled, DecodeBurst splits each burst's hop loop across
+// three stages running on their own goroutines/the caller — spectral
+// estimation + filtering, carrier tracking, demodulation + despreading —
+// connected by fixed-depth single-producer/single-consumer rings of reusable
+// hop slots. The pipeline overlaps the filter FFTs of hop h+1 with the
+// tracking and demodulation of hop h, trading a bounded amount of buffered
+// look-ahead for wall-clock throughput on multicore hosts.
+//
+// The pipelined decode is bit-identical to the serial one: stages preserve
+// hop order, every kernel runs on the same inputs in the same sequence, and
+// the estimation stage stalls at the exact hop where the serial loop would
+// first consult the decoded frame length (see decodeHopsPipelined).
+type PipelineConfig struct {
+	// Depth is the ring depth in hops — how far the estimation stage may
+	// run ahead of demodulation. 0 selects DefaultPipelineDepth; larger
+	// values buy scheduling slack at the cost of per-slot sample buffers.
+	Depth int
+}
+
+// DefaultPipelineDepth is the ring depth used when PipelineConfig.Depth is 0:
+// enough look-ahead to keep three stages busy without idling on handoffs.
+const DefaultPipelineDepth = 4
+
+// maxPipelineDepth bounds the slot memory a misconfigured caller can pin.
+const maxPipelineDepth = 64
+
+// pipeSlot is one hop in flight between stages. Slots are owned by exactly
+// one stage at a time — ownership moves with the slot index through the
+// rings — so their buffers need no locking.
+type pipeSlot struct {
+	// seg is the hop's samples as seen by the next stage: a view into the
+	// burst (FilterNone), into filtered (low-pass/excision) or into tracked
+	// (after the carrier loop).
+	seg []complex128
+	//bhss:scratch
+	filtered []complex128 // slot-owned filter output, reused across bursts
+	//bhss:scratch
+	tracked []complex128 // slot-owned carrier-loop copy, reused across bursts
+	sps     int
+	first   bool // first hop of the burst (coarse CFO acquisition point)
+	report  HopReport
+	err     error // estimation/filter failure; terminates the burst
+}
+
+// pipeBurst is the per-burst work order handed to the estimation stage.
+type pipeBurst struct {
+	samples []complex128
+	sched   *hop.Schedule
+}
+
+// rxPipeline is the persistent pipeline runtime: two worker goroutines
+// (estimation+filter, tracking) plus the caller as the demodulation stage,
+// kept across bursts so steady-state decoding spawns nothing.
+type rxPipeline struct {
+	r     *Receiver
+	slots []pipeSlot
+
+	// Slot indices flow free -> filt -> track -> free; -1 is the
+	// end-of-burst sentinel on filt and track. Each channel has a single
+	// sender and a single receiver (SPSC).
+	free  chan int
+	filt  chan int
+	track chan int
+
+	// Per-burst work orders for the two workers.
+	burstFilt  chan pipeBurst
+	burstTrack chan *tracking.Costas
+
+	// totalSymbols publishes the decoded frame length (-1 = unknown) from
+	// the demodulation stage back to the estimation stage, which blocks on
+	// notify at the exact hop where the serial loop would first read it.
+	totalSymbols atomic.Int64
+	notify       chan struct{}
+
+	quit chan struct{}
+	wg   sync.WaitGroup
+}
+
+// EnablePipeline switches the receiver's DecodeBurst to the concurrent
+// decode pipeline. It starts the worker goroutines immediately; call Close
+// to stop them and return to serial decoding. Enabling twice is an error.
+//
+// A pipelined receiver is still not safe for concurrent DecodeBurst calls —
+// the pipeline parallelizes stages within one burst, not bursts.
+func (r *Receiver) EnablePipeline(cfg PipelineConfig) error {
+	if r.pipe != nil {
+		return fmt.Errorf("core: pipeline already enabled")
+	}
+	depth := cfg.Depth
+	if depth == 0 {
+		depth = DefaultPipelineDepth
+	}
+	if depth < 2 || depth > maxPipelineDepth {
+		return fmt.Errorf("core: pipeline depth %d out of range [2, %d]", cfg.Depth, maxPipelineDepth)
+	}
+	// Warm the pulse-tap cache for every bandwidth now: the estimation and
+	// demodulation stages both read it concurrently at decode time, so it
+	// must be write-free from here on.
+	for _, sps := range r.spsTab {
+		r.pulseTaps(sps)
+	}
+	p := &rxPipeline{
+		r:          r,
+		slots:      make([]pipeSlot, depth),
+		free:       make(chan int, depth),
+		filt:       make(chan int, depth+1),
+		track:      make(chan int, depth+1),
+		burstFilt:  make(chan pipeBurst, 1),
+		burstTrack: make(chan *tracking.Costas, 1),
+		notify:     make(chan struct{}, 1),
+		quit:       make(chan struct{}),
+	}
+	for i := range p.slots {
+		p.free <- i
+	}
+	p.wg.Add(2)
+	go p.filterLoop()
+	go p.trackLoop()
+	r.pipe = p
+	return nil
+}
+
+// Close stops the pipeline workers and returns the receiver to serial
+// decoding. It must not be called while a DecodeBurst is in flight. A
+// receiver without an enabled pipeline closes as a no-op, so Close is always
+// safe to defer.
+func (r *Receiver) Close() error {
+	if r.pipe == nil {
+		return nil
+	}
+	close(r.pipe.quit)
+	r.pipe.wg.Wait()
+	r.pipe = nil
+	return nil
+}
+
+// PipelineEnabled reports whether DecodeBurst currently runs the concurrent
+// pipeline.
+func (r *Receiver) PipelineEnabled() bool { return r.pipe != nil }
+
+// loadTotal returns the frame's total symbol count as the serial loop would
+// see it before the hop at which `collected` symbols have been consumed:
+// unknown (-1) while fewer than a header's worth of symbols are in flight,
+// otherwise the value published by the demodulation stage — blocking until
+// it lands. The block cannot deadlock: collected >= HeaderSymbols means the
+// header's hops were already emitted, so the demodulation stage is
+// guaranteed to reach and publish the header.
+func (p *rxPipeline) loadTotal(collected int) int {
+	if t := p.totalSymbols.Load(); t >= 0 {
+		return int(t)
+	}
+	if collected < frame.HeaderSymbols {
+		return -1
+	}
+	for {
+		<-p.notify
+		if t := p.totalSymbols.Load(); t >= 0 {
+			return int(t)
+		}
+	}
+}
+
+// filterLoop is the estimation stage: it reproduces the serial hop
+// segmentation (including the frame-length clamp, via loadTotal) and runs
+// per-hop spectral estimation and filtering, emitting filled slots in hop
+// order. It terminates each burst with a -1 sentinel, immediately after an
+// error slot when filtering fails.
+func (p *rxPipeline) filterLoop() {
+	defer p.wg.Done()
+	for {
+		select {
+		case <-p.quit:
+			return
+		case b := <-p.burstFilt:
+			p.runFilterBurst(b)
+		}
+	}
+}
+
+func (p *rxPipeline) runFilterBurst(b pipeBurst) {
+	r := p.r
+	maxSymbols := frame.EncodedSymbols(frame.MaxPayload)
+	collected := 0
+	samplePos := 0
+	hopIdx := 0
+	for {
+		total := p.loadTotal(collected)
+		if total >= 0 && collected >= total {
+			break
+		}
+		if collected >= maxSymbols {
+			break
+		}
+		bwIdx := b.sched.Next()
+		sps := r.spsTab[bwIdx]
+		nSym := r.cfg.SymbolsPerHop
+		if total >= 0 && collected+nSym > total {
+			nSym = total - collected
+		}
+		segLen := nSym * dsss.ComplexChipsPerSymbol * sps
+		if samplePos+segLen > len(b.samples) {
+			// Clamp to the whole symbols that remain in the capture.
+			avail := (len(b.samples) - samplePos) / (dsss.ComplexChipsPerSymbol * sps)
+			if avail <= 0 {
+				break
+			}
+			nSym = avail
+			segLen = nSym * dsss.ComplexChipsPerSymbol * sps
+		}
+		seg := b.samples[samplePos : samplePos+segLen]
+		samplePos += segLen
+		collected += nSym
+
+		idx := <-p.free
+		s := &p.slots[idx]
+		s.first = hopIdx == 0
+		s.sps = sps
+		s.err = nil
+		if r.cfg.EnableFilter {
+			decision, ctx, rep := r.estimateHop(seg, sps)
+			out, err := r.filterHopInto(s.filtered[:0], seg, sps, decision, ctx)
+			if err != nil {
+				s.err = err
+				p.filt <- idx
+				break
+			}
+			if decision != FilterNone {
+				s.filtered = out
+			}
+			s.seg = out
+			s.report = rep
+		} else {
+			s.seg = seg
+			s.report = HopReport{SamplesPerChip: sps, Decision: FilterNone}
+		}
+		s.report.BandwidthMHz = r.dist.Bandwidths[bwIdx]
+		p.filt <- idx
+		hopIdx++
+	}
+	p.filt <- -1
+}
+
+// trackLoop is the carrier-tracking stage: it runs the per-burst Costas loop
+// over the filtered hops in order (the loop state carries across hops, so
+// this stage is inherently sequential) and forwards slots downstream. With
+// tracking disabled it degenerates to a pass-through.
+func (p *rxPipeline) trackLoop() {
+	defer p.wg.Done()
+	for {
+		select {
+		case <-p.quit:
+			return
+		case loop := <-p.burstTrack:
+			for {
+				idx := <-p.filt
+				if idx < 0 {
+					p.track <- -1
+					break
+				}
+				s := &p.slots[idx]
+				if s.err == nil && loop != nil {
+					if s.first {
+						// Coarse CFO acquisition on the first (filtered)
+						// hop preloads the loop's frequency.
+						loop.SetFrequency(tracking.CoarseCFOInRange(s.seg, maxTrackedCFO))
+					}
+					var tsw obs.Stopwatch
+					if p.r.met != nil {
+						tsw = obs.Start()
+					}
+					s.tracked = append(s.tracked[:0], s.seg...)
+					loop.Process(s.tracked)
+					//bhss:allow(scratchalias) slot-internal alias: seg and tracked belong to the same pipeSlot, whose ownership travels with the ring index; the demod stage consumes seg before the slot returns to the free ring
+					s.seg = s.tracked
+					if p.r.met != nil {
+						p.r.met.RecordStage(obs.StageRxTrack, tsw)
+					}
+				}
+				p.track <- idx
+			}
+		}
+	}
+}
+
+// decodeHopsPipelined is the pipeline's replacement for the serial hop loop:
+// the caller acts as the demodulation stage, consuming tracked hops in
+// order, accumulating chip estimates, resolving the header (and publishing
+// the frame length back to the estimation stage) and finishing the burst
+// exactly like the serial path.
+func (r *Receiver) decodeHopsPipelined(stats *RxStats, samples []complex128, sched *hop.Schedule, scramblerSeed uint64, loop *tracking.Costas) ([]byte, error) {
+	p := r.pipe
+	p.totalSymbols.Store(-1)
+	select { // drop a notify token left by a burst that never blocked on it
+	case <-p.notify:
+	default:
+	}
+	p.burstFilt <- pipeBurst{samples: samples, sched: sched}
+	p.burstTrack <- loop
+
+	chips := r.scratch.chips[:0]
+	totalSymbols := -1
+	rotation := complex(1, 0)
+	var filtErr error
+	for {
+		idx := <-p.track
+		if idx < 0 {
+			break
+		}
+		s := &p.slots[idx]
+		if s.err != nil {
+			filtErr = s.err
+			p.free <- idx
+			continue
+		}
+		stats.Hops = append(stats.Hops, s.report)
+		if r.met != nil {
+			r.met.Rx.Hops.Inc()
+			r.met.Rx.Decision[s.report.Decision].Inc()
+		}
+		var dsw obs.Stopwatch
+		if r.met != nil {
+			dsw = obs.Start()
+		}
+		chips = pulse.DemodulateAppend(chips, s.seg, r.pulseTaps(s.sps), 0)
+		if r.met != nil {
+			r.met.RecordStage(obs.StageRxDemod, dsw)
+		}
+		p.free <- idx
+
+		if totalSymbols < 0 && len(chips) >= frame.HeaderSymbols*dsss.ComplexChipsPerSymbol {
+			rot, total := r.resolveHeader(chips, scramblerSeed)
+			rotation = rot
+			totalSymbols = total
+			p.totalSymbols.Store(int64(total))
+			select {
+			case p.notify <- struct{}{}:
+			default:
+			}
+		}
+	}
+	r.scratch.chips = chips // keep the grown buffer for the next burst
+	if filtErr != nil {
+		return nil, fmt.Errorf("core: hop filter: %w", filtErr)
+	}
+	return r.finishBurst(stats, chips, loop, rotation, scramblerSeed)
+}

@@ -1,0 +1,331 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"reflect"
+	"testing"
+
+	"bhss/internal/channel"
+	"bhss/internal/dsp"
+	"bhss/internal/jammer"
+)
+
+// pipelinePair builds a serial and a pipelined receiver for the same config.
+func pipelinePair(t *testing.T, cfg Config, pc PipelineConfig) (*Receiver, *Receiver) {
+	t.Helper()
+	serial, err := NewReceiver(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	piped, err := NewReceiver(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := piped.EnablePipeline(pc); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		if err := piped.Close(); err != nil {
+			t.Errorf("pipeline close: %v", err)
+		}
+	})
+	return serial, piped
+}
+
+// decodeBoth runs one capture through both receivers and requires the
+// payload, error and full diagnostic record to match bitwise.
+func decodeBoth(t *testing.T, serial, piped *Receiver, capture []complex128) ([]byte, *RxStats, error) {
+	t.Helper()
+	// DecodeBurst hands out receiver-owned stats; copy before comparing.
+	wantPayload, wantStatsView, wantErr := serial.DecodeBurst(capture)
+	wantStats := *wantStatsView
+	wantStats.Hops = append([]HopReport(nil), wantStatsView.Hops...)
+	gotPayload, gotStats, gotErr := piped.DecodeBurst(capture)
+	if (wantErr == nil) != (gotErr == nil) ||
+		(wantErr != nil && wantErr.Error() != gotErr.Error()) {
+		t.Fatalf("error mismatch: serial %v, pipelined %v", wantErr, gotErr)
+	}
+	if !bytes.Equal(wantPayload, gotPayload) {
+		t.Fatalf("payload mismatch:\nserial    %q\npipelined %q", wantPayload, gotPayload)
+	}
+	if !reflect.DeepEqual(&wantStats, gotStats) {
+		t.Fatalf("stats mismatch:\nserial    %+v\npipelined %+v", wantStats, gotStats)
+	}
+	return gotPayload, gotStats, gotErr
+}
+
+// TestPipelinedDecodeParity drives the pipelined receiver through every
+// decision path — clean hops, low-pass against a wideband jammer, excision
+// against a narrowband jammer, filtering disabled, carrier tracking with CFO
+// — across a multi-burst sequence, and requires bit-identical payloads,
+// errors and RxStats against the serial receiver at every burst.
+func TestPipelinedDecodeParity(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  func() Config
+		// jamBW/jamPower describe a band-limited jammer (0 = clean).
+		jamBW, jamPower float64
+		impair          channel.Impairments
+		gain            float64
+		noiseVar        float64
+		// lossy marks scenarios where lost frames are expected; parity of
+		// the failures is the point there, not successful decoding.
+		lossy bool
+		// wantDecision, when nonzero, must appear on at least one hop
+		// across the sequence — the scenario exists to cover that path.
+		wantDecision FilterDecision
+	}{
+		{
+			name: "clean-default",
+			cfg:  func() Config { return DefaultConfig(101) },
+		},
+		{
+			// Narrow fixed signal under a full-band jammer: every hop
+			// takes the low-pass path and the frames decode.
+			name: "wideband-lowpass",
+			cfg: func() Config {
+				c := fixedConfig(0.15625, 102)
+				c.TrackingLoops = true
+				return c
+			},
+			jamBW: 0.5, jamPower: 50,
+			impair: channel.Impairments{CFO: 9e-5, Phase: 0.8},
+			gain:   3, noiseVar: 0.01,
+			wantDecision: FilterLowPass,
+		},
+		{
+			// Wide fixed signal under a narrow jammer: excision hops.
+			name:  "narrowband-excision",
+			cfg:   func() Config { return fixedConfig(10, 103) },
+			jamBW: 0.0078125, jamPower: 12,
+			noiseVar:     0.01,
+			wantDecision: FilterExcision,
+		},
+		{
+			name: "filter-off",
+			cfg: func() Config {
+				c := DefaultConfig(104)
+				c.EnableFilter = false
+				return c
+			},
+			noiseVar: 0.01,
+		},
+		{
+			// Hopping signal under jamming strong enough to lose frames:
+			// the pipeline must match serial decode failures bit-for-bit
+			// too, including the per-hop decision mix.
+			name:  "hopping-jammed-losses",
+			cfg:   func() Config { return DefaultConfig(105) },
+			jamBW: 0.125, jamPower: 20,
+			noiseVar: 0.005,
+			lossy:    true,
+		},
+	}
+	payloads := [][]byte{
+		[]byte("pipelined parity burst one"),
+		[]byte("two"),
+		bytes.Repeat([]byte{0xa5}, 120),
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := tc.cfg()
+			tx, err := NewTransmitter(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			serial, piped := pipelinePair(t, cfg, PipelineConfig{})
+			var jam *jammer.Bandlimited
+			if tc.jamPower > 0 {
+				jam, err = jammer.NewBandlimited(tc.jamBW, tc.jamPower, 31)
+				if err != nil {
+					t.Fatal(err)
+				}
+			}
+			noise := channel.NewAWGN(tc.noiseVar, 5)
+			decisions := map[FilterDecision]int{}
+			for i, payload := range payloads {
+				burst, err := tx.EncodeFrame(payload)
+				if err != nil {
+					t.Fatal(err)
+				}
+				air := tc.impair.Apply(burst.Samples)
+				if tc.gain != 0 {
+					dsp.Scale(air, tc.gain)
+				}
+				if jam != nil {
+					air = channel.Combine(air, jam.Emit(len(air)))
+				}
+				if tc.noiseVar > 0 {
+					noise.Add(air)
+				}
+				// One jammed+noisy realization decoded by both receivers:
+				// both must see identical samples, so the channel draws
+				// happen once per burst outside the receivers.
+				_, stats, err := decodeBoth(t, serial, piped, air)
+				if err != nil && !tc.lossy {
+					t.Fatalf("burst %d failed: %v", i, err)
+				}
+				for _, h := range stats.Hops {
+					decisions[h.Decision]++
+				}
+			}
+			if tc.wantDecision != FilterNone && decisions[tc.wantDecision] == 0 {
+				t.Fatalf("scenario never took the %v path: %v", tc.wantDecision, decisions)
+			}
+		})
+	}
+}
+
+// TestPipelinedPreambleSyncParity covers the acquisition front-end: the
+// pipeline consumes the aligned capture exactly like the serial path.
+func TestPipelinedPreambleSyncParity(t *testing.T) {
+	cfg := DefaultConfig(106)
+	cfg.Sync = PreambleSync
+	tx, err := NewTransmitter(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial, piped := pipelinePair(t, cfg, PipelineConfig{})
+	payload := []byte("acquire then pipeline")
+	burst, err := tx.EncodeFrame(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const offset = 777
+	capture := make([]complex128, offset+len(burst.Samples)+500)
+	copy(capture[offset:], burst.Samples)
+	dsp.Mix(capture, 0, 0.4)
+	channel.NewAWGN(0.005, 9).Add(capture)
+	got, _, errDecode := decodeBoth(t, serial, piped, capture)
+	if errDecode != nil {
+		t.Fatal(errDecode)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatal("payload mismatch after acquisition")
+	}
+}
+
+// TestPipelinedErrorParity checks the failure paths: truncated bursts and
+// non-finite input must yield the same errors and leave the frame counters
+// in lockstep.
+func TestPipelinedErrorParity(t *testing.T) {
+	cfg := DefaultConfig(107)
+	serial, piped := pipelinePair(t, cfg, PipelineConfig{})
+
+	short := make([]complex128, 3)
+	decodeBoth(t, serial, piped, short)
+
+	bad := make([]complex128, 4096)
+	bad[1234] = complex(math.NaN(), 0)
+	bad[2000] = complex(math.Inf(1), 0)
+	_, _, errPiped := piped.DecodeBurst(bad)
+	if !errors.Is(errPiped, ErrNonFiniteInput) {
+		t.Fatalf("pipelined non-finite error = %v", errPiped)
+	}
+	serial.DecodeBurst(bad)
+	if serial.FrameCounter() != piped.FrameCounter() {
+		t.Fatalf("frame counters diverged: serial %d, pipelined %d",
+			serial.FrameCounter(), piped.FrameCounter())
+	}
+}
+
+// TestPipelineLifecycle pins the enable/close contract: double enable fails,
+// close returns to bit-identical serial decoding, close is idempotent, and
+// re-enabling works.
+func TestPipelineLifecycle(t *testing.T) {
+	cfg := DefaultConfig(108)
+	tx, err := NewTransmitter(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rx, err := NewReceiver(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rx.EnablePipeline(PipelineConfig{}); err != nil {
+		t.Fatal(err)
+	}
+	if !rx.PipelineEnabled() {
+		t.Fatal("pipeline should be enabled")
+	}
+	if err := rx.EnablePipeline(PipelineConfig{}); err == nil {
+		t.Fatal("double enable should fail")
+	}
+	payload := []byte("lifecycle")
+	burst, err := tx.EncodeFrame(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, _, err := rx.DecodeBurst(burst.Samples); err != nil || !bytes.Equal(got, payload) {
+		t.Fatalf("pipelined decode: %q, %v", got, err)
+	}
+	if err := rx.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if rx.PipelineEnabled() {
+		t.Fatal("pipeline should be disabled after Close")
+	}
+	if err := rx.Close(); err != nil {
+		t.Fatalf("second close: %v", err)
+	}
+	burst2, err := tx.EncodeFrame(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, _, err := rx.DecodeBurst(burst2.Samples); err != nil || !bytes.Equal(got, payload) {
+		t.Fatalf("serial decode after close: %q, %v", got, err)
+	}
+	if err := rx.EnablePipeline(PipelineConfig{Depth: 8}); err != nil {
+		t.Fatalf("re-enable: %v", err)
+	}
+	defer rx.Close()
+	burst3, err := tx.EncodeFrame(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, _, err := rx.DecodeBurst(burst3.Samples); err != nil || !bytes.Equal(got, payload) {
+		t.Fatalf("pipelined decode after re-enable: %q, %v", got, err)
+	}
+
+	for _, depth := range []int{-1, 1, maxPipelineDepth + 1} {
+		bad, err := NewReceiver(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := bad.EnablePipeline(PipelineConfig{Depth: depth}); err == nil {
+			t.Fatalf("depth %d should be rejected", depth)
+		}
+	}
+}
+
+// TestPipelinedDepths runs the same jammed sequence at several ring depths:
+// depth changes scheduling, never output.
+func TestPipelinedDepths(t *testing.T) {
+	cfg := fixedConfig(10, 109)
+	payload := []byte("depth sweep")
+	for _, depth := range []int{2, 3, 8} {
+		tx, err := NewTransmitter(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		serial, piped := pipelinePair(t, cfg, PipelineConfig{Depth: depth})
+		jam, err := jammer.NewBandlimited(0.0078125, 20, 31)
+		if err != nil {
+			t.Fatal(err)
+		}
+		noise := channel.NewAWGN(0.005, 5)
+		for i := 0; i < 3; i++ {
+			burst, err := tx.EncodeFrame(payload)
+			if err != nil {
+				t.Fatal(err)
+			}
+			air := channel.Combine(burst.Samples, jam.Emit(len(burst.Samples)))
+			noise.Add(air)
+			if _, _, err := decodeBoth(t, serial, piped, air); err != nil {
+				t.Fatalf("depth %d burst %d: %v", depth, i, err)
+			}
+		}
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"math/cmplx"
 
 	"bhss/internal/dsp"
+	"bhss/internal/dsp/simd"
 	"bhss/internal/dsss"
 	"bhss/internal/frame"
 	"bhss/internal/hop"
@@ -131,6 +132,10 @@ type Receiver struct {
 	stats RxStats
 
 	scratch rxScratch
+
+	// pipe is the optional concurrent decode pipeline (EnablePipeline);
+	// nil selects the serial hop loop.
+	pipe *rxPipeline
 }
 
 // SetObserver attaches a metrics pipeline to the receiver (nil detaches).
@@ -358,8 +363,17 @@ func (r *Receiver) estimateHop(seg []complex128, sps int) (FilterDecision, hopFi
 	shape := r.pulseShapeGain(sps, k)
 	normBins := r.scratch.norm[:0]
 	half := signalBW / 2
+	// For power-of-two k the reciprocal multiply rounds identically to the
+	// per-bin division it replaces (1/k is an exact power of two).
+	pow2 := k&(k-1) == 0
+	invK := 1 / float64(k)
 	for i, p := range detect {
-		f := float64(i) / float64(k)
+		var f float64
+		if pow2 {
+			f = float64(i) * invK
+		} else {
+			f = float64(i) / float64(k)
+		}
 		if f >= 0.5 {
 			f -= 1
 		}
@@ -368,12 +382,12 @@ func (r *Receiver) estimateHop(seg []complex128, sps int) (FilterDecision, hopFi
 		}
 	}
 	r.scratch.norm = normBins
-	// Sorting the scratch in place gives both order statistics (the
-	// reference quantile and the peak, which lands at the top) without the
-	// per-hop copies quantileLevel/peakToQuantile would make.
-	dsp.SortFloats(normBins)
-	refN := dsp.QuantileSorted(normBins, signalQuantile)
-	report.PeakToMedian = peakOverRef(normBins, refN)
+	// Quickselect returns the same floor(q·n) order statistic the previous
+	// SortFloats + QuantileSorted pair produced, in O(n) instead of
+	// O(n log n); the peak is a single scan. The scratch is receiver-owned,
+	// so the partial reordering is harmless.
+	refN := dsp.QuantileSelect(normBins, signalQuantile)
+	report.PeakToMedian = ratioOrInf(dsp.MaxFloats(normBins), refN)
 
 	ctx := hopFilterCtx{raw: raw, shape: shape, refN: refN}
 	switch {
@@ -456,20 +470,34 @@ func inBandBins(psd []float64, bw float64) []float64 {
 //bhss:hotpath
 //bhss:scratchview output is valid until the next filterHop call
 func (r *Receiver) filterHop(seg []complex128, sps int, decision FilterDecision, ctx hopFilterCtx) ([]complex128, error) {
+	out, err := r.filterHopInto(r.scratch.filtered[:0], seg, sps, decision, ctx)
+	if err != nil {
+		return nil, err
+	}
+	if decision != FilterNone {
+		r.scratch.filtered = out
+	}
+	return out, nil
+}
+
+// filterHopInto is filterHop writing into dst's storage, for callers (the
+// decode pipeline) that own per-slot output buffers instead of sharing the
+// receiver scratch. FilterNone returns seg itself, untouched.
+//
+//bhss:hotpath
+func (r *Receiver) filterHopInto(dst, seg []complex128, sps int, decision FilterDecision, ctx hopFilterCtx) ([]complex128, error) {
 	if r.met != nil && decision != FilterNone {
 		defer r.met.RecordStage(obs.StageRxFilter, obs.Start())
 	}
 	switch decision {
 	case FilterLowPass:
-		r.scratch.filtered = r.lowPass(sps).Convolver().ApplySame(r.scratch.filtered[:0], seg)
-		return r.scratch.filtered, nil
+		return r.lowPass(sps).Convolver().ApplySame(dst, seg), nil
 	case FilterExcision:
 		f, err := r.notchFilter(sps, ctx)
 		if err != nil {
 			return nil, err
 		}
-		r.scratch.filtered = f.Convolver().ApplySame(r.scratch.filtered[:0], seg)
-		return r.scratch.filtered, nil
+		return f.Convolver().ApplySame(dst, seg), nil
 	default:
 		return seg, nil
 	}
@@ -645,16 +673,27 @@ func (r *Receiver) DecodeBurstInto(stats *RxStats, samples []complex128) ([]byte
 	return payload, err
 }
 
+// The carrier loop persists across hops (Figure 6 places it after the
+// filters); its bandwidth is retuned per hop so the per-chip dynamics stay
+// constant across samples-per-chip changes. It must *acquire* the channel
+// phase — the prototype's free-running oscillators give an arbitrary offset —
+// which is exactly what strong unfiltered jamming prevents.
+// A fixed per-sample loop bandwidth: wide enough to track the residual
+// carrier offset of free-running oscillators, narrow enough to stay quiet on
+// a clean channel. Under jamming the loop's decision-directed error turns
+// into noise and the tracked carrier walks away — the vulnerability the
+// pre-despreading filters protect.
+const carrierLoopBW = 0.0005
+
+// maxTrackedCFO bounds the coarse acquisition search (cycles/sample).
+const maxTrackedCFO = 2e-4
+
 func (r *Receiver) decodeBurst(stats *RxStats, samples []complex128) ([]byte, error) {
 	fr := r.frame
 	r.frame++
 
-	for _, v := range samples {
-		re, im := real(v), imag(v)
-		// A finite value minus itself is 0; NaN and ±Inf are not.
-		if re-re != 0 || im-im != 0 {
-			return nil, ErrNonFiniteInput
-		}
+	if !simd.AllFinite(samples) {
+		return nil, ErrNonFiniteInput
 	}
 
 	if r.cfg.Sync == PreambleSync {
@@ -686,26 +725,16 @@ func (r *Receiver) decodeBurst(stats *RxStats, samples []complex128) ([]byte, er
 	}
 	scramblerSeed := deriveSeed(r.cfg.Seed, fr, purposeScrambler)
 
-	// The carrier loop persists across hops (Figure 6 places it after the
-	// filters); its bandwidth is retuned per hop so the per-chip dynamics
-	// stay constant across samples-per-chip changes. It must *acquire*
-	// the channel phase — the prototype's free-running oscillators give
-	// an arbitrary offset — which is exactly what strong unfiltered
-	// jamming prevents.
-	// A fixed per-sample loop bandwidth: wide enough to track the
-	// residual carrier offset of free-running oscillators, narrow enough
-	// to stay quiet on a clean channel. Under jamming the loop's
-	// decision-directed error turns into noise and the tracked carrier
-	// walks away — the vulnerability the pre-despreading filters protect.
-	const carrierLoopBW = 0.0005
-	// maxTrackedCFO bounds the coarse acquisition search (cycles/sample).
-	const maxTrackedCFO = 2e-4
 	var loop *tracking.Costas
 	if r.cfg.TrackingLoops {
 		loop, err = tracking.NewCostas(carrierLoopBW)
 		if err != nil {
 			return nil, err
 		}
+	}
+
+	if r.pipe != nil {
+		return r.decodeHopsPipelined(stats, samples, sched, scramblerSeed, loop)
 	}
 
 	chips := r.scratch.chips[:0]
@@ -796,6 +825,13 @@ func (r *Receiver) decodeBurst(stats *RxStats, samples []complex128) ([]byte, er
 			totalSymbols = total
 		}
 	}
+	return r.finishBurst(stats, chips, loop, rotation, scramblerSeed)
+}
+
+// finishBurst is the post-hop-loop tail of a decode, shared by the serial
+// path and the pipeline: record the carrier loop's verdict, undo the QPSK
+// rotation ambiguity, despread and frame-decode the accumulated chips.
+func (r *Receiver) finishBurst(stats *RxStats, chips []complex128, loop *tracking.Costas, rotation complex128, scramblerSeed uint64) ([]byte, error) {
 	r.scratch.chips = chips // keep the grown buffer for the next burst
 	if loop != nil {
 		stats.CarrierFreq = loop.Frequency()

@@ -105,6 +105,16 @@ func planHops(cfg Config, dist hop.Distribution, fr uint64, nSymbols int) ([]int
 // advancing the frame counter. The returned burst carries the samples to
 // put on the air.
 func (t *Transmitter) EncodeFrame(payload []byte) (*Burst, error) {
+	return t.EncodeFrameInto(nil, payload)
+}
+
+// EncodeFrameInto is EncodeFrame encoding into buf's storage: when buf has
+// enough capacity for the burst, no sample buffer is allocated and
+// burst.Samples aliases buf's array (callers reuse it with
+// EncodeFrameInto(prev.Samples[:0], ...)). Steady-state senders amortize
+// the dominant per-frame allocation away; EncodeFrame is the convenience
+// form with a fresh buffer.
+func (t *Transmitter) EncodeFrameInto(buf []complex128, payload []byte) (*Burst, error) {
 	var esw obs.Stopwatch
 	if t.met != nil {
 		esw = obs.Start()
@@ -136,7 +146,11 @@ func (t *Transmitter) EncodeFrame(payload []byte) (*Burst, error) {
 		total += n * dsss.ComplexChipsPerSymbol * t.spsTab[bwIdx]
 		symPos += n
 	}
-	burst.Samples = make([]complex128, 0, total)
+	if cap(buf) >= total {
+		burst.Samples = buf[:0]
+	} else {
+		burst.Samples = make([]complex128, 0, total)
+	}
 	burst.Segments = make([]HopSegment, 0, len(plan))
 	symPos = 0
 	for _, bwIdx := range plan {

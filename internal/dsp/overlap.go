@@ -1,6 +1,10 @@
 package dsp
 
-import "fmt"
+import (
+	"fmt"
+
+	"bhss/internal/dsp/simd"
+)
 
 // OverlapSave is a fast convolver for one fixed tap set: the taps are
 // transformed to the frequency domain once at construction, and inputs of
@@ -84,9 +88,7 @@ func (o *OverlapSave) BlockSize() int { return o.fftLen }
 // o.block[k-1:] are valid linear-convolution samples.
 func (o *OverlapSave) convolveBlock() {
 	o.plan.Forward(o.block)
-	for i, h := range o.hFT {
-		o.block[i] *= h
-	}
+	simd.CMulTo(o.block, o.hFT)
 	o.plan.inverseUnscaled(o.block)
 }
 

@@ -6,6 +6,7 @@ import (
 	"math/bits"
 	"sync"
 
+	"bhss/internal/dsp/simd"
 	"bhss/internal/obs"
 )
 
@@ -21,9 +22,13 @@ import (
 // variable; one-shot callers can go through PlanFFT, which memoizes plans
 // per size in a package-level cache.
 type FFTPlan struct {
-	n   int
-	rev []int32      // bit-reversal permutation: rev[i] < i pairs swapped
-	tw  []complex128 // forward twiddles, stages concatenated, n-1 entries
+	n int
+	// swaps lists the bit-reversal permutation as (i, rev[i]) pairs with
+	// i < rev[i], flattened. Walking only the pairs that actually move
+	// halves the permutation pass's memory traffic and removes the
+	// branch-per-element of scanning the full rev table.
+	swaps []int32
+	tw    []complex128 // forward twiddles, stages concatenated, n-1 entries
 }
 
 // planCache memoizes FFTPlans per size. Plans are tiny relative to the
@@ -67,9 +72,11 @@ func NewFFTPlan(n int) (*FFTPlan, error) {
 	}
 	p := &FFTPlan{n: n}
 	logN := bits.TrailingZeros(uint(n))
-	p.rev = make([]int32, n)
 	for i := 0; i < n; i++ {
-		p.rev[i] = int32(bits.Reverse32(uint32(i)) >> (32 - logN))
+		r := int32(bits.Reverse32(uint32(i)) >> (32 - logN))
+		if int32(i) < r {
+			p.swaps = append(p.swaps, int32(i), r)
+		}
 	}
 	if n == 1 {
 		return p, nil
@@ -104,10 +111,7 @@ func (p *FFTPlan) Forward(x []complex128) {
 //bhss:hotpath
 func (p *FFTPlan) Inverse(x []complex128) {
 	p.transform(x, true)
-	invN := complex(1/float64(p.n), 0)
-	for i := range x {
-		x[i] *= invN
-	}
+	simd.ScaleReal(x, 1/float64(p.n))
 }
 
 // inverseUnscaled is Inverse without the 1/N pass, for callers (overlap-save,
@@ -129,10 +133,9 @@ func (p *FFTPlan) transform(x []complex128, inverse bool) {
 		//bhss:allow(panicpolicy) zero-alloc execute contract: wrong-size input is a caller bug, like copy() with bad bounds
 		panic(fmt.Sprintf("dsp: FFT plan size %d given %d samples", n, len(x)))
 	}
-	for i, r := range p.rev {
-		if int32(i) < r {
-			x[i], x[r] = x[r], x[i]
-		}
+	for i := 0; i < len(p.swaps); i += 2 {
+		a, b := p.swaps[i], p.swaps[i+1]
+		x[a], x[b] = x[b], x[a]
 	}
 	if n < 2 {
 		return
@@ -141,74 +144,29 @@ func (p *FFTPlan) transform(x []complex128, inverse bool) {
 	if bits.TrailingZeros(uint(n))&1 == 1 {
 		// Odd number of radix-2 stages: run the twiddle-free span-2 stage
 		// alone so an even count remains for the fused passes.
-		for i := 0; i < n; i += 2 {
-			a, b := x[i], x[i+1]
-			x[i], x[i+1] = a+b, a-b
-		}
+		simd.Span2(x)
 		h = 2
 	} else {
 		// The first fused pass (spans 2 and 4) has unit twiddles
-		// throughout; run it as pure adds with the ∓i rotation open-coded.
+		// throughout; it runs as pure adds with the ∓i rotation applied as
+		// a swap-and-negate.
 		if inverse {
-			for s := 0; s+4 <= n; s += 4 {
-				a0, a1, a2, a3 := x[s], x[s+1], x[s+2], x[s+3]
-				u0, u1 := a0+a1, a0-a1
-				u2, u3 := a2+a3, a2-a3
-				v3 := complex(-imag(u3), real(u3))
-				x[s], x[s+2] = u0+u2, u0-u2
-				x[s+1], x[s+3] = u1+v3, u1-v3
-			}
+			simd.Unit4Inverse(x)
 		} else {
-			for s := 0; s+4 <= n; s += 4 {
-				a0, a1, a2, a3 := x[s], x[s+1], x[s+2], x[s+3]
-				u0, u1 := a0+a1, a0-a1
-				u2, u3 := a2+a3, a2-a3
-				v3 := complex(imag(u3), -real(u3))
-				x[s], x[s+2] = u0+u2, u0-u2
-				x[s+1], x[s+3] = u1+v3, u1-v3
-			}
+			simd.Unit4Forward(x)
 		}
 		h = 4
 	}
 	// Each fused pass combines the radix-2 stages of spans 2h and 4h over
-	// blocks of four h-length quarters.
+	// blocks of four h-length quarters. The kernels iterate all blocks; the
+	// inverse direction conjugates the twiddles in-kernel.
 	for ; 4*h <= n; h *= 4 {
 		twA := p.tw[h-1 : h-1+h]     // span-2h stage twiddles
 		twB := p.tw[2*h-1 : 2*h-1+h] // span-4h stage, lower half
-		for start := 0; start < n; start += 4 * h {
-			q0 := x[start : start+h : start+h]
-			q1 := x[start+h : start+2*h : start+2*h]
-			q2 := x[start+2*h : start+3*h : start+3*h]
-			q3 := x[start+3*h : start+4*h : start+4*h]
-			if inverse {
-				for k, wa := range twA {
-					wa = complex(real(wa), -imag(wa))
-					wb := twB[k]
-					wb = complex(real(wb), -imag(wb))
-					t1 := q1[k] * wa
-					u0, u1 := q0[k]+t1, q0[k]-t1
-					t3 := q3[k] * wa
-					u2, u3 := q2[k]+t3, q2[k]-t3
-					v2 := u2 * wb
-					v3 := u3 * wb
-					v3 = complex(-imag(v3), real(v3))
-					q0[k], q2[k] = u0+v2, u0-v2
-					q1[k], q3[k] = u1+v3, u1-v3
-				}
-			} else {
-				for k, wa := range twA {
-					wb := twB[k]
-					t1 := q1[k] * wa
-					u0, u1 := q0[k]+t1, q0[k]-t1
-					t3 := q3[k] * wa
-					u2, u3 := q2[k]+t3, q2[k]-t3
-					v2 := u2 * wb
-					v3 := u3 * wb
-					v3 = complex(imag(v3), -real(v3))
-					q0[k], q2[k] = u0+v2, u0-v2
-					q1[k], q3[k] = u1+v3, u1-v3
-				}
-			}
+		if inverse {
+			simd.Radix4Inverse(x, h, twA, twB)
+		} else {
+			simd.Radix4Forward(x, h, twA, twB)
 		}
 	}
 }

@@ -1,0 +1,7 @@
+//go:build !amd64 && !arm64
+
+package simd
+
+func detect() Mode { return Generic }
+
+func bind(Mode) {}

@@ -1,0 +1,157 @@
+//go:build arm64
+
+#include "textflag.h"
+
+// NEON kernels. The Go assembler (as of go1.22) has no mnemonics for the
+// AdvSIMD floating-point arithmetic instructions, so FADD/FSUB/FMUL on
+// .2D vectors are emitted as hand-encoded words through the macros below
+// (encoding: C7.2 of the Arm ARM; verified against go tool objdump).
+// Only order-insensitive kernels live here — see dispatch_arm64.go.
+
+// FADD Vd.2D, Vn.2D, Vm.2D
+#define FADD2D(m, n, d) WORD $(0x4E60D400 | m<<16 | n<<5 | d)
+// FSUB Vd.2D, Vn.2D, Vm.2D
+#define FSUB2D(m, n, d) WORD $(0x4EE0D400 | m<<16 | n<<5 | d)
+// FMUL Vd.2D, Vn.2D, Vm.2D
+#define FMUL2D(m, n, d) WORD $(0x6E60DC00 | m<<16 | n<<5 | d)
+
+// Sign masks: flip the sign of one 64-bit lane of a .2D vector.
+DATA lane1Mask<>+0(SB)/8, $0x0000000000000000
+DATA lane1Mask<>+8(SB)/8, $0x8000000000000000
+GLOBL lane1Mask<>(SB), RODATA|NOPTR, $16
+
+DATA lane0Mask<>+0(SB)/8, $0x8000000000000000
+DATA lane0Mask<>+8(SB)/8, $0x0000000000000000
+GLOBL lane0Mask<>(SB), RODATA|NOPTR, $16
+
+// func addToNEON(dst, src *complex128, n int)
+TEXT ·addToNEON(SB), NOSPLIT, $0-24
+	MOVD dst+0(FP), R0
+	MOVD src+8(FP), R1
+	MOVD n+16(FP), R2
+	LSR  $1, R2, R3
+	CBZ  R3, adtail
+
+adloop:
+	VLD1   (R0), [V0.D2, V1.D2]
+	VLD1.P 32(R1), [V2.D2, V3.D2]
+	FADD2D(2, 0, 0)
+	FADD2D(3, 1, 1)
+	VST1.P [V0.D2, V1.D2], 32(R0)
+	SUB    $1, R3, R3
+	CBNZ   R3, adloop
+
+adtail:
+	AND  $1, R2, R3
+	CBZ  R3, addone
+	VLD1 (R0), [V0.D2]
+	VLD1 (R1), [V1.D2]
+	FADD2D(1, 0, 0)
+	VST1 [V0.D2], (R0)
+
+addone:
+	RET
+
+// func scaleRealNEON(x *complex128, n int, gain float64)
+TEXT ·scaleRealNEON(SB), NOSPLIT, $0-24
+	MOVD x+0(FP), R0
+	MOVD n+8(FP), R1
+	MOVD gain+16(FP), R2
+	VDUP R2, V8.D2
+	LSR  $1, R1, R3
+	CBZ  R3, srtail
+
+srloop:
+	VLD1 (R0), [V0.D2, V1.D2]
+	FMUL2D(8, 0, 0)
+	FMUL2D(8, 1, 1)
+	VST1.P [V0.D2, V1.D2], 32(R0)
+	SUB  $1, R3, R3
+	CBNZ R3, srloop
+
+srtail:
+	AND  $1, R1, R3
+	CBZ  R3, srdone
+	VLD1 (R0), [V0.D2]
+	FMUL2D(8, 0, 0)
+	VST1 [V0.D2], (R0)
+
+srdone:
+	RET
+
+// func span2NEON(x *complex128, n int)
+// Pairs: x[i], x[i+1] = a+b, a−b.
+TEXT ·span2NEON(SB), NOSPLIT, $0-16
+	MOVD x+0(FP), R0
+	MOVD n+8(FP), R1
+	LSR  $1, R1, R1
+	CBZ  R1, spdone
+
+sploop:
+	VLD1 (R0), [V0.D2, V1.D2]
+	FADD2D(1, 0, 2)
+	FSUB2D(1, 0, 3)
+	VST1.P [V2.D2, V3.D2], 32(R0)
+	SUB  $1, R1, R1
+	CBNZ R1, sploop
+
+spdone:
+	RET
+
+// func unit4FwdNEON(x *complex128, n int)
+// First fused radix-4 pass, unit twiddles, v3 = (imag(u3), −real(u3)).
+TEXT ·unit4FwdNEON(SB), NOSPLIT, $0-16
+	MOVD x+0(FP), R0
+	MOVD n+8(FP), R1
+	LSR  $2, R1, R1
+	CBZ  R1, u4fdone
+	MOVD $lane1Mask<>(SB), R2
+	VLD1 (R2), [V8.B16]
+
+u4floop:
+	VLD1 (R0), [V0.D2, V1.D2, V2.D2, V3.D2]
+	FADD2D(1, 0, 4)          // u0
+	FSUB2D(1, 0, 5)          // u1
+	FADD2D(3, 2, 6)          // u2
+	FSUB2D(3, 2, 7)          // u3
+	VEXT $8, V7.B16, V7.B16, V7.B16 // (imag(u3), real(u3))
+	VEOR V8.B16, V7.B16, V7.B16     // v3: negate new lane 1
+	FADD2D(6, 4, 0)          // u0+u2
+	FADD2D(7, 5, 1)          // u1+v3
+	FSUB2D(6, 4, 2)          // u0−u2
+	FSUB2D(7, 5, 3)          // u1−v3
+	VST1.P [V0.D2, V1.D2, V2.D2, V3.D2], 64(R0)
+	SUB  $1, R1, R1
+	CBNZ R1, u4floop
+
+u4fdone:
+	RET
+
+// func unit4InvNEON(x *complex128, n int)
+// Inverse rotation: v3 = (−imag(u3), real(u3)).
+TEXT ·unit4InvNEON(SB), NOSPLIT, $0-16
+	MOVD x+0(FP), R0
+	MOVD n+8(FP), R1
+	LSR  $2, R1, R1
+	CBZ  R1, u4idone
+	MOVD $lane0Mask<>(SB), R2
+	VLD1 (R2), [V8.B16]
+
+u4iloop:
+	VLD1 (R0), [V0.D2, V1.D2, V2.D2, V3.D2]
+	FADD2D(1, 0, 4)
+	FSUB2D(1, 0, 5)
+	FADD2D(3, 2, 6)
+	FSUB2D(3, 2, 7)
+	VEXT $8, V7.B16, V7.B16, V7.B16
+	VEOR V8.B16, V7.B16, V7.B16
+	FADD2D(6, 4, 0)
+	FADD2D(7, 5, 1)
+	FSUB2D(6, 4, 2)
+	FSUB2D(7, 5, 3)
+	VST1.P [V0.D2, V1.D2, V2.D2, V3.D2], 64(R0)
+	SUB  $1, R1, R1
+	CBNZ R1, u4iloop
+
+u4idone:
+	RET

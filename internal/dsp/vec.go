@@ -6,26 +6,22 @@
 // the blocks mirror what the paper's GNU Radio flowgraph instantiated.
 package dsp
 
-import "math"
+import (
+	"math"
 
-// Scale multiplies every element of x by a real gain, in place.
+	"bhss/internal/dsp/simd"
+)
+
+// Scale multiplies every element of x by a real gain, in place
+// (component-wise: (re·g, im·g)).
 func Scale(x []complex128, gain float64) {
-	g := complex(gain, 0)
-	for i := range x {
-		x[i] *= g
-	}
+	simd.ScaleReal(x, gain)
 }
 
 // AddTo adds src into dst element-wise: dst[i] += src[i]. The slices must
 // have identical lengths; extra elements of the longer slice are ignored.
 func AddTo(dst, src []complex128) {
-	n := len(dst)
-	if len(src) < n {
-		n = len(src)
-	}
-	for i := 0; i < n; i++ {
-		dst[i] += src[i]
-	}
+	simd.AddTo(dst, src)
 }
 
 // Power returns the average power (mean |x|^2) of the signal.
@@ -75,18 +71,7 @@ func Conj(x []complex128) []complex128 {
 //
 //bhss:hotpath
 func DotConj(a, b []complex128) complex128 {
-	n := len(a)
-	if len(b) < n {
-		n = len(b)
-	}
-	var accRe, accIm float64
-	for i := 0; i < n; i++ {
-		ar, ai := real(a[i]), imag(a[i])
-		br, bi := real(b[i]), imag(b[i])
-		accRe += ar*br + ai*bi
-		accIm += ai*br - ar*bi
-	}
-	return complex(accRe, accIm)
+	return simd.DotConj(a, b)
 }
 
 // Mix multiplies x in place by a complex exponential of the given normalized

@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"sync"
 
+	"bhss/internal/dsp/simd"
 	"bhss/internal/pn"
 )
 
@@ -118,10 +119,7 @@ func (d *Despreader) Despread(chips []complex128) ([]int, []float64, error) {
 		d.scr.Apply(buf[:])
 		best, bestMetric := 0, negInf
 		for sym, row := range d.rows {
-			var acc float64
-			for k, c := range buf[:] {
-				acc += real(c)*real(row[k]) + imag(c)*imag(row[k])
-			}
+			acc := simd.CorrReal(buf[:], row)
 			if acc > bestMetric {
 				bestMetric = acc
 				best = sym

@@ -103,6 +103,7 @@ func (d Diagnostic) String() string {
 func All() []*Analyzer {
 	return []*Analyzer{
 		HotPathAlloc,
+		SIMDLoop,
 		DetRand,
 		FloatEq,
 		ScratchAlias,

@@ -1,0 +1,298 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// SIMDLoop flags hand-rolled loops in //bhss:hotpath functions that
+// re-implement a primitive the internal/dsp/simd layer already dispatches:
+// element-wise complex multiply/add/scale/window/mag²-accumulate and the
+// sum/dot-conjugate/correlation reductions. Such loops silently forfeit the
+// AVX2/NEON speedup on the paths the 20 MS/s budget depends on, and a
+// hand-rolled reduction can also diverge bit-wise from the kernels'
+// canonical lane-accumulation order, breaking the golden-vector contract.
+//
+// The package bhss/internal/dsp/simd itself is exempt: its generic.go
+// scalar loops ARE the canonical definitions the assembly is verified
+// against.
+//
+// To stay precise the analyzer only fires on loops whose body is a single
+// assignment matching a shape a kernel actually covers:
+//
+//   - element-wise over []complex128 (CMulTo, AddTo, ScaleReal, WindowInto,
+//     Pow4Into): dst[i] op= ... or dst[i] = ... reading only slice elements
+//     and loop-invariant scalars
+//   - []float64 accumulation of complex magnitudes (Mag2Accum):
+//     dst[i] += f(x[i]) with a complex element read on the right
+//   - reductions into a loop-invariant scalar: a plain float sum
+//     (SumFloats) or any reduction reading complex elements (DotConj,
+//     CorrReal)
+//
+// Loop-carried recurrences (Costas tracking), strided polyphase loops,
+// multi-statement bodies and float-only shapes with no kernel (x[i] *= g
+// over []float64, Σv²) are never flagged; a deliberate scalar loop is
+// suppressed in place with //bhss:allow(simdloop) and a reason.
+var SIMDLoop = &Analyzer{
+	Name: "simdloop",
+	Doc:  "flags hotpath loops duplicating internal/dsp/simd kernels",
+	Run:  runSIMDLoop,
+}
+
+func runSIMDLoop(pass *Pass) error {
+	if pass.Path == "bhss/internal/dsp/simd" {
+		return nil
+	}
+	eachFuncDecl(pass.SrcFiles(), func(fn *ast.FuncDecl) {
+		if !funcHasDirective(fn, "hotpath") {
+			return
+		}
+		ast.Inspect(fn.Body, func(n ast.Node) bool {
+			var body *ast.BlockStmt
+			var rangeVal types.Object
+			var rangeComplex bool
+			switch s := n.(type) {
+			case *ast.ForStmt:
+				body = s.Body
+			case *ast.RangeStmt:
+				body = s.Body
+				// `for _, v := range x` reads one element per iteration;
+				// treat v as an element access of x below.
+				if id, ok := s.Value.(*ast.Ident); ok {
+					if t := pass.Info.TypeOf(s.X); kernelSlice(t) {
+						rangeVal = pass.Info.Defs[id]
+						rangeComplex = complexSlice(t)
+					}
+				}
+			default:
+				return true
+			}
+			if len(body.List) != 1 {
+				return true
+			}
+			assign, ok := body.List[0].(*ast.AssignStmt)
+			if !ok || len(assign.Lhs) != 1 || len(assign.Rhs) != 1 {
+				return true
+			}
+			checkKernelLoop(pass, n, assign, rangeVal, rangeComplex)
+			return true
+		})
+	})
+	return nil
+}
+
+// checkKernelLoop reports the assignment if it matches an element-wise or
+// reduction kernel shape. loop is the enclosing for/range statement;
+// rangeVal is the range value variable when it reads a kernel-typed slice.
+func checkKernelLoop(pass *Pass, loop ast.Node, assign *ast.AssignStmt, rangeVal types.Object, rangeComplex bool) {
+	locals := map[types.Object]bool{}
+	ast.Inspect(loop, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if obj := pass.Info.Defs[id]; obj != nil {
+				locals[obj] = true
+			}
+		}
+		return true
+	})
+	st := &loopScan{pass: pass, locals: locals, rangeVal: rangeVal, rangeComplex: rangeComplex}
+
+	switch lhs := ast.Unparen(assign.Lhs[0]).(type) {
+	case *ast.IndexExpr:
+		// dst[i] op= ... / dst[i] = ... over a kernel-typed slice.
+		lhsType := pass.Info.TypeOf(lhs.X)
+		if !kernelSlice(lhsType) || !st.invariantBase(lhs.X) {
+			return
+		}
+		switch assign.Tok {
+		case token.ASSIGN, token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN:
+		default:
+			return
+		}
+		if !st.pure(assign.Rhs[0]) {
+			return
+		}
+		if complexSlice(lhsType) {
+			// `dst[i] *= g` reads the element through the compound token
+			// itself (the ScaleReal shape); every other form must read an
+			// element on the right to be a kernel.
+			if assign.Tok != token.MUL_ASSIGN && !st.readsElement {
+				return
+			}
+		} else {
+			// The only float64-destination kernel is Mag2Accum:
+			// dst[i] += |x[i]|². Float-only element-wise shapes (x[i] *= g)
+			// have no kernel and stay silent.
+			if assign.Tok != token.ADD_ASSIGN || !st.readsComplex {
+				return
+			}
+		}
+		pass.Reportf(assign.Pos(),
+			"hotpath loop re-implements an element-wise simd kernel; call the dispatched internal/dsp/simd primitive (CMulTo, AddTo, ScaleReal, WindowInto, Mag2Accum, Pow4Into) so amd64/arm64 builds keep the vector speedup")
+	case *ast.Ident:
+		// acc += ... into a loop-invariant scalar accumulator: a plain
+		// float sum (SumFloats) or a reduction over complex elements
+		// (DotConj, CorrReal). Float-only products (Σv²) have no kernel.
+		if assign.Tok != token.ADD_ASSIGN {
+			return
+		}
+		obj := pass.Info.Uses[lhs]
+		if obj == nil || locals[obj] || !kernelScalar(obj.Type()) {
+			return
+		}
+		if !st.pure(assign.Rhs[0]) || !st.readsElement {
+			return
+		}
+		if !st.readsComplex && !st.plainElementRead(assign.Rhs[0]) {
+			return
+		}
+		pass.Reportf(assign.Pos(),
+			"hotpath loop re-implements a simd reduction into %s; call internal/dsp/simd (SumFloats, DotConj, CorrReal) — the kernels also pin the canonical accumulation order the golden vectors depend on", lhs.Name)
+	}
+}
+
+// loopScan walks a candidate kernel expression, tracking whether it stays
+// within the kernel vocabulary (slice-element reads, loop-invariant scalars,
+// real/imag/complex builtins, cmplx.Conj, math.Abs, arithmetic), whether it
+// reads at least one slice element, and whether any read is complex.
+type loopScan struct {
+	pass         *Pass
+	locals       map[types.Object]bool
+	rangeVal     types.Object
+	rangeComplex bool
+	readsElement bool
+	readsComplex bool
+}
+
+func (s *loopScan) pure(e ast.Expr) bool {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.BasicLit:
+		return true
+	case *ast.BinaryExpr:
+		return s.pure(e.X) && s.pure(e.Y)
+	case *ast.UnaryExpr:
+		return (e.Op == token.SUB || e.Op == token.ADD) && s.pure(e.X)
+	case *ast.IndexExpr:
+		t := s.pass.Info.TypeOf(e.X)
+		if !kernelSlice(t) || !s.invariantBase(e.X) {
+			return false
+		}
+		s.readsElement = true
+		if complexSlice(t) {
+			s.readsComplex = true
+		}
+		return true
+	case *ast.Ident:
+		obj := s.pass.Info.Uses[e]
+		if obj == nil {
+			return false
+		}
+		if obj == s.rangeVal {
+			s.readsElement = true
+			if s.rangeComplex {
+				s.readsComplex = true
+			}
+			return true
+		}
+		if s.locals[obj] {
+			return false
+		}
+		return kernelScalar(obj.Type())
+	case *ast.SelectorExpr:
+		return s.invariantBase(e) && kernelScalar(s.pass.Info.TypeOf(e))
+	case *ast.CallExpr:
+		if !s.kernelCall(e) {
+			return false
+		}
+		for _, arg := range e.Args {
+			if !s.pure(arg) {
+				return false
+			}
+		}
+		return true
+	default:
+		return false
+	}
+}
+
+// plainElementRead reports whether e is exactly one slice-element read (the
+// SumFloats shape), allowing parentheses.
+func (s *loopScan) plainElementRead(e ast.Expr) bool {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.IndexExpr:
+		return true
+	case *ast.Ident:
+		return s.pass.Info.Uses[e] == s.rangeVal && s.rangeVal != nil
+	}
+	return false
+}
+
+// kernelCall reports whether the call is part of the kernel vocabulary:
+// the real/imag/complex builtins, cmplx.Conj, cmplx.Abs or math.Abs.
+func (s *loopScan) kernelCall(call *ast.CallExpr) bool {
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if _, isBuiltin := s.pass.Info.Uses[id].(*types.Builtin); isBuiltin {
+			switch id.Name {
+			case "real", "imag", "complex":
+				return true
+			}
+		}
+		return false
+	}
+	return isPkgFuncCall(s.pass.Info, call, "math/cmplx", "Conj") ||
+		isPkgFuncCall(s.pass.Info, call, "math/cmplx", "Abs") ||
+		isPkgFuncCall(s.pass.Info, call, "math", "Abs")
+}
+
+// invariantBase reports whether the expression's root identifier is declared
+// outside the loop — indexing a slice the loop body itself produced is not a
+// kernel shape.
+func (s *loopScan) invariantBase(e ast.Expr) bool {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.SelectorExpr:
+			e = x.X
+			continue
+		case *ast.IndexExpr:
+			e = x.X
+			continue
+		case *ast.Ident:
+			obj := s.pass.Info.Uses[x]
+			return obj != nil && !s.locals[obj]
+		default:
+			return false
+		}
+	}
+}
+
+// kernelSlice reports whether t is []float64 or []complex128 — the two
+// element types the simd layer covers.
+func kernelSlice(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	sl, ok := t.Underlying().(*types.Slice)
+	return ok && kernelScalar(sl.Elem())
+}
+
+// complexSlice reports whether t is []complex128.
+func complexSlice(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	sl, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := sl.Elem().Underlying().(*types.Basic)
+	return ok && b.Kind() == types.Complex128
+}
+
+// kernelScalar reports whether t is float64 or complex128.
+func kernelScalar(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && (b.Kind() == types.Float64 || b.Kind() == types.Complex128)
+}

@@ -17,6 +17,10 @@ func TestHotPathAlloc(t *testing.T) {
 	linttest.Run(t, lint.HotPathAlloc, "hotpathalloc/flagged", "hotpathalloc/clean")
 }
 
+func TestSIMDLoop(t *testing.T) {
+	linttest.Run(t, lint.SIMDLoop, "simdloop/flagged", "simdloop/clean")
+}
+
 func TestDetRand(t *testing.T) {
 	linttest.Run(t, lint.DetRand, "detrand/flagged", "detrand/clean")
 }
@@ -54,7 +58,7 @@ func TestAllNamesUnique(t *testing.T) {
 		}
 		seen[a.Name] = true
 	}
-	if len(seen) != 5 {
-		t.Fatalf("expected 5 analyzers, got %d", len(seen))
+	if len(seen) != 6 {
+		t.Fatalf("expected 6 analyzers, got %d", len(seen))
 	}
 }

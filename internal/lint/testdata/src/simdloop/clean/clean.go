@@ -1,0 +1,126 @@
+// Package clean holds the loop shapes simdloop must stay silent on: kernels
+// outside hotpaths, loop-carried recurrences, multi-statement bodies,
+// strided state machines, non-kernel element types, constant fills, and an
+// explicitly allowed scalar loop.
+package clean
+
+// sumUnmarked is the SumFloats shape without the hotpath directive: cold
+// code may loop however it likes.
+func sumUnmarked(x []float64) float64 {
+	var total float64
+	for _, v := range x {
+		total += v
+	}
+	return total
+}
+
+// track is a loop-carried recurrence (the Costas shape): the rotation each
+// iteration depends on the previous one, so no data-parallel kernel exists.
+//
+//bhss:hotpath
+func track(x []complex128, freq float64) {
+	phase := 0.0
+	for i := range x {
+		x[i] *= complex(1, -phase)
+		phase += freq
+	}
+}
+
+// interleave writes through a computed stride with loop-local state — a
+// multi-statement body, never a kernel.
+//
+//bhss:hotpath
+func interleave(dst, src []complex128, stride int) {
+	for i := range src {
+		j := (i * stride) % len(dst)
+		dst[j] = src[i]
+	}
+}
+
+// packBits loops over bytes: not a kernel element type.
+//
+//bhss:hotpath
+func packBits(dst []byte, bits []byte) {
+	for i := range dst {
+		dst[i] |= bits[i]
+	}
+}
+
+// zeroFill assigns a constant: no element is read, so there is nothing to
+// vectorize against another operand.
+//
+//bhss:hotpath
+func zeroFill(x []complex128) {
+	for i := range x {
+		x[i] = 0
+	}
+}
+
+// lastChip keeps only the final element the loop sees — the accumulator is
+// overwritten, not reduced.
+//
+//bhss:hotpath
+func lastChip(x []complex128) complex128 {
+	var last complex128
+	for _, v := range x {
+		last = v
+	}
+	return last
+}
+
+// edgeTaps reads a loop-produced slice: the base is loop-local, so it is not
+// the kernel shape.
+//
+//bhss:hotpath
+func edgeTaps(blocks [][]float64) float64 {
+	var total float64
+	for _, blk := range blocks {
+		total += blk[0]
+	}
+	return total
+}
+
+// floatScale scales a float slice: the simd layer has no []float64
+// element-wise kernel (ScaleReal is complex), so there is nothing to call.
+//
+//bhss:hotpath
+func floatScale(x []float64, g float64) {
+	for i := range x {
+		x[i] *= g
+	}
+}
+
+// tapEnergy is Σv² — a float-only product reduction with no kernel
+// (SumFloats is a plain sum, CorrReal reads complex).
+//
+//bhss:hotpath
+func tapEnergy(g []float64) float64 {
+	var energy float64
+	for _, v := range g {
+		energy += v * v
+	}
+	return energy
+}
+
+// deliberateScalar documents a sanctioned exception in place.
+//
+//bhss:hotpath
+func deliberateScalar(x []complex128, g complex128) {
+	for i := range x {
+		//bhss:allow(simdloop) three-element edge case, shorter than the dispatch overhead
+		x[i] *= g
+	}
+}
+
+var (
+	_ = sumUnmarked
+	_ = track
+	_ = interleave
+	_ = packBits
+	_ = zeroFill
+	_ = lastChip
+	_ = edgeTaps
+	_ = floatScale
+	_ = tapEnergy
+	_ = deliberateScalar
+)

@@ -1,0 +1,92 @@
+// Package flagged exercises the simdloop rules: hotpath loops whose single
+// statement re-implements an element-wise or reduction kernel the
+// internal/dsp/simd layer dispatches.
+package flagged
+
+import "math/cmplx"
+
+// scale hand-rolls simd.ScaleReal.
+//
+//bhss:hotpath
+func scale(x []complex128, g float64) {
+	for i := range x {
+		x[i] *= complex(g, 0) // want "element-wise simd kernel"
+	}
+}
+
+// cmul hand-rolls simd.CMulTo with a classic indexed for loop.
+//
+//bhss:hotpath
+func cmul(dst, src []complex128) {
+	for i := 0; i < len(dst); i++ {
+		dst[i] *= src[i] // want "element-wise simd kernel"
+	}
+}
+
+// window hand-rolls simd.WindowInto (plain-assign form).
+//
+//bhss:hotpath
+func window(dst, x []complex128, w []float64) {
+	for i := range dst {
+		dst[i] = x[i] * complex(w[i], 0) // want "element-wise simd kernel"
+	}
+}
+
+// mag2 hand-rolls simd.Mag2Accum.
+//
+//bhss:hotpath
+func mag2(dst []float64, x []complex128) {
+	for i := range dst {
+		dst[i] += real(x[i])*real(x[i]) + imag(x[i])*imag(x[i]) // want "element-wise simd kernel"
+	}
+}
+
+// sum hand-rolls simd.SumFloats through the range value variable.
+//
+//bhss:hotpath
+func sum(x []float64) float64 {
+	var total float64
+	for _, v := range x {
+		total += v // want "simd reduction into total"
+	}
+	return total
+}
+
+// dot hand-rolls simd.DotConj.
+//
+//bhss:hotpath
+func dot(a, b []complex128) complex128 {
+	var acc complex128
+	for i := range a {
+		acc += a[i] * cmplx.Conj(b[i]) // want "simd reduction into acc"
+	}
+	return acc
+}
+
+// corr hand-rolls simd.CorrReal into an accumulator that lives one loop
+// level out — the despreader shape before it was converted to the kernel.
+//
+//bhss:hotpath
+func corr(a, b []complex128, chips int) float64 {
+	var worst float64
+	for s := 0; s+chips <= len(a); s += chips {
+		metric := 0.0
+		for i := s; i < s+chips; i++ {
+			metric += real(a[i])*real(b[i]) + imag(a[i])*imag(b[i]) // want "simd reduction into metric"
+		}
+		if metric < worst {
+			worst = metric
+		}
+	}
+	return worst
+}
+
+var (
+	_ = scale
+	_ = cmul
+	_ = window
+	_ = mag2
+	_ = sum
+	_ = dot
+	_ = corr
+)

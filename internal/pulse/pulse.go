@@ -14,6 +14,8 @@ package pulse
 import (
 	"fmt"
 	"math"
+
+	"bhss/internal/dsp/simd"
 )
 
 // Shape identifies a chip pulse shape.
@@ -143,12 +145,7 @@ func ModulateAppend(dst []complex128, chips []complex128, g []float64) []complex
 	sps := len(g)
 	dst = growSamples(dst, len(chips)*sps)
 	out := dst[len(dst)-len(chips)*sps:]
-	for i, c := range chips {
-		base := i * sps
-		for k, gv := range g {
-			out[base+k] = c * complex(gv, 0)
-		}
-	}
+	simd.Modulate(out, chips, g)
 	return dst
 }
 
@@ -183,16 +180,7 @@ func DemodulateAppend(dst []complex128, samples []complex128, g []float64, offse
 	}
 	dst = growSamples(dst, n)
 	out := dst[len(dst)-n:]
-	for i := 0; i < n; i++ {
-		base := offset + i*sps
-		var accRe, accIm float64
-		for k, gv := range g {
-			s := samples[base+k]
-			accRe += real(s) * gv
-			accIm += imag(s) * gv
-		}
-		out[i] = complex(accRe/energy, accIm/energy)
-	}
+	simd.Demodulate(out, samples[offset:], g, energy)
 	return dst
 }
 

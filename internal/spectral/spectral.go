@@ -13,6 +13,7 @@ import (
 	"math"
 
 	"bhss/internal/dsp"
+	"bhss/internal/dsp/simd"
 	"bhss/internal/obs"
 )
 
@@ -136,18 +137,14 @@ func (r *Reusable) PSDInto(dst []float64, x []complex128) error {
 	}
 	segments := 0
 	for start := 0; start+k <= len(x); start += step {
-		for i := 0; i < k; i++ {
-			r.seg[i] = x[start+i] * complex(r.win[i], 0)
-		}
+		simd.WindowInto(r.seg, x[start:start+k], r.win)
 		spec := r.seg
 		if r.plan != nil {
 			r.plan.Forward(spec)
 		} else {
 			spec = dsp.FFT(spec)
 		}
-		for i, v := range spec {
-			dst[i] += real(v)*real(v) + imag(v)*imag(v)
-		}
+		simd.Mag2Accum(dst, spec)
 		segments++
 	}
 	scale := 1 / (float64(segments) * r.winPower)
@@ -271,13 +268,28 @@ func BandPower(psd []float64, bw float64) float64 {
 	}
 	half := bw / 2
 	var sum float64
-	for i, p := range psd {
-		f := float64(i) / float64(k)
-		if f >= 0.5 {
-			f -= 1
+	if k&(k-1) == 0 {
+		// Power-of-two k: 1/k is an exact power of two, so the reciprocal
+		// multiply rounds identically to the division it replaces.
+		invK := 1 / float64(k)
+		for i, p := range psd {
+			f := float64(i) * invK
+			if f >= 0.5 {
+				f -= 1
+			}
+			if f >= -half && f <= half {
+				sum += p
+			}
 		}
-		if f >= -half && f <= half {
-			sum += p
+	} else {
+		for i, p := range psd {
+			f := float64(i) / float64(k)
+			if f >= 0.5 {
+				f -= 1
+			}
+			if f >= -half && f <= half {
+				sum += p
+			}
 		}
 	}
 	// Estimator.PSD scales bins so that sum(psd)/K equals the average

@@ -16,6 +16,7 @@ import (
 	"math/cmplx"
 
 	"bhss/internal/dsp"
+	"bhss/internal/dsp/simd"
 )
 
 // AGC is a feedback automatic gain control that drives the average sample
@@ -65,10 +66,7 @@ func CoarseCFO(x []complex128) float64 {
 		return 0
 	}
 	buf := make([]complex128, n)
-	for i, v := range x {
-		v2 := v * v
-		buf[i] = v2 * v2
-	}
+	simd.Pow4Into(buf, x)
 	dsp.FFT(buf)
 	peak := dsp.ArgMaxAbs(buf)
 	f := float64(peak) / float64(n)
@@ -88,10 +86,7 @@ func CoarseCFOInRange(x []complex128, maxCFO float64) float64 {
 		return 0
 	}
 	buf := make([]complex128, n)
-	for i, v := range x {
-		v2 := v * v
-		buf[i] = v2 * v2
-	}
+	simd.Pow4Into(buf, x)
 	dsp.FFT(buf)
 	limit := int(4 * maxCFO * float64(n))
 	if limit < 1 {

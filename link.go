@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"bhss/internal/channel"
+	"bhss/internal/dsp"
 	"bhss/internal/prng"
 )
 
@@ -37,6 +38,13 @@ type SimLink struct {
 	noise   *channel.AWGN
 	src     *prng.Source
 	met     *Observer
+
+	// Send-path scratch, reused across frames so a steady-state link does
+	// not allocate two burst-sized buffers per Send.
+	//bhss:scratch
+	txBuf []complex128
+	//bhss:scratch
+	rxBuf []complex128
 }
 
 // WithObserver attaches a metrics pipeline to the link's transmitter,
@@ -53,6 +61,21 @@ func (l *SimLink) WithObserver(p *Observer) *SimLink {
 	}
 	return l
 }
+
+// WithPipeline enables the receiver's concurrent decode pipeline on the link
+// (see PipelineConfig) and returns the link for chaining. Call Close when
+// done with a pipelined link to stop the stage goroutines.
+func (l *SimLink) WithPipeline(cfg PipelineConfig) (*SimLink, error) {
+	if err := l.Rx.EnablePipeline(cfg); err != nil {
+		return nil, err
+	}
+	return l, nil
+}
+
+// Close releases link resources (the receiver's pipeline goroutines, when
+// enabled). A serial link closes as a no-op, so Close is always safe to
+// defer.
+func (l *SimLink) Close() error { return l.Rx.Close() }
 
 // NewSimLink builds the transmitter/receiver pair for cfg and connects them
 // through the channel model. jam may be nil for an unjammed link.
@@ -81,11 +104,13 @@ func NewSimLink(cfg Config, ch ChannelModel, jam Jammer) (*SimLink, error) {
 // Send pushes one payload through the link and returns what the receiver
 // decoded (an error for a lost frame), with the receiver's diagnostics.
 func (l *SimLink) Send(payload []byte) ([]byte, *RxStats, error) {
-	burst, err := l.Tx.EncodeFrame(payload)
+	burst, err := l.Tx.EncodeFrameInto(l.txBuf[:0], payload)
 	if err != nil {
 		return nil, nil, err
 	}
-	rx := append([]complex128(nil), burst.Samples...)
+	l.txBuf = burst.Samples
+	l.rxBuf = append(l.rxBuf[:0], burst.Samples...)
+	rx := l.rxBuf
 	if l.channel.SignalAttenuationDB != 0 {
 		channel.Attenuate(rx, l.channel.SignalAttenuationDB)
 	}
@@ -104,9 +129,7 @@ func (l *SimLink) Send(payload []byte) ([]byte, *RxStats, error) {
 	}
 	if l.Jammer != nil {
 		j := l.Jammer.Emit(len(rx))
-		for i := range rx {
-			rx[i] += j[i]
-		}
+		dsp.AddTo(rx, j)
 		if l.met != nil {
 			l.met.Chan.JamSamples.Add(int64(len(j)))
 		}
