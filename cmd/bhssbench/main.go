@@ -123,9 +123,18 @@ func main() {
 	if *progress > 0 {
 		ticker := time.NewTicker(*progress)
 		defer ticker.Stop()
+		// Stop does not close ticker.C, so a bare range would park this
+		// goroutine forever once the run ends; the done channel bounds it.
+		progressDone := make(chan struct{})
+		defer close(progressDone)
 		go func() {
-			for range ticker.C {
-				fmt.Fprintf(os.Stderr, "%s\n", experiment.Progress(met))
+			for {
+				select {
+				case <-progressDone:
+					return
+				case <-ticker.C:
+					fmt.Fprintf(os.Stderr, "%s\n", experiment.Progress(met))
+				}
 			}
 		}()
 	}

@@ -169,9 +169,16 @@ func (p *rxPipeline) loadTotal(collected int) int {
 		return -1
 	}
 	for {
-		<-p.notify
-		if t := p.totalSymbols.Load(); t >= 0 {
-			return int(t)
+		select {
+		case <-p.notify:
+			if t := p.totalSymbols.Load(); t >= 0 {
+				return int(t)
+			}
+		case <-p.quit:
+			// Close during a burst is unsupported, but degrade to "zero
+			// symbols" so the estimation stage unwinds and wg.Wait can
+			// finish instead of parking here forever.
+			return 0
 		}
 	}
 }
@@ -268,7 +275,12 @@ func (p *rxPipeline) trackLoop() {
 			return
 		case loop := <-p.burstTrack:
 			for {
-				idx := <-p.filt
+				var idx int
+				select {
+				case idx = <-p.filt:
+				case <-p.quit:
+					return
+				}
 				if idx < 0 {
 					p.track <- -1
 					break

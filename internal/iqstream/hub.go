@@ -553,6 +553,7 @@ func (h *Hub) removeRxLocked(rx *rxConn, reason string) {
 	}
 	rx.gone = true
 	delete(h.rxConns, rx.id)
+	//bhss:allow(chandiscipline) deliver is the only sender and runs under h.mu; the rx is deleted from the map first under the same lock, so no send can follow this close
 	close(rx.out)
 	rx.c.Close()
 	h.cfg.Logf("rx %d disconnected (%s)", rx.id, reason)

@@ -1,0 +1,307 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// DetTaint tracks nondeterminism as a taint, complementing detrand's ban
+// list. detrand forbids the *sources* syntactically (math/rand imports,
+// time.Now in simulation packages, map-range accumulation); dettaint follows
+// the *values*: a wall-clock reading or a map-iteration variable that flows —
+// through assignments, arithmetic, conversions or call arguments — into one
+// of the places that must stay bit-exactly reproducible:
+//
+//   - sample buffers: an element write or append into a complex128 slice or
+//     array (the IQ domain — everything the golden vectors hash);
+//   - receiver diagnostics: a field write on core.RxStats or core.HopReport
+//     (compared across runs by the determinism suite);
+//   - hop decisions: an argument to any function of the hop package
+//     (seeds, schedule lengths — anything steering the hopping sequence).
+//
+// The analysis is intraprocedural with a fixed-point over assignments:
+// `t := time.Now(); x := f(t.Nanosecond()); samples[i] = complex(x, 0)` is
+// reported at the sample write. Taint does not cross function boundaries —
+// cross-function flows are detrand's coarser job — which keeps findings
+// cheap to confirm by eye. Test files are exempt (they time things on
+// purpose); internal/lint and its fixtures are excluded like every
+// self-analysis. Suppress intentional flows in place with
+// //bhss:allow(dettaint) and the reason the value cannot actually vary.
+var DetTaint = &Analyzer{
+	Name: "dettaint",
+	Doc:  "wall-clock and map-order values must not flow into sample buffers, RxStats/HopReport fields, or hop-package arguments",
+	Run:  runDetTaint,
+}
+
+// dettaintScope reports whether the package's import path is subject to the
+// taint check: everything in the module except the lint tooling itself.
+// Unlike detrand's simulationPackage this includes cmd/ — a tool that seeds
+// a hop schedule from the clock breaks reproduction scripts just as surely.
+func dettaintScope(path string) bool {
+	return path != "bhss/internal/lint" && path != "bhss/internal/lint/linttest"
+}
+
+func runDetTaint(pass *Pass) error {
+	if !dettaintScope(pass.Path) {
+		return nil
+	}
+	eachFuncDecl(pass.SrcFiles(), func(fn *ast.FuncDecl) {
+		checkTaintFlow(pass, fn)
+	})
+	return nil
+}
+
+const dettaintFixpointCap = 10
+
+func checkTaintFlow(pass *Pass, fn *ast.FuncDecl) {
+	info := pass.Info
+	tainted := map[types.Object]string{} // object → what the taint is
+
+	// Sorting launders map-order taint: collecting map keys and sorting
+	// them is the codebase's own documented idiom for deterministic
+	// iteration (the Hub's mixer), so any object passed to a sort or
+	// slices function is sanitized everywhere in this function.
+	sanitized := map[types.Object]bool{}
+	ast.Inspect(fn, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		callee := staticCallee(info, call)
+		if callee == nil || callee.Pkg() == nil {
+			return true
+		}
+		if p := callee.Pkg().Path(); p == "sort" || p == "slices" {
+			for _, arg := range call.Args {
+				if obj := rootSelectableObject(info, arg); obj != nil {
+					sanitized[obj] = true
+				}
+			}
+		}
+		return true
+	})
+
+	// exprTaint reports why e is tainted, or "". Subtree containment does
+	// the propagation: a call with a tainted argument, arithmetic on a
+	// tainted operand and a composite literal holding one are all tainted
+	// because the tainted identifier or source call sits inside them.
+	exprTaint := func(e ast.Expr) string {
+		why := ""
+		ast.Inspect(e, func(n ast.Node) bool {
+			if why != "" {
+				return false
+			}
+			switch n := n.(type) {
+			case *ast.Ident:
+				if obj := info.Uses[n]; obj != nil && !sanitized[obj] {
+					if w, ok := tainted[obj]; ok {
+						why = w
+					}
+				}
+			case *ast.CallExpr:
+				if w := clockSource(info, n); w != "" {
+					why = w
+				}
+			}
+			return why == ""
+		})
+		return why
+	}
+	taintObj := func(id *ast.Ident, why string) bool {
+		obj := info.Defs[id]
+		if obj == nil {
+			obj = info.Uses[id]
+		}
+		if obj == nil || why == "" {
+			return false
+		}
+		if _, ok := tainted[obj]; ok {
+			return false
+		}
+		tainted[obj] = why
+		return true
+	}
+
+	// Fixed point: seed map-range variables, then propagate through
+	// assignments until no new object gains taint.
+	for round := 0; round < dettaintFixpointCap; round++ {
+		changed := false
+		ast.Inspect(fn, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.RangeStmt:
+				why := ""
+				if t := info.TypeOf(n.X); t != nil {
+					if _, isMap := t.Underlying().(*types.Map); isMap {
+						why = "map iteration order"
+					}
+				}
+				if why == "" {
+					why = exprTaint(n.X) // ranging over an already-tainted value
+				}
+				for _, e := range []ast.Expr{n.Key, n.Value} {
+					if id, ok := e.(*ast.Ident); ok && id.Name != "_" {
+						if taintObj(id, why) {
+							changed = true
+						}
+					}
+				}
+			case *ast.AssignStmt:
+				for i, lhs := range n.Lhs {
+					id, ok := ast.Unparen(lhs).(*ast.Ident)
+					if !ok || id.Name == "_" {
+						continue
+					}
+					var why string
+					if len(n.Rhs) == len(n.Lhs) {
+						why = exprTaint(n.Rhs[i])
+					} else if len(n.Rhs) == 1 {
+						why = exprTaint(n.Rhs[0]) // multi-value call form
+					}
+					if taintObj(id, why) {
+						changed = true
+					}
+				}
+			case *ast.ValueSpec:
+				for i, id := range n.Names {
+					var why string
+					if len(n.Values) == len(n.Names) {
+						why = exprTaint(n.Values[i])
+					} else if len(n.Values) == 1 {
+						why = exprTaint(n.Values[0])
+					}
+					if taintObj(id, why) {
+						changed = true
+					}
+				}
+			}
+			return true
+		})
+		if !changed {
+			break
+		}
+	}
+
+	// Sink pass.
+	ast.Inspect(fn, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if len(n.Lhs) != len(n.Rhs) {
+				return true
+			}
+			for i, lhs := range n.Lhs {
+				why := exprTaint(n.Rhs[i])
+				if why == "" {
+					continue
+				}
+				if sink := sampleOrStatsSink(info, lhs); sink != "" {
+					pass.Reportf(n.Pos(), "%s flows into %s: derive it from the simulation's own state or PRNG stream, or //bhss:allow(dettaint) with a reason", why, sink)
+				}
+			}
+		case *ast.CallExpr:
+			if fn := staticCallee(info, n); fn != nil && fn.Pkg() != nil && strings.HasSuffix(fn.Pkg().Path(), "/hop") {
+				for _, arg := range n.Args {
+					if why := exprTaint(arg); why != "" {
+						pass.Reportf(arg.Pos(), "%s flows into hop decision %s: hop sequences must be reproducible from explicit seeds, or //bhss:allow(dettaint) with a reason", why, fn.Name())
+						break
+					}
+				}
+			}
+			// A tainted append into a sample buffer.
+			if isBuiltinCall(info, n, "append") && len(n.Args) >= 2 && isComplexSliceType(info.TypeOf(n.Args[0])) {
+				for _, arg := range n.Args[1:] {
+					if why := exprTaint(arg); why != "" {
+						pass.Reportf(arg.Pos(), "%s flows into a complex128 sample buffer via append: sample streams must be bit-exact across runs, or //bhss:allow(dettaint) with a reason", why)
+						break
+					}
+				}
+			}
+		}
+		return true
+	})
+}
+
+// clockSource reports why a call expression is a nondeterminism source: a
+// direct wall-clock reading. obs.Now (the sanctioned monotonic telemetry
+// clock) is not a source — its readings feed metrics, never simulation
+// state, and the obs package itself has no sinks.
+func clockSource(info *types.Info, call *ast.CallExpr) string {
+	fn := staticCallee(info, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "time" {
+		return ""
+	}
+	switch fn.Name() {
+	case "Now", "Since", "Until":
+		return "wall-clock value (time." + fn.Name() + ")"
+	}
+	return ""
+}
+
+// sampleOrStatsSink classifies an assignment target: a complex128
+// slice/array element or slice variable (sample buffer), or a field of
+// core.RxStats / core.HopReport.
+func sampleOrStatsSink(info *types.Info, lhs ast.Expr) string {
+	switch l := ast.Unparen(lhs).(type) {
+	case *ast.IndexExpr:
+		if t := info.TypeOf(l.X); isComplexSliceType(t) || isComplexArrayType(t) {
+			return "a complex128 sample buffer"
+		}
+	case *ast.Ident:
+		if isComplexSliceType(info.TypeOf(l)) {
+			return "a complex128 sample buffer"
+		}
+	case *ast.SelectorExpr:
+		if isComplexSliceType(info.TypeOf(l)) {
+			return "a complex128 sample buffer"
+		}
+		if t := info.TypeOf(l.X); t != nil {
+			if name := statsTypeName(t); name != "" {
+				return "a " + name + " diagnostic field"
+			}
+		}
+	}
+	return ""
+}
+
+// statsTypeName matches the receiver-diagnostics types the determinism
+// suite compares across runs. Matched by name so fixtures can declare their
+// own; the module has exactly one of each.
+func statsTypeName(t types.Type) string {
+	for {
+		ptr, ok := t.(*types.Pointer)
+		if !ok {
+			break
+		}
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return ""
+	}
+	switch named.Obj().Name() {
+	case "RxStats", "HopReport":
+		return named.Obj().Name()
+	}
+	return ""
+}
+
+func isComplexSliceType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	s, ok := t.Underlying().(*types.Slice)
+	return ok && isComplex128(s.Elem())
+}
+
+func isComplexArrayType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	a, ok := t.Underlying().(*types.Array)
+	return ok && isComplex128(a.Elem())
+}
+
+func isComplex128(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Kind() == types.Complex128
+}

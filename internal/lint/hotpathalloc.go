@@ -2,6 +2,7 @@ package lint
 
 import (
 	"bytes"
+	"fmt"
 	"go/ast"
 	"go/printer"
 	"go/token"
@@ -47,39 +48,56 @@ func runHotPathAlloc(pass *Pass) error {
 		if !funcHasDirective(fn, "hotpath") {
 			return
 		}
-		params := map[types.Object]bool{}
-		if fn.Type.Params != nil {
-			for _, field := range fn.Type.Params.List {
-				for _, name := range field.Names {
-					if obj := pass.Info.Defs[name]; obj != nil {
-						params[obj] = true
-					}
-				}
-			}
-		}
-		// Record the source ranges of every loop in the body up front: a
-		// defer that sits inside one is heap-allocated per iteration, so
-		// even the sanctioned obs-recording defer is forbidden there.
-		var loops []posRange
-		ast.Inspect(fn.Body, func(n ast.Node) bool {
-			switch n.(type) {
-			case *ast.ForStmt, *ast.RangeStmt:
-				loops = append(loops, posRange{n.Pos(), n.End()})
-			case *ast.FuncLit:
-				return false // runs under its own contract
-			}
-			return true
+		walkAllocs(pass.Fset, pass.Info, fn, func(pos token.Pos, msg string) {
+			pass.Reportf(pos, "%s", msg)
 		})
-		w := &hotpathWalker{pass: pass, params: params, loops: loops}
-		ast.Inspect(fn.Body, w.visit)
 	})
 	return nil
 }
 
+// walkAllocs reports every direct-allocation site in fn's body through
+// report, applying the same vetted-idiom exemptions as the hotpathalloc
+// analyzer. It is shared between hotpathalloc (which reports on annotated
+// functions) and the call-graph facts collector (which records alloc sites
+// for every function so hotpathfacts can flag them transitively).
+func walkAllocs(fset *token.FileSet, info *types.Info, fn *ast.FuncDecl, report func(token.Pos, string)) {
+	params := map[types.Object]bool{}
+	if fn.Type.Params != nil {
+		for _, field := range fn.Type.Params.List {
+			for _, name := range field.Names {
+				if obj := info.Defs[name]; obj != nil {
+					params[obj] = true
+				}
+			}
+		}
+	}
+	// Record the source ranges of every loop in the body up front: a
+	// defer that sits inside one is heap-allocated per iteration, so
+	// even the sanctioned obs-recording defer is forbidden there.
+	var loops []posRange
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n.(type) {
+		case *ast.ForStmt, *ast.RangeStmt:
+			loops = append(loops, posRange{n.Pos(), n.End()})
+		case *ast.FuncLit:
+			return false // runs under its own contract
+		}
+		return true
+	})
+	w := &hotpathWalker{fset: fset, info: info, report: report, params: params, loops: loops}
+	ast.Inspect(fn.Body, w.visit)
+}
+
 type hotpathWalker struct {
-	pass   *Pass
+	fset   *token.FileSet
+	info   *types.Info
+	report func(token.Pos, string)
 	params map[types.Object]bool
 	loops  []posRange
+}
+
+func (w *hotpathWalker) reportf(pos token.Pos, format string, args ...any) {
+	w.report(pos, fmt.Sprintf(format, args...))
 }
 
 // posRange is a half-open source span [pos, end).
@@ -99,10 +117,10 @@ func (w *hotpathWalker) inLoop(pos token.Pos) bool {
 func (w *hotpathWalker) visit(n ast.Node) bool {
 	switch n := n.(type) {
 	case *ast.FuncLit:
-		w.pass.Reportf(n.Pos(), "func literal allocates a closure in hot path")
+		w.reportf(n.Pos(), "func literal allocates a closure in hot path")
 		return false // the literal's body runs under its own contract
 	case *ast.GoStmt:
-		w.pass.Reportf(n.Pos(), "go statement allocates a goroutine in hot path")
+		w.reportf(n.Pos(), "go statement allocates a goroutine in hot path")
 	case *ast.DeferStmt:
 		// Deferring an internal/obs recording call is the sanctioned
 		// instrumentation idiom: the obs API is alloc-free by contract and
@@ -113,27 +131,27 @@ func (w *hotpathWalker) visit(n ast.Node) bool {
 			if !w.inLoop(n.Pos()) {
 				return true // still walk the call's arguments
 			}
-			w.pass.Reportf(n.Pos(), "deferred obs call inside a loop in hot path (per-iteration defer records allocate; record explicitly instead)")
+			w.reportf(n.Pos(), "deferred obs call inside a loop in hot path (per-iteration defer records allocate; record explicitly instead)")
 			return true
 		}
-		w.pass.Reportf(n.Pos(), "defer in hot path (allocates and delays cleanup)")
+		w.reportf(n.Pos(), "defer in hot path (allocates and delays cleanup)")
 	case *ast.CompositeLit:
-		switch w.pass.Info.TypeOf(n).Underlying().(type) {
+		switch w.info.TypeOf(n).Underlying().(type) {
 		case *types.Slice:
-			w.pass.Reportf(n.Pos(), "slice literal allocates in hot path")
+			w.reportf(n.Pos(), "slice literal allocates in hot path")
 		case *types.Map:
-			w.pass.Reportf(n.Pos(), "map literal allocates in hot path")
+			w.reportf(n.Pos(), "map literal allocates in hot path")
 		}
 	case *ast.UnaryExpr:
 		if n.Op == token.AND {
 			if _, ok := ast.Unparen(n.X).(*ast.CompositeLit); ok {
-				w.pass.Reportf(n.Pos(), "&composite literal allocates in hot path")
+				w.reportf(n.Pos(), "&composite literal allocates in hot path")
 				return false
 			}
 		}
 	case *ast.BinaryExpr:
-		if n.Op == token.ADD && isStringType(w.pass.Info.TypeOf(n)) {
-			w.pass.Reportf(n.Pos(), "string concatenation allocates in hot path")
+		if n.Op == token.ADD && isStringType(w.info.TypeOf(n)) {
+			w.reportf(n.Pos(), "string concatenation allocates in hot path")
 		}
 	case *ast.AssignStmt:
 		// Handled expression-by-expression below; but catch the vetted
@@ -161,20 +179,20 @@ func (w *hotpathWalker) visit(n ast.Node) bool {
 func (w *hotpathWalker) visitCall(call *ast.CallExpr) bool {
 	switch {
 	case w.isBuiltin(call, "make"):
-		w.pass.Reportf(call.Pos(), "make allocates in hot path")
+		w.reportf(call.Pos(), "make allocates in hot path")
 	case w.isBuiltin(call, "new"):
-		w.pass.Reportf(call.Pos(), "new allocates in hot path")
+		w.reportf(call.Pos(), "new allocates in hot path")
 	case w.isBuiltin(call, "append"):
 		// An append reached here is not the x = append(x, ...) statement form
 		// (that is intercepted at the AssignStmt); it is used as a bare value,
 		// so the vetted-destination rule is all that can save it.
 		w.checkAppend(call, nil)
 	default:
-		if tv, ok := w.pass.Info.Types[call.Fun]; ok && tv.IsType() && len(call.Args) == 1 {
-			to := w.pass.Info.TypeOf(call)
-			from := w.pass.Info.TypeOf(call.Args[0])
+		if tv, ok := w.info.Types[call.Fun]; ok && tv.IsType() && len(call.Args) == 1 {
+			to := w.info.TypeOf(call)
+			from := w.info.TypeOf(call.Args[0])
 			if stringBytesConversion(from, to) {
-				w.pass.Reportf(call.Pos(), "string/[]byte conversion allocates in hot path")
+				w.reportf(call.Pos(), "string/[]byte conversion allocates in hot path")
 			}
 		}
 	}
@@ -192,18 +210,18 @@ func (w *hotpathWalker) checkAppend(call *ast.CallExpr, lhs ast.Expr) {
 	// Vetted form 1: self-assignment x = append(x, ...) — amortized growth
 	// on a buffer the function owns or was handed; structural equality via
 	// printed form.
-	if lhs != nil && exprString(w.pass.Fset, ast.Unparen(lhs)) == exprString(w.pass.Fset, dst) {
+	if lhs != nil && exprString(w.fset, ast.Unparen(lhs)) == exprString(w.fset, dst) {
 		return
 	}
 	// Vetted form 2: appending to (a slice derived from) a function
 	// parameter — the dst-first Append convention, growth amortized by the
 	// caller.
 	if base, ok := ast.Unparen(sliceBase(dst)).(*ast.Ident); ok {
-		if obj := w.pass.Info.Uses[base]; obj != nil && w.params[obj] {
+		if obj := w.info.Uses[base]; obj != nil && w.params[obj] {
 			return
 		}
 	}
-	w.pass.Reportf(call.Pos(), "append may grow and allocate in hot path (use the dst-param or x = append(x, ...) form)")
+	w.reportf(call.Pos(), "append may grow and allocate in hot path (use the dst-param or x = append(x, ...) form)")
 }
 
 // sliceBase strips slice expressions: scratch[:0] -> scratch.
@@ -234,7 +252,7 @@ func (w *hotpathWalker) isObsCall(call *ast.CallExpr) bool {
 	default:
 		return false
 	}
-	fn, ok := w.pass.Info.Uses[id].(*types.Func)
+	fn, ok := w.info.Uses[id].(*types.Func)
 	if !ok || fn.Pkg() == nil {
 		return false
 	}
@@ -246,7 +264,7 @@ func (w *hotpathWalker) isBuiltin(call *ast.CallExpr, name string) bool {
 	if !ok || id.Name != name {
 		return false
 	}
-	b, ok := w.pass.Info.Uses[id].(*types.Builtin)
+	b, ok := w.info.Uses[id].(*types.Builtin)
 	return ok && b.Name() == name
 }
 

@@ -1,0 +1,232 @@
+package lint
+
+import (
+	"go/types"
+	"strings"
+)
+
+// HotPathFacts closes the hotpathalloc blind spot: hotpathalloc checks only
+// the bodies of functions annotated //bhss:hotpath, so an annotated entry
+// point calling an unannotated helper that allocates passed clean. This
+// analyzer propagates the hot-path contract transitively over the
+// cross-package call graph — every statically-resolved call chain from an
+// annotated entry point is walked through unannotated callees, and the
+// first reachable direct allocation is reported at the entry's call site
+// with the full chain in the diagnostic.
+//
+// Rules:
+//
+//   - An annotated function calling (transitively, through unannotated
+//     same-module functions) a function with a direct allocation is flagged
+//     at the outgoing call site. Annotated callees stop the walk: their own
+//     bodies are hotpathalloc's business and their own outgoing edges are
+//     walked from their own declaration sites.
+//   - An *unexported*, never-address-taken annotated function whose body is
+//     already reachable from another annotated function through unannotated
+//     nodes is flagged as redundant: the transitive walk protects it, so
+//     the annotation is noise to keep in sync. Exported functions are never
+//     flagged — their annotation documents the API contract to external
+//     callers.
+//
+// Functions outside the analyzed program (standard library, packages not in
+// the load) are opaque unless dependency facts were imported through the
+// vet facts protocol (see facts.go). Calls into internal/obs are exempt by
+// the same contract hotpathalloc applies to the obs-defer idiom: the
+// recording API is alloc-free and covered by its own AllocsPerRun tests.
+var HotPathFacts = &Analyzer{
+	Name:       "hotpathfacts",
+	Doc:        "propagates //bhss:hotpath transitively: flags call chains from annotated entries into allocating helpers, and redundant annotations",
+	RunProgram: runHotPathFacts,
+}
+
+// allocChain is the memoized result of searching a function's transitive
+// callees for a direct allocation: the chain of symbols leading to it and a
+// description of the first allocation site found.
+type allocChain struct {
+	links []string
+	site  string
+}
+
+type hotpathProp struct {
+	pass *ProgramPass
+	g    *CallGraph
+	// memo caches the allocation search per function; the in-progress
+	// sentinel (nil value present) breaks recursion cycles.
+	memo    map[*types.Func]*allocChain
+	impMemo map[string]*allocChain
+}
+
+func runHotPathFacts(pass *ProgramPass) error {
+	p := &hotpathProp{
+		pass:    pass,
+		g:       pass.Graph,
+		memo:    map[*types.Func]*allocChain{},
+		impMemo: map[string]*allocChain{},
+	}
+	anchored := map[*types.Func]bool{}
+	for fn, fi := range p.g.Funcs {
+		if !fi.Hotpath || fi.Test {
+			continue
+		}
+		reported := map[*types.Func]bool{}
+		for _, edge := range fi.Calls {
+			if reported[edge.Callee] || edge.Callee == fn {
+				continue
+			}
+			if chain := p.search(edge.Callee); chain != nil {
+				reported[edge.Callee] = true
+				anchored[fn] = true
+				p.pass.Reportf(edge.Pos,
+					"hot path escapes into allocating call: %s → %s (%s); fix or annotate the chain //bhss:hotpath, or hoist the allocation",
+					shortSym(fn), strings.Join(chain.links, " → "), chain.site)
+			}
+		}
+	}
+	p.reportRedundant(anchored)
+	return nil
+}
+
+// search looks for a direct allocation reachable from fn through
+// unannotated functions, fn itself included. Annotated callees terminate
+// the walk (their contract is enforced at their own declaration); functions
+// outside both the graph and the imported facts are opaque.
+func (p *hotpathProp) search(fn *types.Func) *allocChain {
+	if isObsFunc(fn) {
+		return nil
+	}
+	if c, ok := p.memo[fn]; ok {
+		return c // includes the in-progress nil sentinel for cycles
+	}
+	fi, ok := p.g.Funcs[fn]
+	if !ok {
+		return p.searchImported(fn.FullName())
+	}
+	if fi.Hotpath {
+		return nil // contract enforced at its own declaration
+	}
+	p.memo[fn] = nil
+	var result *allocChain
+	if len(fi.Allocs) > 0 {
+		a := fi.Allocs[0]
+		result = &allocChain{
+			links: []string{shortSym(fn)},
+			site:  a.What + " at " + shortPos(p.g.Fset, a.Pos),
+		}
+	} else {
+		for _, edge := range fi.Calls {
+			if sub := p.search(edge.Callee); sub != nil {
+				result = &allocChain{
+					links: append([]string{shortSym(fn)}, sub.links...),
+					site:  sub.site,
+				}
+				break
+			}
+		}
+	}
+	p.memo[fn] = result
+	return result
+}
+
+// searchImported is search over the facts imported from dependency .vetx
+// files, where callees are symbols rather than objects.
+func (p *hotpathProp) searchImported(sym string) *allocChain {
+	if c, ok := p.impMemo[sym]; ok {
+		return c
+	}
+	f, ok := p.g.Imported[sym]
+	if !ok || f.Hotpath {
+		p.impMemo[sym] = nil
+		return nil
+	}
+	p.impMemo[sym] = nil
+	var result *allocChain
+	if len(f.Allocs) > 0 {
+		result = &allocChain{links: []string{shortImported(sym)}, site: f.Allocs[0]}
+	} else {
+		for _, callee := range f.Calls {
+			if sub := p.searchImported(callee); sub != nil {
+				result = &allocChain{
+					links: append([]string{shortImported(sym)}, sub.links...),
+					site:  sub.site,
+				}
+				break
+			}
+		}
+	}
+	p.impMemo[sym] = result
+	return result
+}
+
+// reportRedundant flags unexported annotated functions whose bodies the
+// transitive walk already covers from another annotated entry. Annotations
+// that anchor chain findings (or their //bhss:allow suppressions) are
+// load-bearing — deleting them would scatter the same diagnostics across
+// every caller — so anchored entries are never called redundant.
+func (p *hotpathProp) reportRedundant(anchored map[*types.Func]bool) {
+	// covered = every callee reachable from an annotated function through
+	// unannotated intermediate nodes. Reaching an annotated function marks
+	// it covered but does not descend into it: its own edges are walked
+	// from its own declaration.
+	covered := map[*types.Func]bool{}
+	visited := map[*types.Func]bool{}
+	var walk func(fi *FuncInfo)
+	walk = func(fi *FuncInfo) {
+		for _, edge := range fi.Calls {
+			callee := edge.Callee
+			ci, inGraph := p.g.Funcs[callee]
+			if !inGraph {
+				continue
+			}
+			if !covered[callee] {
+				covered[callee] = true
+			}
+			if ci.Hotpath || visited[callee] {
+				continue
+			}
+			visited[callee] = true
+			walk(ci)
+		}
+	}
+	for _, fi := range p.g.Funcs {
+		if fi.Hotpath && !fi.Test {
+			walk(fi)
+		}
+	}
+	for fn, fi := range p.g.Funcs {
+		if !fi.Hotpath || fi.Test || fn.Exported() || p.g.AddrTaken[fn] || anchored[fn] {
+			continue
+		}
+		if covered[fn] {
+			p.pass.Reportf(fi.Decl.Pos(),
+				"redundant //bhss:hotpath on %s: already reachable from an annotated entry point, so the transitive walk enforces it; drop the annotation",
+				shortSym(fn))
+		}
+	}
+}
+
+// shortSym renders a function symbol without the module-path noise:
+// "core.(*Receiver).DecodeBurst" instead of the FullName.
+func shortSym(fn *types.Func) string {
+	return shortImported(fn.FullName())
+}
+
+func shortImported(sym string) string {
+	// FullName forms: "pkg/path.Func" and "(pkg/path.Recv).Method".
+	trim := func(s string) string {
+		if i := strings.LastIndex(s, "/"); i >= 0 {
+			return s[i+1:]
+		}
+		return s
+	}
+	if strings.HasPrefix(sym, "(") {
+		if i := strings.Index(sym, ")"); i > 0 {
+			return "(" + trim(sym[1:i]) + sym[i:]
+		}
+	}
+	return trim(sym)
+}
+
+// isObsFunc reports whether fn belongs to the internal/obs recording API.
+func isObsFunc(fn *types.Func) bool {
+	return fn.Pkg() != nil && strings.HasSuffix(fn.Pkg().Path(), obsPkgSuffix)
+}

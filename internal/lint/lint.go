@@ -36,19 +36,24 @@ import (
 	"go/ast"
 	"go/token"
 	"go/types"
+	"path/filepath"
 	"regexp"
 	"sort"
 	"strings"
 )
 
-// An Analyzer describes one static check.
+// An Analyzer describes one static check. Exactly one of Run (per-package)
+// and RunProgram (whole-program, over the cross-package call graph) is set.
 type Analyzer struct {
 	// Name identifies the analyzer in diagnostics and allow() directives.
 	Name string
 	// Doc is a one-paragraph description of what the analyzer enforces.
 	Doc string
-	// Run performs the check, reporting findings through the Pass.
+	// Run performs a per-package check, reporting findings through the Pass.
 	Run func(*Pass) error
+	// RunProgram performs a whole-program check over every loaded package
+	// at once; see ProgramPass.
+	RunProgram func(*ProgramPass) error
 }
 
 // A Pass connects one Analyzer run to one package.
@@ -81,11 +86,20 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 func (p *Pass) SrcFiles() []*ast.File {
 	var out []*ast.File
 	for _, f := range p.Files {
-		if !strings.HasSuffix(p.Fset.Position(f.Pos()).Filename, "_test.go") {
+		if !isTestFilename(p.Fset.Position(f.Pos()).Filename) {
 			out = append(out, f)
 		}
 	}
 	return out
+}
+
+// shortPos renders a position as "file.go:12" with the directory stripped:
+// positions embedded in diagnostic *messages* (as opposed to the Diagnostic's
+// own Pos) must not vary between machines, or they poison the findings
+// baseline, which matches on message text.
+func shortPos(fset *token.FileSet, pos token.Pos) string {
+	p := fset.Position(pos)
+	return fmt.Sprintf("%s:%d", filepath.Base(p.Filename), p.Line)
 }
 
 // A Diagnostic is one finding.
@@ -99,7 +113,8 @@ func (d Diagnostic) String() string {
 	return fmt.Sprintf("%s: %s (%s)", d.Pos, d.Message, d.Analyzer)
 }
 
-// All returns the full analyzer suite in reporting order.
+// All returns the full analyzer suite in reporting order: the six
+// per-package analyzers, then the five whole-program ones.
 func All() []*Analyzer {
 	return []*Analyzer{
 		HotPathAlloc,
@@ -108,6 +123,11 @@ func All() []*Analyzer {
 		FloatEq,
 		ScratchAlias,
 		PanicPolicy,
+		HotPathFacts,
+		GoroLeak,
+		AtomicMix,
+		ChanDiscipline,
+		DetTaint,
 	}
 }
 
@@ -139,16 +159,45 @@ func ByName(names string) ([]*Analyzer, error) {
 
 // RunAnalyzers applies the analyzers to every package, filters findings
 // through the //bhss:allow suppression index, and returns them sorted by
-// position.
+// position. Per-package analyzers run on each package in turn; whole-program
+// analyzers run once over all of them (see ProgramPass). Suppression
+// directives without a reason are themselves reported (analyzer name
+// "allow"): a finding silenced without a why does not survive review.
 func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	return RunAnalyzersWithFacts(pkgs, analyzers, nil)
+}
+
+// RunAnalyzersWithFacts is RunAnalyzers with dependency facts imported from
+// .vetx files, used by the unitchecker driver where the "program" is a
+// single package plus its dependencies' summaries.
+func RunAnalyzersWithFacts(pkgs []*Package, analyzers []*Analyzer, imported map[string]FuncFacts) ([]Diagnostic, error) {
+	var perPkg, prog []*Analyzer
+	for _, a := range analyzers {
+		if a.RunProgram != nil {
+			prog = append(prog, a)
+		} else {
+			perPkg = append(perPkg, a)
+		}
+	}
 	var diags []Diagnostic
+	merged := allowIndex{}
 	for _, pkg := range pkgs {
-		pd, err := runOnPackage(pkg, analyzers)
+		allow, reasonless := buildAllowIndex(pkg.Fset, pkg.Files)
+		diags = append(diags, reasonless...)
+		for file, lines := range allow {
+			merged[file] = lines
+		}
+		pd, err := runOnPackage(pkg, allow, perPkg)
 		if err != nil {
 			return nil, err
 		}
 		diags = append(diags, pd...)
 	}
+	pd, err := runProgramAnalyzers(pkgs, prog, imported, merged)
+	if err != nil {
+		return nil, err
+	}
+	diags = append(diags, pd...)
 	sort.Slice(diags, func(i, j int) bool {
 		a, b := diags[i], diags[j]
 		if a.Pos.Filename != b.Pos.Filename {
@@ -165,8 +214,7 @@ func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) 
 	return diags, nil
 }
 
-func runOnPackage(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
-	allow := buildAllowIndex(pkg.Fset, pkg.Files)
+func runOnPackage(pkg *Package, allow allowIndex, analyzers []*Analyzer) ([]Diagnostic, error) {
 	var diags []Diagnostic
 	for _, a := range analyzers {
 		pass := &Pass{
@@ -191,15 +239,24 @@ func runOnPackage(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 
 // ---- //bhss: directive parsing ----
 
-var allowRE = regexp.MustCompile(`//bhss:allow\(([^)]+)\)`)
+var allowRE = regexp.MustCompile(`//bhss:allow\(([^)]+)\)(.*)$`)
+
+// wantClauseRE strips a linttest `// want "..."` expectation trailing a
+// directive, so fixture scaffolding is never mistaken for a reason.
+var wantClauseRE = regexp.MustCompile(`//\s*want\s+".*$`)
 
 // allowIndex records, per file and line, which analyzers are suppressed.
 // A directive suppresses findings on its own line and on the line directly
 // below it (the standalone-comment-above-the-statement form).
 type allowIndex map[string]map[int]map[string]bool
 
-func buildAllowIndex(fset *token.FileSet, files []*ast.File) allowIndex {
+// buildAllowIndex indexes every //bhss:allow directive and returns, as
+// ready-made diagnostics, the directives that carry no reason text: the
+// suppression still applies (so a missing reason never un-suppresses a
+// vetted finding into CI noise), but is itself a finding.
+func buildAllowIndex(fset *token.FileSet, files []*ast.File) (allowIndex, []Diagnostic) {
 	idx := allowIndex{}
+	var reasonless []Diagnostic
 	for _, f := range files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
@@ -208,6 +265,13 @@ func buildAllowIndex(fset *token.FileSet, files []*ast.File) allowIndex {
 					continue
 				}
 				pos := fset.Position(c.Pos())
+				if strings.TrimSpace(wantClauseRE.ReplaceAllString(m[2], "")) == "" {
+					reasonless = append(reasonless, Diagnostic{
+						Analyzer: "allow",
+						Pos:      pos,
+						Message:  fmt.Sprintf("//bhss:allow(%s) without a reason: say why the finding is intentional", m[1]),
+					})
+				}
 				lines := idx[pos.Filename]
 				if lines == nil {
 					lines = map[int]map[string]bool{}
@@ -225,7 +289,12 @@ func buildAllowIndex(fset *token.FileSet, files []*ast.File) allowIndex {
 			}
 		}
 	}
-	return idx
+	return idx, reasonless
+}
+
+// isTestFilename reports whether a source filename is a _test.go file.
+func isTestFilename(name string) bool {
+	return strings.HasSuffix(name, "_test.go")
 }
 
 func (idx allowIndex) allows(pos token.Position, analyzer string) bool {

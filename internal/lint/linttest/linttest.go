@@ -34,10 +34,20 @@ type expectation struct {
 	matched bool
 }
 
-// Run loads each fixture package directory (relative to testdata/src in the
-// calling test's working directory) and checks the analyzer's diagnostics
-// against the fixtures' want comments.
+// Run loads each fixture directory (relative to testdata/src in the calling
+// test's working directory) and checks the analyzer's diagnostics against
+// the fixtures' want comments. A fixture may be a package tree: every
+// package under the directory is loaded (the whole-program analyzers need
+// cross-package fixtures — a hot-path entry in one package reaching an
+// allocation in another), and every loaded file may carry expectations.
 func Run(t *testing.T, a *lint.Analyzer, fixtures ...string) {
+	t.Helper()
+	RunMulti(t, []*lint.Analyzer{a}, fixtures...)
+}
+
+// RunMulti is Run with several analyzers applied at once, for fixtures that
+// exercise //bhss:allow directives naming more than one analyzer on a line.
+func RunMulti(t *testing.T, analyzers []*lint.Analyzer, fixtures ...string) {
 	t.Helper()
 	for _, fixture := range fixtures {
 		fixture := fixture
@@ -48,25 +58,44 @@ func Run(t *testing.T, a *lint.Analyzer, fixtures ...string) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			pkgs, err := lint.Load(abs, ".")
+			pkgs, err := lint.Load(abs, "./...")
 			if err != nil {
 				t.Fatalf("loading fixture %s: %v", fixture, err)
 			}
-			if len(pkgs) != 1 {
-				t.Fatalf("fixture %s: loaded %d packages, want 1", fixture, len(pkgs))
+			if len(pkgs) == 0 {
+				t.Fatalf("fixture %s: loaded no packages", fixture)
 			}
-			diags, err := lint.RunAnalyzers(pkgs, []*lint.Analyzer{a})
+			diags, err := lint.RunAnalyzers(pkgs, analyzers)
 			if err != nil {
 				t.Fatal(err)
 			}
-			checkExpectations(t, pkgs[0], diags)
+			checkExpectations(t, pkgs, diags)
 		})
 	}
 }
 
-func checkExpectations(t *testing.T, pkg *lint.Package, diags []lint.Diagnostic) {
+func checkExpectations(t *testing.T, pkgs []*lint.Package, diags []lint.Diagnostic) {
 	t.Helper()
 	var wants []*expectation
+	for _, pkg := range pkgs {
+		collectWants(t, pkg, &wants)
+	}
+	for _, d := range diags {
+		if w := matchWant(wants, d); w != nil {
+			w.matched = true
+			continue
+		}
+		t.Errorf("unexpected diagnostic: %v", d)
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.re)
+		}
+	}
+}
+
+func collectWants(t *testing.T, pkg *lint.Package, wants *[]*expectation) {
+	t.Helper()
 	for _, f := range pkg.Files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
@@ -91,21 +120,9 @@ func checkExpectations(t *testing.T, pkg *lint.Package, diags []lint.Diagnostic)
 						t.Errorf("%s: bad want regexp %q: %v", pos, pat, err)
 						continue
 					}
-					wants = append(wants, &expectation{file: pos.Filename, line: pos.Line, re: re})
+					*wants = append(*wants, &expectation{file: pos.Filename, line: pos.Line, re: re})
 				}
 			}
-		}
-	}
-	for _, d := range diags {
-		if w := matchWant(wants, d); w != nil {
-			w.matched = true
-			continue
-		}
-		t.Errorf("unexpected diagnostic: %v", d)
-	}
-	for _, w := range wants {
-		if !w.matched {
-			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.re)
 		}
 	}
 }

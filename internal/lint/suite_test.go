@@ -37,6 +37,34 @@ func TestPanicPolicy(t *testing.T) {
 	linttest.Run(t, lint.PanicPolicy, "panicpolicy/flagged", "panicpolicy/clean")
 }
 
+func TestHotPathFacts(t *testing.T) {
+	linttest.Run(t, lint.HotPathFacts, "hotpathfacts/flagged", "hotpathfacts/clean")
+}
+
+func TestGoroLeak(t *testing.T) {
+	linttest.Run(t, lint.GoroLeak, "goroleak/flagged", "goroleak/clean")
+}
+
+func TestAtomicMix(t *testing.T) {
+	linttest.Run(t, lint.AtomicMix, "atomicmix/flagged", "atomicmix/clean")
+}
+
+func TestChanDiscipline(t *testing.T) {
+	linttest.Run(t, lint.ChanDiscipline, "chandiscipline/flagged", "chandiscipline/clean")
+}
+
+func TestDetTaint(t *testing.T) {
+	linttest.Run(t, lint.DetTaint, "dettaint/flagged", "dettaint/clean")
+}
+
+// TestAllowEdgeCases runs two analyzers at once over a fixture that
+// exercises the //bhss:allow directive forms: multi-analyzer suppression on
+// one line, allow-on-the-line-above, a reasonless directive (reported
+// itself), and a directive naming an analyzer with no finding on the line.
+func TestAllowEdgeCases(t *testing.T) {
+	linttest.RunMulti(t, []*lint.Analyzer{lint.FloatEq, lint.DetRand}, "allow/cases")
+}
+
 func TestByName(t *testing.T) {
 	as, err := lint.ByName("detrand,floateq")
 	if err != nil {
@@ -58,7 +86,7 @@ func TestAllNamesUnique(t *testing.T) {
 		}
 		seen[a.Name] = true
 	}
-	if len(seen) != 6 {
-		t.Fatalf("expected 6 analyzers, got %d", len(seen))
+	if len(seen) != 11 {
+		t.Fatalf("expected 11 analyzers, got %d", len(seen))
 	}
 }

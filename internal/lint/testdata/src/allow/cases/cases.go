@@ -1,0 +1,32 @@
+// Package cases exercises the //bhss:allow directive edge cases: one
+// directive naming two analyzers on the flagged line, a directive on the
+// line above, a reasonless directive (suppresses, but is itself reported),
+// and a directive naming the wrong analyzer (suppresses nothing relevant).
+package cases
+
+import "time"
+
+// SameLine trips floateq and detrand on one line; a single directive naming
+// both silences both.
+func SameLine(x float64) bool {
+	return float64(time.Now().Second()) == x //bhss:allow(floateq,detrand) fixture: exercising same-line multi-analyzer suppression
+}
+
+// LineAbove is suppressed from the line directly above the finding.
+func LineAbove(y float64) bool {
+	//bhss:allow(floateq) fixture: exercising allow-on-the-line-above
+	return y == 1.5
+}
+
+// MissingReason still suppresses floateq, but the bare directive is itself
+// reported: a silenced finding with no why does not survive review.
+func MissingReason(z float64) bool {
+	return z == 2.5 //bhss:allow(floateq) // want "without a reason"
+}
+
+// WrongAnalyzer names only floateq, so the detrand finding on the same line
+// still fires.
+func WrongAnalyzer() int {
+	t := time.Now() //bhss:allow(floateq) fixture: directive names an analyzer with no finding here // want "deterministic replay"
+	return t.Second()
+}

@@ -1,0 +1,32 @@
+// Package clean uses atomics consistently: typed atomics (immune by
+// construction), all-atomic legacy fields, and unrelated plain variables.
+package clean
+
+import "sync/atomic"
+
+type counter struct {
+	typed atomic.Int64
+	n     int64
+	plain int64
+}
+
+func (c *counter) IncTyped() {
+	c.typed.Add(1)
+}
+
+func (c *counter) ReadTyped() int64 {
+	return c.typed.Load()
+}
+
+func (c *counter) IncLegacy() {
+	atomic.AddInt64(&c.n, 1)
+}
+
+func (c *counter) ReadLegacy() int64 {
+	return atomic.LoadInt64(&c.n)
+}
+
+// plain is never touched by sync/atomic, so plain access is fine.
+func (c *counter) Bump() {
+	c.plain++
+}

@@ -1,0 +1,37 @@
+// Package flagged mixes sync/atomic and plain access to the same memory:
+// each plain access races against the atomic ones.
+package flagged
+
+import "sync/atomic"
+
+type counter struct {
+	n int64
+}
+
+func (c *counter) Inc() {
+	atomic.AddInt64(&c.n, 1)
+}
+
+func (c *counter) Read() int64 {
+	return c.n // want "accessed atomically"
+}
+
+func (c *counter) Reset() {
+	c.n = 0 // want "accessed atomically"
+}
+
+var hits int64
+
+func Touch() {
+	atomic.AddInt64(&hits, 1)
+}
+
+func Racy() int64 {
+	return hits // want "accessed atomically"
+}
+
+// Mixed reads the variable plainly inside the value argument of the very
+// call that stores it atomically.
+func Mixed() {
+	atomic.StoreInt64(&hits, hits+1) // want "accessed atomically"
+}

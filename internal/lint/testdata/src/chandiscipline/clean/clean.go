@@ -1,0 +1,52 @@
+// Package clean holds the sanctioned channel shapes: producer-side close,
+// never-sent signal channels, non-blocking sends under a lock, and
+// unlocking before blocking.
+package clean
+
+import "sync"
+
+// Produce sends and closes from the same function: the canonical
+// close-by-sender shape.
+func Produce(n int) chan int {
+	ch := make(chan int, n)
+	go func() {
+		defer close(ch)
+		for i := 0; i < n; i++ {
+			ch <- i
+		}
+	}()
+	return ch
+}
+
+type server struct {
+	mu      sync.Mutex
+	quit    chan struct{}
+	out     chan int
+	pending int
+}
+
+// Close closes a pure signal channel: nobody sends on quit, so there is no
+// sender to race.
+func (s *server) Close() {
+	close(s.quit)
+}
+
+// TryNotify sends under the lock, but non-blockingly: select-with-default
+// cannot stall a contender.
+func (s *server) TryNotify(v int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	select {
+	case s.out <- v:
+	default:
+	}
+}
+
+// Handoff unlocks before the blocking send.
+func (s *server) Handoff() {
+	s.mu.Lock()
+	v := s.pending
+	s.pending = 0
+	s.mu.Unlock()
+	s.out <- v
+}

@@ -1,0 +1,52 @@
+// Package flagged breaks each channel contract: close on the receive side,
+// send after close, and blocking channel ops under a held mutex.
+package flagged
+
+import "sync"
+
+type hub struct {
+	out chan int
+}
+
+func (h *hub) send(v int) {
+	h.out <- v
+}
+
+// shutdown closes a channel that send (another function) feeds: an
+// in-flight send would panic.
+func (h *hub) shutdown() {
+	close(h.out) // want "close channels from the sending side"
+}
+
+// SendAfterClose orders the two fatally within one block.
+func SendAfterClose(ch chan int) {
+	close(ch)
+	ch <- 1 // want "after it was closed"
+}
+
+type guarded struct {
+	mu sync.Mutex
+	ch chan int
+}
+
+func (g *guarded) Blocked() {
+	g.mu.Lock()
+	g.ch <- 1 // want "channel send while holding mu"
+	g.mu.Unlock()
+}
+
+func (g *guarded) DeferBlocked() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return <-g.ch // want "channel receive while holding mu"
+}
+
+func (g *guarded) SelectBlocked() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	select { // want "select without default while holding mu"
+	case v := <-g.ch:
+		_ = v
+	case g.ch <- 2:
+	}
+}

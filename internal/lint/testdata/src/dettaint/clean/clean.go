@@ -1,0 +1,45 @@
+// Package clean shows the sanctioned shapes: map iteration laundered
+// through sorting, timings kept out of the diffed sinks, and an intentional
+// flow suppressed with a reason.
+package clean
+
+import (
+	"sort"
+	"time"
+)
+
+// MixSorted is the codebase's own idiom: collect the keys, sort them, then
+// index the map deterministically. sort.Ints sanitizes keys.
+func MixSorted(gains map[int]float64, buf []complex128) {
+	keys := make([]int, 0, len(gains))
+	for k := range gains {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	for i, k := range keys {
+		buf[i] = complex(gains[k], 0)
+	}
+}
+
+// meter is not RxStats/HopReport: timing ordinary telemetry is fine.
+type meter struct {
+	elapsed float64
+}
+
+// Time stores a duration somewhere the determinism suite never diffs.
+func Time(m *meter, start time.Time) {
+	m.elapsed = time.Since(start).Seconds()
+}
+
+// RxStats mirrors the diagnostics type so the suppression below has a
+// genuine finding to suppress.
+type RxStats struct {
+	CapturedAt int64
+}
+
+// Stamp records when the capture happened — explicitly excluded from the
+// determinism diff, so the flow is suppressed with that reason.
+func Stamp(s *RxStats) {
+	//bhss:allow(dettaint) capture timestamp is excluded from the determinism diff; it labels the run rather than feeding it
+	s.CapturedAt = time.Now().Unix()
+}

@@ -1,0 +1,50 @@
+// Package flagged routes nondeterminism into every dettaint sink: a hop
+// seed, complex128 sample buffers (element write and append), and a
+// receiver-diagnostics field.
+package flagged
+
+import (
+	"time"
+
+	"bhss/internal/lint/testdata/src/dettaint/flagged/hop"
+)
+
+// SeedFromClock derives the hop seed from the wall clock: two runs of the
+// same scenario would hop differently.
+func SeedFromClock() *hop.Schedule {
+	seed := time.Now().UnixNano()
+	return hop.Seed(seed) // want "flows into hop decision Seed"
+}
+
+// Jitter writes a clock-derived value into the IQ stream.
+func Jitter(buf []complex128) {
+	t := time.Now()
+	jitter := float64(t.Nanosecond())
+	buf[0] = complex(jitter, 0) // want "flows into a complex128 sample buffer"
+}
+
+// Mix accumulates map values into samples in iteration order.
+func Mix(gains map[int]float64, buf []complex128) {
+	i := 0
+	for _, g := range gains {
+		buf[i] = complex(g, 0) // want "map iteration order flows into"
+		i++
+	}
+}
+
+// RxStats mirrors the receiver-diagnostics type the determinism suite
+// compares across runs; dettaint matches it by name.
+type RxStats struct {
+	DecodeTime float64
+}
+
+// Report stores a measured duration in a diffed diagnostic field.
+func Report(stats *RxStats, start time.Time) {
+	stats.DecodeTime = time.Since(start).Seconds() // want "RxStats diagnostic field"
+}
+
+// Extend appends a clock-skewed sample.
+func Extend(buf []complex128) []complex128 {
+	skew := float64(time.Now().Unix())
+	return append(buf, complex(skew, 0)) // want "via append"
+}

@@ -1,0 +1,13 @@
+// Package hop stands in for the real hop package: dettaint matches it by
+// import-path suffix, so arguments to these functions are hop-decision sinks.
+package hop
+
+// Schedule is a stub hop schedule.
+type Schedule struct {
+	seed int64
+}
+
+// Seed builds a schedule from an explicit seed.
+func Seed(seed int64) *Schedule {
+	return &Schedule{seed: seed}
+}

@@ -1,0 +1,92 @@
+// Package clean holds every sanctioned goroutine-shutdown shape: quit
+// channels the program closes, channels closed by their producer (directly
+// or through a parameter), closeable resources, ctx.Done, and local
+// CAS-style retry loops that are not goroleak's business.
+package clean
+
+import "context"
+
+type server struct {
+	quit chan struct{}
+	jobs chan int
+}
+
+func (s *server) Close() { close(s.quit) }
+
+// Start's worker selects on the quit channel Close closes.
+func (s *server) Start() {
+	go func() {
+		for {
+			select {
+			case <-s.quit:
+				return
+			case j := <-s.jobs:
+				consume(j)
+			}
+		}
+	}()
+}
+
+var total int
+
+func consume(j int) { total += j }
+
+// Pipeline closes the channel it feeds; the consumer's range ends with it,
+// even though the consumer sees it only as a parameter.
+func Pipeline() {
+	jobs := make(chan int)
+	go drain(jobs)
+	for i := 0; i < 8; i++ {
+		jobs <- i
+	}
+	close(jobs)
+}
+
+func drain(jobs chan int) {
+	for j := range jobs {
+		consume(j)
+	}
+}
+
+type conn struct{}
+
+func (c *conn) Read(p []byte) (int, error) { return 0, nil }
+func (c *conn) Close() error               { return nil }
+
+// Reader blocks on a closeable resource: closing the conn is the
+// documented way to unblock and stop it.
+func Reader(c *conn) {
+	go func() {
+		buf := make([]byte, 64)
+		for {
+			if _, err := c.Read(buf); err != nil {
+				return
+			}
+		}
+	}()
+}
+
+// Watcher exits through ctx.Done.
+func Watcher(ctx context.Context, events chan int) {
+	go func() {
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case e := <-events:
+				consume(e)
+			}
+		}
+	}()
+}
+
+// Retry is a CAS-shaped local loop: no channel ops, bounded by local state.
+func Retry(try func() bool) {
+	go func() {
+		for {
+			if try() {
+				break
+			}
+		}
+	}()
+}

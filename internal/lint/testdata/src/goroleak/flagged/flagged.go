@@ -1,0 +1,46 @@
+// Package flagged spawns goroutines whose loops have no shutdown edge:
+// nothing the rest of the program can do makes them return.
+package flagged
+
+type worker struct {
+	jobs chan int
+	tick chan struct{}
+}
+
+var n int
+
+func step() { n++ }
+
+// Spin busy-loops with no exit of any kind.
+func Spin() {
+	go func() {
+		for { // want "loops forever with no shutdown edge"
+			step()
+		}
+	}()
+}
+
+// RangeLeak ranges over a channel nobody ever closes.
+func RangeLeak(w *worker) {
+	go func() {
+		for range w.jobs { // want "loops forever with no shutdown edge"
+			step()
+		}
+	}()
+}
+
+// DeepLeak hides the loop one call level below the go statement.
+func DeepLeak(w *worker) {
+	go w.run()
+}
+
+func (w *worker) run() {
+	w.pump()
+}
+
+func (w *worker) pump() {
+	for { // want "loops forever with no shutdown edge"
+		<-w.tick // never closed, and w has no Close/Shutdown/Stop
+		step()
+	}
+}

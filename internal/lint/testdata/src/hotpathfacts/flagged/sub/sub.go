@@ -1,0 +1,12 @@
+// Package sub is the cross-package tail of the flagged chain.
+package sub
+
+// Fill allocates; it is not annotated, so only the transitive walk from
+// flagged.Entry sees it run on the hot path.
+func Fill(dst []complex128) []float64 {
+	out := make([]float64, len(dst))
+	for i, v := range dst {
+		out[i] = real(v)
+	}
+	return out
+}

@@ -12,16 +12,20 @@ import (
 	"io"
 	"os"
 	"runtime"
+	"strings"
 )
 
 // This file implements the `go vet -vettool` side of the driver. cmd/go
 // probes the tool with -V=full (for build caching), then invokes it once per
 // package with a single argument: the path to a JSON .cfg file describing
-// the compiled package — source files, the import→package-path map, and the
-// export-data file for every dependency. The tool type-checks from export
-// data (no source reloading), runs the analyzers, writes the (empty — we
-// export no facts) .vetx output file, and reports findings on stderr with
-// exit status 2.
+// the compiled package — source files, the import→package-path map, the
+// export-data file for every dependency, and each dependency's .vetx facts
+// file. The tool type-checks from export data (no source reloading), decodes
+// the dependencies' function-facts summaries, runs the analyzers with those
+// facts (so hotpathfacts can follow call chains across the per-package
+// compilation boundary), writes this package's own facts to the .vetx output
+// file for its dependents, and reports findings on stderr with exit
+// status 2.
 
 // unitConfig mirrors the subset of cmd/go's vet config the driver consumes.
 type unitConfig struct {
@@ -32,9 +36,17 @@ type unitConfig struct {
 	GoFiles                   []string
 	ImportMap                 map[string]string
 	PackageFile               map[string]string
+	PackageVetx               map[string]string
 	VetxOnly                  bool
 	VetxOutput                string
 	SucceedOnTypecheckFailure bool
+}
+
+// isBhssImportPath reports whether the unit belongs to this module — the
+// only packages whose facts are worth computing. Test variants
+// ("bhss/internal/core [bhss/internal/core.test]") share the prefix.
+func isBhssImportPath(path string) bool {
+	return path == "bhss" || strings.HasPrefix(path, "bhss/")
 }
 
 // PrintVersion answers the -V=full probe. cmd/go keys its action cache on
@@ -75,17 +87,19 @@ func RunUnitchecker(cfgPath string, analyzers []*Analyzer) int {
 		return 1
 	}
 
-	// Facts output must exist even when we have none to export, or cmd/go's
-	// cache layer fails the build.
-	if cfg.VetxOutput != "" {
-		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
-			fmt.Fprintln(os.Stderr, "bhsslint:", err)
-			return 1
+	// Non-module packages carry no facts we care about, but the output file
+	// must exist even when empty, or cmd/go's cache layer fails the build.
+	// DecodeFacts treats the zero-byte file as "callee opaque".
+	if !isBhssImportPath(cfg.ImportPath) {
+		if cfg.VetxOutput != "" {
+			if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+				fmt.Fprintln(os.Stderr, "bhsslint:", err)
+				return 1
+			}
 		}
-	}
-	if cfg.VetxOnly {
-		// The package was scheduled only so dependents could read its facts.
-		return 0
+		if cfg.VetxOnly {
+			return 0
+		}
 	}
 
 	fset := token.NewFileSet()
@@ -150,7 +164,34 @@ func RunUnitchecker(cfgPath string, analyzers []*Analyzer) int {
 		Types:      tpkg,
 		Info:       info,
 	}
-	diags, err := RunAnalyzers([]*Package{pkg}, analyzers)
+
+	// Decode every dependency's facts; missing or empty files just leave
+	// their functions opaque to the transitive walks.
+	imported := map[string]FuncFacts{}
+	for _, vetx := range cfg.PackageVetx {
+		if data, err := os.ReadFile(vetx); err == nil {
+			DecodeFacts(data, imported)
+		}
+	}
+
+	// Export this unit's own function summaries for its dependents.
+	if isBhssImportPath(cfg.ImportPath) && cfg.VetxOutput != "" {
+		facts, err := ExportFacts(buildCallGraph([]*Package{pkg}, imported))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bhsslint:", err)
+			return 1
+		}
+		if err := os.WriteFile(cfg.VetxOutput, facts, 0o666); err != nil {
+			fmt.Fprintln(os.Stderr, "bhsslint:", err)
+			return 1
+		}
+	}
+	if cfg.VetxOnly {
+		// The unit was scheduled only so dependents could read its facts.
+		return 0
+	}
+
+	diags, err := RunAnalyzersWithFacts([]*Package{pkg}, analyzers, imported)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "bhsslint:", err)
 		return 1

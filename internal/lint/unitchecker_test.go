@@ -1,0 +1,62 @@
+package lint_test
+
+import (
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"testing"
+)
+
+// TestVettoolProtocol round-trips a real `go vet -vettool` invocation: it
+// builds the bhsslint binary, points go vet at a fixture whose hot-path
+// chain crosses a package boundary, and checks that the findings come back
+// with vet's failure exit status. The cross-package chain is the point — in
+// unit mode the dependency's body is never loaded, so the finding can only
+// appear if the facts round-trip through the .vetx files cmd/go shuttles
+// between invocations.
+func TestVettoolProtocol(t *testing.T) {
+	goBin, err := exec.LookPath("go")
+	if err != nil {
+		t.Skip("no go binary in PATH")
+	}
+	root, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	tool := filepath.Join(t.TempDir(), "bhsslint")
+	if runtime.GOOS == "windows" {
+		tool += ".exe"
+	}
+	build := exec.Command(goBin, "build", "-o", tool, "./cmd/bhsslint")
+	build.Dir = root
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building vettool: %v\n%s", err, out)
+	}
+
+	vet := func(pkg string) (string, error) {
+		cmd := exec.Command(goBin, "vet", "-vettool="+tool, pkg)
+		cmd.Dir = root
+		out, err := cmd.CombinedOutput()
+		return string(out), err
+	}
+
+	out, err := vet("./internal/lint/testdata/src/hotpathfacts/flagged")
+	if err == nil {
+		t.Fatalf("vet on the flagged fixture reported nothing; output:\n%s", out)
+	}
+	for _, wantSub := range []string{
+		"hot path escapes into allocating call", // needs sub's facts from its .vetx
+		"redundant //bhss:hotpath",              // purely local
+	} {
+		if !strings.Contains(out, wantSub) {
+			t.Errorf("vet output missing %q:\n%s", wantSub, out)
+		}
+	}
+
+	out, err = vet("./internal/lint/testdata/src/atomicmix/clean")
+	if err != nil {
+		t.Fatalf("vet on the clean fixture failed: %v\n%s", err, out)
+	}
+}

@@ -142,6 +142,7 @@ func (r *Reusable) PSDInto(dst []float64, x []complex128) error {
 		if r.plan != nil {
 			r.plan.Forward(spec)
 		} else {
+			//bhss:allow(hotpathfacts) planless fallback: dsp.FFT memoizes its plan per size, allocating only on first use
 			spec = dsp.FFT(spec)
 		}
 		simd.Mag2Accum(dst, spec)
@@ -258,6 +259,8 @@ func PeakToMedian(psd []float64) float64 {
 // (normalized frequency) and returns the contained power. The PSD is in
 // un-shifted order with mean-bin == average-power scaling (as produced by
 // Estimator.PSD), so the result is directly comparable to dsp.Power.
+//
+//bhss:hotpath
 func BandPower(psd []float64, bw float64) float64 {
 	k := len(psd)
 	if k == 0 || bw <= 0 {

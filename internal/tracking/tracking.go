@@ -79,7 +79,8 @@ func CoarseCFO(x []complex128) float64 {
 // CoarseCFOInRange is CoarseCFO with the search restricted to offsets of
 // magnitude at most maxCFO (cycles/sample). Restricting the search keeps
 // the chip-rate harmonics of a shaped pulse's envelope out of the peak
-// search.
+// search. It allocates its FFT scratch (coarse acquisition runs once per
+// burst, not per hop), so it is deliberately not //bhss:hotpath.
 func CoarseCFOInRange(x []complex128, maxCFO float64) float64 {
 	n := dsp.NextPow2(len(x))
 	if n < 4 || maxCFO <= 0 {
@@ -209,6 +210,8 @@ func (c *Costas) LockQuality() float64 {
 // Process derotates x in place by the tracked carrier, updating the loop
 // per sample with the QPSK decision-directed error
 // e = sign(I)·Q − sign(Q)·I.
+//
+//bhss:hotpath
 func (c *Costas) Process(x []complex128) {
 	maxW := 2 * math.Pi * c.MaxFreq
 	for i, v := range x {
