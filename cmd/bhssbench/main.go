@@ -15,8 +15,11 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
 	"os/exec"
 	"runtime/debug"
@@ -27,6 +30,7 @@ import (
 	"bhss/internal/experiment"
 	"bhss/internal/impair"
 	"bhss/internal/obs"
+	"bhss/internal/resultstore"
 	"bhss/internal/soak"
 )
 
@@ -47,6 +51,11 @@ func main() {
 		obsInterval = flag.Duration("obs-interval", 2*time.Second, "snapshot writer period")
 		progress    = flag.Duration("progress", 0, "print live sweep progress to stderr at this period (0 = off)")
 		debugAddr   = flag.String("debug-addr", "", "serve /debug/bhss, /debug/vars and /debug/pprof on this address (empty = off)")
+		storeDir    = flag.String("store", "", "append every measured result of this run to the campaign store in this directory (created if missing)")
+		storeAnchor = flag.Bool("store-anchor", false, "with -store: mark each appended record as its series' regression baseline")
+		compareDir  = flag.String("compare", "", "diff every measured result against the last anchored record of the same key in this store's directory; exit 1 past tolerances")
+		serveAddr   = flag.String("serve", "", "after the run, serve the result-store trajectory dashboard on this address (requires -store or -compare; combine with -exp none to only serve)")
+		headlineOut = flag.String("headline-out", "", "write the run's single measured headline record (metrics without the obs snapshot) to this JSON file, e.g. the committed BENCH_fig13.json")
 	)
 	flag.Parse()
 
@@ -92,12 +101,56 @@ func main() {
 	}
 	sc.Impair = *impairSpec
 
+	// Campaign storage: open the stores before any experiment runs, so a bad
+	// path fails in seconds instead of after a minutes-long sweep.
+	camp := &campaign{
+		key: resultstore.Key{
+			GitRev: gitRev(),
+			Scale:  *scale,
+			Seed:   *seed,
+			Impair: *impairSpec,
+			Chaos:  *chaosSpec,
+		},
+		anchor: *storeAnchor,
+	}
+	if *storeDir != "" {
+		st, err := resultstore.Open(*storeDir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "store: %v\n", err)
+			os.Exit(1)
+		}
+		defer st.Close()
+		camp.store = st
+	}
+	if *storeAnchor && camp.store == nil {
+		fmt.Fprintln(os.Stderr, "-store-anchor requires -store")
+		os.Exit(2)
+	}
+	if *compareDir != "" {
+		if *compareDir == *storeDir {
+			camp.cmp = camp.store
+		} else {
+			st, err := resultstore.Open(*compareDir)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "compare: %v\n", err)
+				os.Exit(1)
+			}
+			defer st.Close()
+			camp.cmp = st
+		}
+	}
+	if *serveAddr != "" && camp.store == nil && camp.cmp == nil {
+		fmt.Fprintln(os.Stderr, "-serve requires -store or -compare to name the store directory")
+		os.Exit(2)
+	}
+
 	// One pipeline observes every experiment of the invocation; it feeds
-	// the snapshot writer, the progress ticker and the debug endpoint, and
-	// never alters the measurements themselves.
+	// the snapshot writer, the progress ticker, the debug endpoint and the
+	// campaign store, and never alters the measurements themselves.
 	met := obs.NewPipeline()
-	if *obsPath != "" || *progress > 0 || *debugAddr != "" {
+	if *obsPath != "" || *progress > 0 || *debugAddr != "" || camp.active() {
 		sc.Obs = met
+		camp.met = met
 	}
 	var writer *obs.SnapshotWriter
 	if *obsPath != "" {
@@ -113,6 +166,11 @@ func main() {
 		}
 		defer f.Close()
 		writer = obs.NewSnapshotWriter(f, format, met)
+		hdr := obs.NewHeader(*seed, simd.Active().String())
+		// NewHeader only sees the build-info stamp; gitRev() adds the
+		// `git rev-parse` fallback that covers `go run` invocations.
+		hdr.GitRev = camp.key.GitRev
+		writer.SetHeader(hdr)
 		writer.Start(*obsInterval)
 		defer func() {
 			if err := writer.Stop(); err != nil {
@@ -155,6 +213,10 @@ func main() {
 			"fig9", "fig10", "fig11", "fig13", "fig14", "table2",
 		}
 	}
+	if *exp == "none" {
+		// Run nothing: the serve-only mode for browsing an existing store.
+		ids = nil
+	}
 	var allResults []experiment.Result
 	for _, id := range ids {
 		id = strings.TrimSpace(id)
@@ -162,13 +224,27 @@ func main() {
 			// The library performance check, not a paper artifact: measure
 			// the end-to-end link on both receive paths and optionally
 			// write the machine-readable baseline (BENCH_link.json).
-			res, err := experiment.LinkThroughput(gitRev(), simd.Active().String())
+			res, err := experiment.LinkThroughput(camp.key.GitRev, simd.Active().String())
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "throughput: %v\n", err)
 				os.Exit(1)
 			}
 			fmt.Println(res.String())
 			if *benchOut != "" {
+				// Stale-rev guard: a baseline regenerated at a different
+				// revision than it previously recorded must say so — the CI
+				// bench gate is meaningless when the committed rev is stale.
+				if prev := baselineRev(*benchOut); prev != "" && prev != res.GitRev {
+					fmt.Fprintf(os.Stderr,
+						"bench-out: replacing baseline measured at %s with numbers from %s (prior rev recorded as baseline_git_rev)\n",
+						prev, res.GitRev)
+					res.BaselineRev = prev
+				}
+				if res.GitRev == "unknown" || strings.HasSuffix(res.GitRev, "-dirty") {
+					fmt.Fprintf(os.Stderr,
+						"bench-out: warning: build revision is %q — commit first so the baseline pins a real rev\n",
+						res.GitRev)
+				}
 				f, err := os.Create(*benchOut)
 				if err != nil {
 					fmt.Fprintf(os.Stderr, "bench-out: %v\n", err)
@@ -183,6 +259,10 @@ func main() {
 					os.Exit(1)
 				}
 				fmt.Printf("baseline written to %s\n", *benchOut)
+			}
+			if err := camp.addThroughput(res); err != nil {
+				fmt.Fprintf(os.Stderr, "throughput: %v\n", err)
+				os.Exit(1)
 			}
 			continue
 		}
@@ -205,6 +285,7 @@ func main() {
 			fmt.Println(rep.String())
 			continue
 		}
+		before := camp.counters()
 		res, err := run(id, sc)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "%s: %v\n", id, err)
@@ -215,6 +296,10 @@ func main() {
 			os.Exit(1)
 		}
 		allResults = append(allResults, res)
+		if err := camp.add(res, before); err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", id, err)
+			os.Exit(1)
+		}
 	}
 	if *csvPath != "" {
 		f, err := os.Create(*csvPath)
@@ -236,6 +321,208 @@ func main() {
 		}
 		fmt.Printf("raw series written to %s\n", *csvPath)
 	}
+	if *headlineOut != "" {
+		if err := camp.writeHeadline(*headlineOut); err != nil {
+			fmt.Fprintf(os.Stderr, "headline-out: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("headline record written to %s\n", *headlineOut)
+	}
+	if len(camp.regressed) > 0 {
+		fmt.Fprintf(os.Stderr, "regression gate failed: %s\n", strings.Join(camp.regressed, ", "))
+		os.Exit(1)
+	}
+	if *serveAddr != "" {
+		st := camp.store
+		if st == nil {
+			st = camp.cmp
+		}
+		h, err := resultstore.NewDashboard(st)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "serve: %v\n", err)
+			os.Exit(1)
+		}
+		ln, err := net.Listen("tcp", *serveAddr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "serve: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "result dashboard on http://%s/\n", ln.Addr())
+		if err := http.Serve(ln, h); err != nil {
+			fmt.Fprintf(os.Stderr, "serve: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// campaign drives this invocation's result-store legs: append (-store),
+// anchor (-store-anchor), diff against the anchored baseline (-compare) and
+// the -headline-out export. Inactive (no flags) it is a no-op passthrough.
+type campaign struct {
+	key    resultstore.Key // rev + run configuration; Experiment filled per result
+	met    *obs.Pipeline
+	store  *resultstore.Store // -store target (nil = off)
+	cmp    *resultstore.Store // -compare baseline source (may alias store)
+	anchor bool
+	// headline is the most recent record built, for -headline-out.
+	headline *resultstore.Record
+	measured int
+	// regressed lists experiments whose compare leg failed the gate.
+	regressed []string
+}
+
+func (c *campaign) active() bool { return c.store != nil || c.cmp != nil }
+
+// expCounters is the pipeline's experiment-counter state; the delta across
+// one driver call yields that run's packet loss and mean carrier lock.
+type expCounters struct{ frames, lost, points, lockMicro int64 }
+
+func (c *campaign) counters() expCounters {
+	if c.met == nil {
+		return expCounters{}
+	}
+	return expCounters{
+		frames:    c.met.Exp.Frames.Load(),
+		lost:      c.met.Exp.FramesLost.Load(),
+		points:    c.met.Exp.Points.Load(),
+		lockMicro: c.met.Exp.LockMicroSum.Load(),
+	}
+}
+
+// add records one finished experiment: the driver's canonical metrics plus
+// link observables derived from the obs counter deltas of this run, then the
+// store/anchor/compare legs. Theoretical results (no metrics) are skipped —
+// closed-form curves cannot regress at fixed code.
+func (c *campaign) add(res experiment.Result, before expCounters) error {
+	if !c.active() || len(res.Metrics) == 0 {
+		return nil
+	}
+	metrics := make([]resultstore.Metric, 0, len(res.Metrics)+2)
+	for _, m := range res.Metrics {
+		metrics = append(metrics, resultstore.Metric(m))
+	}
+	// Sweep-wide observables. The driver's own metric of the same name wins
+	// (fidelity reports its grid means directly).
+	after := c.counters()
+	if df := after.frames - before.frames; df > 0 {
+		metrics = addMissing(metrics, resultstore.Metric{
+			Name:  "packet_loss",
+			Value: float64(after.lost-before.lost) / float64(df),
+		})
+	}
+	if dp := after.points - before.points; dp > 0 {
+		metrics = addMissing(metrics, resultstore.Metric{
+			Name:           "carrier_lock",
+			Value:          float64(after.lockMicro-before.lockMicro) / 1e6 / float64(dp),
+			HigherIsBetter: true,
+		})
+	}
+	return c.finish(res.ID, metrics, true)
+}
+
+// addThroughput records the link benchmark. Its metrics are machine-
+// dependent, so none of them gate (see DefaultTolerances); the store keeps
+// the trajectory visible.
+func (c *campaign) addThroughput(res experiment.LinkBenchResult) error {
+	if !c.active() {
+		return nil
+	}
+	metrics := make([]resultstore.Metric, 0, 4)
+	for _, m := range res.StoreMetrics() {
+		metrics = append(metrics, resultstore.Metric(m))
+	}
+	return c.finish("throughput", metrics, false)
+}
+
+// addMissing appends m unless a metric of the same name is already present.
+func addMissing(ms []resultstore.Metric, m resultstore.Metric) []resultstore.Metric {
+	for _, have := range ms {
+		if have.Name == m.Name {
+			return ms
+		}
+	}
+	return append(ms, m)
+}
+
+// finish builds the record and runs the store, anchor and compare legs.
+func (c *campaign) finish(expID string, metrics []resultstore.Metric, withObs bool) error {
+	c.measured++
+	key := c.key
+	key.Experiment = expID
+	rec := resultstore.Record{
+		Kind:    resultstore.KindResult,
+		UnixMS:  time.Now().UnixMilli(),
+		Key:     key,
+		Metrics: metrics,
+	}
+	if withObs && c.met != nil {
+		snap := c.met.SnapshotLight()
+		rec.Obs = &snap
+	}
+	if c.store != nil {
+		stored, err := c.store.Append(rec)
+		if err != nil {
+			return fmt.Errorf("store: %w", err)
+		}
+		rec = stored
+		verb := "stored"
+		if c.anchor {
+			if err := c.store.Anchor(stored.Seq); err != nil {
+				return fmt.Errorf("store-anchor: %w", err)
+			}
+			verb = "stored and anchored"
+		}
+		fmt.Printf("%s %s as seq %d\n", verb, stored.Key, stored.Seq)
+	}
+	c.headline = &rec
+	if c.cmp != nil {
+		base, ok := c.cmp.LastAnchored(key.Series())
+		if !ok {
+			return fmt.Errorf("compare: no anchored baseline for %s (run once with -store <dir> -store-anchor first)", key.Series())
+		}
+		d := resultstore.Compare(rec, base, nil)
+		if err := d.Render(os.Stdout); err != nil {
+			return err
+		}
+		if d.Regressed() {
+			c.regressed = append(c.regressed, expID)
+		}
+	}
+	return nil
+}
+
+// writeHeadline exports the run's single measured record as indented JSON
+// (the committed BENCH_fig13.json format). The obs snapshot stays out: the
+// export is a human-diffable baseline, not a drill-down artifact.
+func (c *campaign) writeHeadline(path string) error {
+	if !c.active() {
+		return fmt.Errorf("requires -store or -compare")
+	}
+	if c.measured != 1 || c.headline == nil {
+		return fmt.Errorf("needs exactly one measured experiment in the run, got %d", c.measured)
+	}
+	rec := *c.headline
+	rec.Obs = nil
+	data, err := json.MarshalIndent(rec, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// baselineRev reads the git_rev recorded in an existing BENCH baseline file
+// ("" when the file is absent or unreadable — a fresh baseline has nothing
+// to guard against).
+func baselineRev(path string) string {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return ""
+	}
+	var old experiment.LinkBenchResult
+	if json.Unmarshal(data, &old) != nil {
+		return ""
+	}
+	return old.GitRev
 }
 
 // gitRev resolves the source revision for the benchmark record: the VCS

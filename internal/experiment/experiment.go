@@ -248,6 +248,9 @@ func (t Trial) PacketLossDetail(snrDB float64, pointSeed uint64) (plr, meanLock 
 		met.Exp.Points.Inc()
 		met.Exp.Frames.Add(int64(t.Scale.Frames))
 		met.Exp.FramesLost.Add(int64(lost))
+		// Fixed-point millionths: integer adds commute across worker
+		// goroutines, so the sweep-wide mean lock is schedule-independent.
+		met.Exp.LockMicroSum.Add(int64(math.Round(meanLock * 1e6)))
 		met.Exp.LastPLR.Store(plr)
 		met.Exp.LastSNRdB.Store(snrDB)
 		met.Exp.PointNS.ObserveSince(psw)

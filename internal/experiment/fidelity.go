@@ -123,5 +123,17 @@ func FidelitySweep(sc Scale, bandwidths []float64, levels []FidelityLevel) (Resu
 	}
 	res.Tables = []Table{plrTab, lockTab}
 	res.Series = series
+	// Canonical store metrics: mean packet loss and mean carrier lock over
+	// the whole severity × bandwidth grid, accumulated in fixed cell order.
+	plrSum, lockSum := 0.0, 0.0
+	for _, c := range cells {
+		plrSum += c.plr
+		lockSum += c.lock
+	}
+	n := float64(len(cells))
+	res.Metrics = []Metric{
+		{Name: "packet_loss", Value: plrSum / n, HigherIsBetter: false},
+		{Name: "carrier_lock", Value: lockSum / n, HigherIsBetter: true},
+	}
 	return res, nil
 }

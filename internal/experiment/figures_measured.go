@@ -47,6 +47,24 @@ func hoppingLinkConfig(p hop.Pattern, sc Scale) core.Config {
 	return cfg
 }
 
+// advSummary returns the canonical headline metrics of a power-advantage
+// sweep: the mean over all cells ("adv_db") and the worst cell
+// ("adv_db_worst"). Both accumulate in fixed slice order, so the values
+// are independent of worker scheduling.
+func advSummary(advs []float64) []Metric {
+	sum, worst := 0.0, advs[0]
+	for _, a := range advs {
+		sum += a
+		if a < worst {
+			worst = a
+		}
+	}
+	return []Metric{
+		{Name: "adv_db", Value: sum / float64(len(advs)), Unit: "dB", HigherIsBetter: true},
+		{Name: "adv_db_worst", Value: worst, Unit: "dB", HigherIsBetter: true},
+	}
+}
+
 // Fig13 reproduces Figure 13: the measured power advantage of interference
 // filtering for fixed bandwidth offsets. For every signal/jammer bandwidth
 // constellation the minimal SNR reaching <50% packet loss is measured with
@@ -155,6 +173,7 @@ func Fig13(sc Scale, bandwidths []float64) (Result, error) {
 	}
 	res.Tables = []Table{tab, matrix}
 	res.Series = []Series{measured, bound}
+	res.Metrics = advSummary(advs)
 	return res, nil
 }
 
@@ -238,6 +257,11 @@ func Fig14(sc Scale, jammerBWs []float64) (Result, error) {
 	}
 	res.Tables = []Table{tab}
 	res.Series = series
+	flat := make([]float64, 0, len(jammerBWs)*len(patterns))
+	for _, row := range advs {
+		flat = append(flat, row...)
+	}
+	res.Metrics = advSummary(flat)
 	return res, nil
 }
 
@@ -314,6 +338,11 @@ func Table2(sc Scale) (Result, error) {
 		res.Series = append(res.Series, s)
 	}
 	res.Tables = []Table{tab}
+	flat := make([]float64, 0, len(patterns)*len(patterns))
+	for _, row := range advs {
+		flat = append(flat, row...)
+	}
+	res.Metrics = advSummary(flat)
 	return res, nil
 }
 
@@ -356,6 +385,7 @@ func AblationHopDwell(sc Scale, dwells []int) (Result, error) {
 	}
 	res.Tables = []Table{tab}
 	res.Series = []Series{s}
+	res.Metrics = advSummary(s.Y)
 	return res, nil
 }
 
@@ -393,5 +423,6 @@ func AblationFilterTaps(sc Scale, taps []int) (Result, error) {
 	}
 	res.Tables = []Table{tab}
 	res.Series = []Series{s}
+	res.Metrics = advSummary(s.Y)
 	return res, nil
 }

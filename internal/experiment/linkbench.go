@@ -31,11 +31,16 @@ type LinkBenchSample struct {
 type LinkBenchResult struct {
 	// GitRev is the source revision the numbers were measured at (filled
 	// by the caller; the library cannot know it).
-	GitRev    string `json:"git_rev"`
-	GoVersion string `json:"go_version"`
-	GOOS      string `json:"goos"`
-	GOARCH    string `json:"goarch"`
-	NumCPU    int    `json:"num_cpu"`
+	GitRev string `json:"git_rev"`
+	// BaselineRev, when the result was written over an existing baseline
+	// file measured at a different revision, records that prior revision —
+	// so a regenerated BENCH_link.json always shows which baseline it
+	// replaced and a stale-rev overwrite can never happen silently.
+	BaselineRev string `json:"baseline_git_rev,omitempty"`
+	GoVersion   string `json:"go_version"`
+	GOOS        string `json:"goos"`
+	GOARCH      string `json:"goarch"`
+	NumCPU      int    `json:"num_cpu"`
 	// SIMD names the active vector-kernel mode (internal/dsp/simd).
 	SIMD string `json:"simd"`
 	// Serial is the plain DecodeBurst path; Pipelined runs the concurrent
@@ -119,6 +124,20 @@ func LinkThroughput(gitRev, simdMode string) (LinkBenchResult, error) {
 		Serial:    serial,
 		Pipelined: pipelined,
 	}, nil
+}
+
+// StoreMetrics flattens the result into the canonical metric list the
+// campaign store records. All four are machine-dependent, so the result
+// store's regression gate treats them as informational (CI's
+// bench-regression job owns the noise-aware throughput gate); the store
+// still makes their per-revision trajectory visible.
+func (r LinkBenchResult) StoreMetrics() []Metric {
+	return []Metric{
+		{Name: "serial_ms_per_op", Value: r.Serial.MsPerOp, Unit: "ms", HigherIsBetter: false},
+		{Name: "serial_msps", Value: r.Serial.SamplesPerSec / 1e6, Unit: "MS/s", HigherIsBetter: true},
+		{Name: "pipelined_ms_per_op", Value: r.Pipelined.MsPerOp, Unit: "ms", HigherIsBetter: false},
+		{Name: "pipelined_msps", Value: r.Pipelined.SamplesPerSec / 1e6, Unit: "MS/s", HigherIsBetter: true},
+	}
 }
 
 // WriteJSON renders the result as indented JSON (the BENCH_link.json

@@ -19,8 +19,20 @@ type Table struct {
 	Rows    [][]string
 }
 
+// Metric is one canonical scalar summary of a result — the number a
+// campaign store diffs across revisions. Names are stable identifiers
+// ("adv_db", "packet_loss", "carrier_lock"); HigherIsBetter orients
+// regression checks (an advantage regresses downward, a loss rate upward).
+type Metric struct {
+	Name           string
+	Value          float64
+	Unit           string
+	HigherIsBetter bool
+}
+
 // Result is the output of one experiment driver: the reproduced figure or
-// table, as renderable tables plus the raw series for CSV export.
+// table, as renderable tables plus the raw series for CSV export and the
+// canonical headline metrics for durable storage (internal/resultstore).
 type Result struct {
 	// ID is the paper artifact ("fig7", "table2", ...).
 	ID string
@@ -28,6 +40,10 @@ type Result struct {
 	Caption string
 	Tables  []Table
 	Series  []Series
+	// Metrics holds the measured drivers' headline scalars. Theoretical
+	// figures leave it empty: closed-form curves cannot regress at fixed
+	// code, and the store only tracks measurements.
+	Metrics []Metric
 }
 
 // Render writes the result as aligned text tables.

@@ -138,6 +138,12 @@ type ExpMetrics struct {
 	// Points counts packet-loss measurement points; Frames and FramesLost
 	// total the frames behind them.
 	Points, Frames, FramesLost Counter
+	// LockMicroSum accumulates each point's mean carrier-lock quality in
+	// fixed-point millionths (lock ∈ [0,1], so int64 microlocks sum exactly
+	// and order-independently across worker goroutines — a float
+	// accumulator would make the total schedule-dependent). The derived
+	// gauge exp.mean_carrier_lock reads LockMicroSum/1e6/Points.
+	LockMicroSum Counter
 	// LastPLR and LastSNRdB describe the most recent measurement point.
 	LastPLR, LastSNRdB Gauge
 	// PointNS times whole packet-loss measurement points.
@@ -206,11 +212,20 @@ type HistogramStat struct {
 	Max   int64   `json:"max"`
 }
 
+// SnapshotSchema is the version stamped into every Snapshot. It guards the
+// stored form: resultstore records and -obs streams carry snapshots across
+// revisions, and a decoder can tell a layout change from data corruption.
+// Bump it when a Snapshot field changes meaning or encoding — adding
+// metrics under the existing lists is not a schema change.
+const SnapshotSchema = 1
+
 // Snapshot is one point-in-time reading of a pipeline: every counter, gauge
 // and histogram under its documented name, the registered process globals,
 // and the recent span trace. The field order is fixed, so CSV columns and
-// JSON layouts are stable across snapshots of the same build.
+// JSON layouts are stable across snapshots of the same build, and the
+// schema stamp versions the layout for durable storage (resultstore).
 type Snapshot struct {
+	Schema     int             `json:"schema"`
 	UptimeNS   int64           `json:"uptime_ns"`
 	Counters   []CounterStat   `json:"counters"`
 	Gauges     []GaugeStat     `json:"gauges"`
@@ -232,7 +247,7 @@ func (p *Pipeline) SnapshotLight() Snapshot {
 }
 
 func (p *Pipeline) snapshot(withSpans bool) Snapshot {
-	s := Snapshot{UptimeNS: Now() - p.start}
+	s := Snapshot{Schema: SnapshotSchema, UptimeNS: Now() - p.start}
 	c := func(name string, ctr *Counter) {
 		s.Counters = append(s.Counters, CounterStat{Name: name, Value: ctr.Load()})
 	}
@@ -286,6 +301,7 @@ func (p *Pipeline) snapshot(withSpans bool) Snapshot {
 	c("exp.points", &p.Exp.Points)
 	c("exp.frames", &p.Exp.Frames)
 	c("exp.frames_lost", &p.Exp.FramesLost)
+	c("exp.lock_micro_sum", &p.Exp.LockMicroSum)
 	s.Counters = append(s.Counters, globalCounters()...)
 
 	s.Gauges = append(s.Gauges,
@@ -293,6 +309,15 @@ func (p *Pipeline) snapshot(withSpans bool) Snapshot {
 		GaugeStat{Name: "exp.last_snr_db", Value: p.Exp.LastSNRdB.Load()},
 		GaugeStat{Name: "hub.queue_high_water", Value: p.Hub.QueueHighWater.Load()},
 	)
+	// Derived mean carrier lock across every measurement point so far.
+	if pts := p.Exp.Points.Load(); pts > 0 {
+		s.Gauges = append(s.Gauges, GaugeStat{
+			Name:  "exp.mean_carrier_lock",
+			Value: float64(p.Exp.LockMicroSum.Load()) / 1e6 / float64(pts),
+		})
+	} else {
+		s.Gauges = append(s.Gauges, GaugeStat{Name: "exp.mean_carrier_lock"})
+	}
 	// Derived throughput gauges: decoded bursts and experiment frames per
 	// second of pipeline uptime.
 	if secs := float64(s.UptimeNS) / 1e9; secs > 0 {

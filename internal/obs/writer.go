@@ -5,7 +5,10 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"runtime"
+	"runtime/debug"
 	"strconv"
+	"strings"
 	"sync"
 	"time"
 )
@@ -32,6 +35,61 @@ func ParseFormat(s string) (Format, error) {
 	return 0, fmt.Errorf("obs: unknown snapshot format %q (want jsonl or csv)", s)
 }
 
+// Header is the one-time self-description record stamped ahead of a
+// snapshot stream: the build and run identity a reader needs to interpret
+// stored or streamed snapshots without the producing shell session. It is
+// written once, lazily, before the first snapshot (SetHeader), so the
+// periodic hot path stays untouched.
+type Header struct {
+	// Schema is the snapshot layout version (SnapshotSchema).
+	Schema int `json:"schema"`
+	// GitRev is the source revision, "-dirty"-suffixed for modified trees
+	// and "unknown" when the binary carries no VCS stamp.
+	GitRev    string `json:"git_rev"`
+	GoVersion string `json:"go_version"`
+	GOOS      string `json:"goos"`
+	GOARCH    string `json:"goarch"`
+	// SIMD names the active vector-kernel mode; the caller supplies it
+	// (obs cannot import internal/dsp/simd without inverting the layering).
+	SIMD string `json:"simd,omitempty"`
+	// Seed is the experiment seed of the run the stream observes.
+	Seed uint64 `json:"seed"`
+}
+
+// NewHeader fills a Header from the running binary: the VCS revision via
+// runtime/debug.ReadBuildInfo (a `go build` of a clean checkout stamps it;
+// `go run` builds carry none and yield "unknown" — callers with a stronger
+// rev source may overwrite GitRev), the Go version, and GOOS/GOARCH.
+func NewHeader(seed uint64, simdMode string) Header {
+	h := Header{
+		Schema:    SnapshotSchema,
+		GitRev:    "unknown",
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		SIMD:      simdMode,
+		Seed:      seed,
+	}
+	if info, ok := debug.ReadBuildInfo(); ok {
+		rev, dirty := "", false
+		for _, s := range info.Settings {
+			switch s.Key {
+			case "vcs.revision":
+				rev = s.Value
+			case "vcs.modified":
+				dirty = s.Value == "true"
+			}
+		}
+		if rev != "" {
+			if dirty {
+				rev += "-dirty"
+			}
+			h.GitRev = rev
+		}
+	}
+	return h
+}
+
 // SnapshotWriter periodically serializes a pipeline's SnapshotLight to an
 // io.Writer as JSONL or CSV. It is a reporting component: it allocates
 // freely and must not be called from hot paths. Write/Start/Stop are safe
@@ -46,8 +104,26 @@ type SnapshotWriter struct {
 	// later rows stay aligned even if global metrics register mid-run.
 	csvCols []string
 
+	// header, when set, is written once ahead of the first snapshot.
+	header    *Header
+	headerOut bool
+
 	stop chan struct{}
 	done chan struct{}
+}
+
+// SetHeader arranges for h to be written once before the first snapshot:
+// as a {"header": {...}} line in JSONL mode, and as a `# key=value ...`
+// comment line (encoding/csv readers skip it with Comment = '#') ahead of
+// the column row in CSV mode. Call before Start or the first Write; a
+// header set after output began is ignored.
+func (s *SnapshotWriter) SetHeader(h Header) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.headerOut {
+		return
+	}
+	s.header = &h
 }
 
 // NewSnapshotWriter returns a writer emitting p's snapshots to w.
@@ -63,6 +139,9 @@ func (s *SnapshotWriter) Write() error {
 }
 
 func (s *SnapshotWriter) write(snap Snapshot) error {
+	if err := s.writeHeader(); err != nil {
+		return err
+	}
 	switch s.format {
 	case FormatCSV:
 		return s.writeCSV(snap)
@@ -70,6 +149,39 @@ func (s *SnapshotWriter) write(snap Snapshot) error {
 		enc := json.NewEncoder(s.w)
 		return enc.Encode(snap)
 	}
+}
+
+// writeHeader emits the pending one-time header record, if any.
+func (s *SnapshotWriter) writeHeader() error {
+	if s.header == nil || s.headerOut {
+		return nil
+	}
+	s.headerOut = true
+	switch s.format {
+	case FormatCSV:
+		_, err := fmt.Fprintf(s.w,
+			"# bhss-obs schema=%d git_rev=%s go=%s goos=%s goarch=%s simd=%s seed=%d\n",
+			s.header.Schema, csvHeaderField(s.header.GitRev), csvHeaderField(s.header.GoVersion),
+			csvHeaderField(s.header.GOOS), csvHeaderField(s.header.GOARCH),
+			csvHeaderField(s.header.SIMD), s.header.Seed)
+		return err
+	default:
+		return json.NewEncoder(s.w).Encode(struct {
+			Header *Header `json:"header"`
+		}{Header: s.header})
+	}
+}
+
+// csvHeaderField keeps the comment line single-line and space-delimited
+// whatever the build info contains.
+func csvHeaderField(v string) string {
+	return strings.Map(func(r rune) rune {
+		switch r {
+		case ' ', '\n', '\r', '\t':
+			return '_'
+		}
+		return r
+	}, v)
 }
 
 func (s *SnapshotWriter) writeCSV(snap Snapshot) error {

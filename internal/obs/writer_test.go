@@ -98,6 +98,84 @@ func TestSnapshotWriterCSV(t *testing.T) {
 	}
 }
 
+func TestSnapshotWriterJSONLHeader(t *testing.T) {
+	p := NewPipeline()
+	var buf bytes.Buffer
+	w := NewSnapshotWriter(&buf, FormatJSONL, p)
+	w.SetHeader(Header{Schema: SnapshotSchema, GitRev: "abc123", GoVersion: "go1.22",
+		GOOS: "linux", GOARCH: "amd64", SIMD: "avx2", Seed: 7})
+	if err := w.Write(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Write(); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("lines = %d, want header + 2 snapshots", len(lines))
+	}
+	var hdr struct {
+		Header *Header `json:"header"`
+	}
+	if err := json.Unmarshal([]byte(lines[0]), &hdr); err != nil || hdr.Header == nil {
+		t.Fatalf("first line is not a header record: %q (%v)", lines[0], err)
+	}
+	if hdr.Header.GitRev != "abc123" || hdr.Header.Seed != 7 || hdr.Header.SIMD != "avx2" {
+		t.Fatalf("header round trip = %+v", hdr.Header)
+	}
+	// The header must appear exactly once, and snapshot lines must still
+	// parse as snapshots.
+	var snap Snapshot
+	if err := json.Unmarshal([]byte(lines[1]), &snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.Schema != SnapshotSchema {
+		t.Fatalf("snapshot schema = %d, want %d", snap.Schema, SnapshotSchema)
+	}
+	if strings.Count(buf.String(), "header") != 1 {
+		t.Fatal("header written more than once")
+	}
+}
+
+func TestSnapshotWriterCSVHeader(t *testing.T) {
+	p := NewPipeline()
+	var buf bytes.Buffer
+	w := NewSnapshotWriter(&buf, FormatCSV, p)
+	w.SetHeader(NewHeader(42, "off"))
+	if err := w.Write(); err != nil {
+		t.Fatal(err)
+	}
+	first, _, _ := strings.Cut(buf.String(), "\n")
+	if !strings.HasPrefix(first, "# bhss-obs schema=1 ") {
+		t.Fatalf("comment header = %q", first)
+	}
+	for _, want := range []string{"git_rev=", "go=go", "goarch=", "simd=off", "seed=42"} {
+		if !strings.Contains(first, want) {
+			t.Fatalf("comment header missing %q: %q", want, first)
+		}
+	}
+	// A '#'-aware CSV reader must still parse the stream cleanly.
+	r := csv.NewReader(&buf)
+	r.Comment = '#'
+	rows, err := r.ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 || rows[0][0] != "uptime_ns" {
+		t.Fatalf("rows = %d, first col %q; want column header + 1 snapshot", len(rows), rows[0][0])
+	}
+}
+
+func TestNewHeaderFillsBuildIdentity(t *testing.T) {
+	h := NewHeader(3, "avx2")
+	if h.Schema != SnapshotSchema || h.Seed != 3 || h.SIMD != "avx2" {
+		t.Fatalf("header = %+v", h)
+	}
+	if h.GoVersion == "" || h.GOOS == "" || h.GOARCH == "" || h.GitRev == "" {
+		t.Fatalf("build identity incomplete: %+v", h)
+	}
+}
+
 func TestSnapshotWriterStop(t *testing.T) {
 	p := NewPipeline()
 	var buf bytes.Buffer

@@ -1,0 +1,232 @@
+package resultstore
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Tolerances maps canonical metric names to the regression the gate
+// forgives, in the metric's own unit and in its bad direction: an
+// "adv_db" tolerance of 0.2 fails a drop of more than 0.2 dB, a
+// "packet_loss" tolerance of 0 fails any growth at all. Metrics without an
+// entry are reported in the diff but never gate — the right setting for
+// machine-dependent numbers like wall-clock throughput, which CI's
+// bench-regression job polices with its own noise-aware fold.
+type Tolerances map[string]float64
+
+// DefaultTolerances is the CI regression gate: the headline power
+// advantage may not drop more than 0.2 dB, packet loss may not grow at
+// all, and mean carrier lock may not sag more than 0.05. The measured
+// experiments are bit-deterministic for a fixed (rev, key), so these
+// tolerances are headroom for intentional small shifts, not for noise.
+func DefaultTolerances() Tolerances {
+	return Tolerances{
+		"adv_db":       0.2,
+		"adv_db_worst": 0.2,
+		"packet_loss":  0,
+		"carrier_lock": 0.05,
+	}
+}
+
+// DiffRow is one metric's comparison between the current record and the
+// anchored baseline. Delta is cur − base; Regressed is set when the metric
+// is gated and Delta exceeds Tol in the bad direction.
+type DiffRow struct {
+	Name           string
+	Unit           string
+	Base, Cur      float64
+	Delta          float64
+	Tol            float64
+	Gated          bool
+	HigherIsBetter bool
+	Regressed      bool
+	// Missing marks a gated metric the baseline carries but the current
+	// record does not — itself a regression (the measurement vanished).
+	Missing bool
+}
+
+// Diff is the full comparison of one record pair.
+type Diff struct {
+	Base, Cur Record
+	Rows      []DiffRow
+}
+
+// Compare diffs cur against base metric by metric. Baseline metrics drive
+// the row set (a metric the baseline never had cannot regress); current-
+// only metrics are appended as informational rows. nil tol uses
+// DefaultTolerances.
+func Compare(cur, base Record, tol Tolerances) Diff {
+	if tol == nil {
+		tol = DefaultTolerances()
+	}
+	d := Diff{Base: base, Cur: cur}
+	for _, bm := range base.Metrics {
+		t, gated := tol[bm.Name]
+		row := DiffRow{
+			Name:           bm.Name,
+			Unit:           bm.Unit,
+			Base:           bm.Value,
+			Tol:            t,
+			Gated:          gated,
+			HigherIsBetter: bm.HigherIsBetter,
+		}
+		cm, ok := cur.Metric(bm.Name)
+		if !ok {
+			row.Missing = true
+			row.Regressed = gated
+			row.Cur = math.NaN()
+			row.Delta = math.NaN()
+			d.Rows = append(d.Rows, row)
+			continue
+		}
+		row.Cur = cm.Value
+		row.Delta = cm.Value - bm.Value
+		if gated {
+			if bm.HigherIsBetter {
+				row.Regressed = row.Delta < -t
+			} else {
+				row.Regressed = row.Delta > t
+			}
+		}
+		d.Rows = append(d.Rows, row)
+	}
+	for _, cm := range cur.Metrics {
+		if _, ok := base.Metric(cm.Name); ok {
+			continue
+		}
+		d.Rows = append(d.Rows, DiffRow{
+			Name:           cm.Name,
+			Unit:           cm.Unit,
+			Base:           math.NaN(),
+			Cur:            cm.Value,
+			Delta:          math.NaN(),
+			HigherIsBetter: cm.HigherIsBetter,
+		})
+	}
+	return d
+}
+
+// Regressed reports whether any gated metric exceeded its tolerance.
+func (d Diff) Regressed() bool {
+	for _, r := range d.Rows {
+		if r.Regressed {
+			return true
+		}
+	}
+	return false
+}
+
+// Render writes the human diff table: one row per metric with baseline,
+// current, delta, tolerance and verdict, preceded by the record pair being
+// compared and followed by a one-line summary.
+func (d Diff) Render(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "result diff: %s\n  baseline seq %d @ %s\n  current  %s\n",
+		d.Cur.Key.Series(), d.Base.Seq, ShortRev(d.Base.Key.GitRev), revOf(d.Cur)); err != nil {
+		return err
+	}
+	rows := [][]string{{"metric", "baseline", "current", "delta", "tolerance", "verdict"}}
+	for _, r := range d.Rows {
+		rows = append(rows, []string{
+			metricLabel(r.Name, r.Unit),
+			num(r.Base), num(r.Cur), signed(r.Delta),
+			tolLabel(r), verdict(r),
+		})
+	}
+	widths := make([]int, len(rows[0]))
+	for _, row := range rows {
+		for i, cell := range row {
+			if len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	for ri, row := range rows {
+		var b strings.Builder
+		b.WriteString(" ")
+		for i, cell := range row {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(cell)
+			b.WriteString(strings.Repeat(" ", widths[i]-len(cell)))
+		}
+		if _, err := fmt.Fprintln(w, strings.TrimRight(b.String(), " ")); err != nil {
+			return err
+		}
+		if ri == 0 {
+			sep := make([]string, len(widths))
+			for i := range sep {
+				sep[i] = strings.Repeat("-", widths[i])
+			}
+			if _, err := fmt.Fprintln(w, " "+strings.Join(sep, "  ")); err != nil {
+				return err
+			}
+		}
+	}
+	summary := "OK: every gated metric within tolerance"
+	if d.Regressed() {
+		var bad []string
+		for _, r := range d.Rows {
+			if r.Regressed {
+				bad = append(bad, r.Name)
+			}
+		}
+		summary = "REGRESSED: " + strings.Join(bad, ", ")
+	}
+	_, err := fmt.Fprintln(w, " "+summary)
+	return err
+}
+
+func revOf(r Record) string {
+	if r.Seq != 0 {
+		return fmt.Sprintf("seq %d @ %s", r.Seq, ShortRev(r.Key.GitRev))
+	}
+	return "unstored @ " + ShortRev(r.Key.GitRev)
+}
+
+func metricLabel(name, unit string) string {
+	if unit == "" {
+		return name
+	}
+	return name + " [" + unit + "]"
+}
+
+func num(v float64) string {
+	if math.IsNaN(v) {
+		return "—"
+	}
+	return fmt.Sprintf("%.4g", v)
+}
+
+func signed(v float64) string {
+	if math.IsNaN(v) {
+		return "—"
+	}
+	return fmt.Sprintf("%+.4g", v)
+}
+
+func tolLabel(r DiffRow) string {
+	if !r.Gated {
+		return "(info)"
+	}
+	dir := "-"
+	if !r.HigherIsBetter {
+		dir = "+"
+	}
+	return fmt.Sprintf("%s%.4g", dir, r.Tol)
+}
+
+func verdict(r DiffRow) string {
+	switch {
+	case r.Missing:
+		return "MISSING"
+	case r.Regressed:
+		return "REGRESSED"
+	case !r.Gated:
+		return "info"
+	default:
+		return "ok"
+	}
+}

@@ -1,0 +1,116 @@
+package resultstore
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// fig13Record mimics what bhssbench stores for a fig13-quick run: the
+// headline advantage plus the sweep-wide loss and lock observables.
+func fig13Record(rev string, adv, worst, plr, lock float64) Record {
+	return Record{
+		Key: testKey(rev),
+		Metrics: []Metric{
+			{Name: "adv_db", Value: adv, Unit: "dB", HigherIsBetter: true},
+			{Name: "adv_db_worst", Value: worst, Unit: "dB", HigherIsBetter: true},
+			{Name: "packet_loss", Value: plr, HigherIsBetter: false},
+			{Name: "carrier_lock", Value: lock, HigherIsBetter: true},
+		},
+	}
+}
+
+func TestCompareWithinToleranceOK(t *testing.T) {
+	base := fig13Record("rev0", 15.47, -0.12, 0.31, 0.91)
+	cur := fig13Record("rev1", 15.33, -0.12, 0.31, 0.89) // −0.14 dB: inside 0.2
+	d := Compare(cur, base, nil)
+	if d.Regressed() {
+		t.Fatalf("within-tolerance diff regressed: %+v", d.Rows)
+	}
+}
+
+// TestCompareInjectedRegression is the acceptance check's harness form: a
+// "jammer power bump" shows up as a dropped advantage and grown packet
+// loss, and the gate must fail with a readable per-metric table.
+func TestCompareInjectedRegression(t *testing.T) {
+	base := fig13Record("rev0", 15.47, -0.12, 0.31, 0.91)
+	cur := fig13Record("rev1", 14.90, -0.12, 0.35, 0.91) // adv −0.57 dB, loss +0.04
+	d := Compare(cur, base, nil)
+	if !d.Regressed() {
+		t.Fatal("injected regression not detected")
+	}
+	var buf bytes.Buffer
+	if err := d.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"adv_db", "packet_loss", "REGRESSED", "baseline", "-0.57", "+0.04"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("diff table missing %q:\n%s", want, out)
+		}
+	}
+	// Exactly the two injured metrics must be named in the verdict line.
+	if !strings.Contains(out, "REGRESSED: adv_db, packet_loss") {
+		t.Fatalf("summary line wrong:\n%s", out)
+	}
+}
+
+func TestComparePacketLossGateIsZeroTolerance(t *testing.T) {
+	base := fig13Record("rev0", 15.47, -0.12, 0.31, 0.91)
+	cur := fig13Record("rev1", 15.47, -0.12, 0.310001, 0.91)
+	if d := Compare(cur, base, nil); !d.Regressed() {
+		t.Fatal("any packet-loss growth must gate")
+	}
+	// Shrinking loss is an improvement, never a regression.
+	better := fig13Record("rev1", 15.47, -0.12, 0.25, 0.91)
+	if d := Compare(better, base, nil); d.Regressed() {
+		t.Fatal("packet-loss improvement flagged as regression")
+	}
+}
+
+func TestCompareMissingGatedMetricRegresses(t *testing.T) {
+	base := fig13Record("rev0", 15.47, -0.12, 0.31, 0.91)
+	cur := Record{Key: testKey("rev1"), Metrics: []Metric{
+		{Name: "adv_db", Value: 15.47, Unit: "dB", HigherIsBetter: true},
+	}}
+	d := Compare(cur, base, nil)
+	if !d.Regressed() {
+		t.Fatal("vanished gated metric must regress")
+	}
+	var buf bytes.Buffer
+	if err := d.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "MISSING") {
+		t.Fatalf("missing metric not marked:\n%s", buf.String())
+	}
+}
+
+func TestCompareUngatedMetricsAreInformational(t *testing.T) {
+	base := Record{Key: testKey("rev0"), Metrics: []Metric{
+		{Name: "serial_msps", Value: 64.5, Unit: "MS/s", HigherIsBetter: true},
+	}}
+	cur := Record{Key: testKey("rev1"), Metrics: []Metric{
+		{Name: "serial_msps", Value: 12.0, Unit: "MS/s", HigherIsBetter: true},
+		{Name: "pipelined_msps", Value: 11.0, Unit: "MS/s", HigherIsBetter: true},
+	}}
+	d := Compare(cur, base, nil)
+	if d.Regressed() {
+		t.Fatal("ungated throughput drop must not gate (CI bench job owns it)")
+	}
+	var buf bytes.Buffer
+	if err := d.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "(info)") {
+		t.Fatalf("ungated rows not marked informational:\n%s", buf.String())
+	}
+}
+
+func TestCompareCustomTolerances(t *testing.T) {
+	base := fig13Record("rev0", 15.47, -0.12, 0.31, 0.91)
+	cur := fig13Record("rev1", 14.90, -0.12, 0.31, 0.91)
+	if d := Compare(cur, base, Tolerances{"adv_db": 1.0}); d.Regressed() {
+		t.Fatal("custom 1.0 dB tolerance should forgive a 0.57 dB drop")
+	}
+}

@@ -1,0 +1,314 @@
+package resultstore
+
+import (
+	"fmt"
+	"html/template"
+	"net/http"
+	"strconv"
+	"strings"
+)
+
+// NewDashboard returns the trajectory dashboard over a store, a pure
+// stdlib net/http + html/template handler with three routes:
+//
+//	/                  — every series: record counts, latest metrics, sparkline
+//	/series?id=<series> — one series' metric trajectories across revisions
+//	/record?seq=<n>     — one record in full, including the obs snapshot
+//
+// The handler reads the store's in-memory index on every request, so a
+// long-running `bhssbench -serve` picks up records appended by the same
+// process; records appended by another process require a restart (the log
+// is read once at Open).
+func NewDashboard(s *Store) (http.Handler, error) {
+	t, err := template.New("dash").Funcs(template.FuncMap{
+		"short":  ShortRev,
+		"spark":  sparkline,
+		"numf":   num,
+		"signf":  signed,
+		"msTime": msTime,
+	}).Parse(dashTemplates)
+	if err != nil {
+		return nil, fmt.Errorf("resultstore: dashboard templates: %w", err)
+	}
+	d := &dashboard{store: s, tmpl: t}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", d.index)
+	mux.HandleFunc("/series", d.series)
+	mux.HandleFunc("/record", d.record)
+	return mux, nil
+}
+
+type dashboard struct {
+	store *Store
+	tmpl  *template.Template
+}
+
+// seriesView is one row of the index page and the header of a series page.
+type seriesView struct {
+	ID       string
+	Records  []Record
+	Latest   Record
+	Anchored Record
+	HasAnch  bool
+	// Trajectories is one named value-track per metric, in first-seen
+	// order, aligned with Records.
+	Trajectories []trajectory
+}
+
+type trajectory struct {
+	Metric Metric // name/unit/orientation from the newest occurrence
+	Values []float64
+	Have   []bool
+}
+
+func (d *dashboard) seriesView(id string) (seriesView, bool) {
+	recs := d.store.SeriesRecords(id)
+	if len(recs) == 0 {
+		return seriesView{}, false
+	}
+	v := seriesView{ID: id, Records: recs, Latest: recs[len(recs)-1]}
+	v.Anchored, v.HasAnch = d.store.LastAnchored(id)
+	order := []string{}
+	byName := map[string]*trajectory{}
+	for _, r := range recs {
+		for _, m := range r.Metrics {
+			if byName[m.Name] == nil {
+				byName[m.Name] = &trajectory{
+					Values: make([]float64, len(recs)),
+					Have:   make([]bool, len(recs)),
+				}
+				order = append(order, m.Name)
+			}
+			byName[m.Name].Metric = m
+		}
+	}
+	for i, r := range recs {
+		for _, m := range r.Metrics {
+			tr := byName[m.Name]
+			tr.Values[i] = m.Value
+			tr.Have[i] = true
+		}
+	}
+	for _, name := range order {
+		v.Trajectories = append(v.Trajectories, *byName[name])
+	}
+	return v, true
+}
+
+func (d *dashboard) index(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/" {
+		http.NotFound(w, r)
+		return
+	}
+	ids := d.store.SeriesList()
+	views := make([]seriesView, 0, len(ids))
+	for _, id := range ids {
+		if v, ok := d.seriesView(id); ok {
+			views = append(views, v)
+		}
+	}
+	d.render(w, "index", struct {
+		Total  int
+		Series []seriesView
+	}{Total: d.store.Len(), Series: views})
+}
+
+func (d *dashboard) series(w http.ResponseWriter, r *http.Request) {
+	id := r.URL.Query().Get("id")
+	v, ok := d.seriesView(id)
+	if !ok {
+		http.Error(w, "unknown series "+id, http.StatusNotFound)
+		return
+	}
+	d.render(w, "series", v)
+}
+
+func (d *dashboard) record(w http.ResponseWriter, r *http.Request) {
+	seq, err := strconv.ParseUint(r.URL.Query().Get("seq"), 10, 64)
+	if err != nil {
+		http.Error(w, "bad seq", http.StatusBadRequest)
+		return
+	}
+	rec, ok := d.store.Get(seq)
+	if !ok {
+		http.Error(w, fmt.Sprintf("no record with seq %d", seq), http.StatusNotFound)
+		return
+	}
+	d.render(w, "record", rec)
+}
+
+func (d *dashboard) render(w http.ResponseWriter, name string, data any) {
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	if err := d.tmpl.ExecuteTemplate(w, name, data); err != nil {
+		// Headers are already out; all we can do is log the truncation
+		// into the body where a human will see it.
+		fmt.Fprintf(w, "<!-- template error: %v -->", err)
+	}
+}
+
+// sparkline renders a value track as a small inline SVG polyline. The
+// vertical range is padded so a flat trajectory draws mid-height rather
+// than hugging an edge; missing points break the line.
+func sparkline(tr trajectory) template.HTML {
+	const width, height, pad = 220, 44, 4
+	lo, hi, n := 0.0, 0.0, 0
+	for i, have := range tr.Have {
+		if !have {
+			continue
+		}
+		v := tr.Values[i]
+		if n == 0 || v < lo {
+			lo = v
+		}
+		if n == 0 || v > hi {
+			hi = v
+		}
+		n++
+	}
+	if n == 0 {
+		return ""
+	}
+	span := hi - lo
+	if span < 1e-12 {
+		span = 1
+		lo -= 0.5
+	}
+	step := float64(width-2*pad) / float64(maxInt(len(tr.Have)-1, 1))
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg class="spark" width="%d" height="%d" viewBox="0 0 %d %d">`, width, height, width, height)
+	var seg []string
+	flush := func() {
+		if len(seg) > 1 {
+			fmt.Fprintf(&b, `<polyline points="%s" fill="none" stroke="#2a6" stroke-width="1.5"/>`, strings.Join(seg, " "))
+		}
+		seg = seg[:0]
+	}
+	for i, have := range tr.Have {
+		if !have {
+			flush()
+			continue
+		}
+		x := pad + float64(i)*step
+		y := float64(height-pad) - (tr.Values[i]-lo)/span*float64(height-2*pad)
+		seg = append(seg, fmt.Sprintf("%.1f,%.1f", x, y))
+		// Dot the last point so single-record series are still visible.
+		if i == len(tr.Have)-1 {
+			fmt.Fprintf(&b, `<circle cx="%.1f" cy="%.1f" r="2.5" fill="#2a6"/>`, x, y)
+		}
+	}
+	flush()
+	b.WriteString(`</svg>`)
+	// The SVG is assembled entirely from numerals and fixed markup above —
+	// no store-controlled strings — so marking it trusted is sound.
+	return template.HTML(b.String())
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// msTime renders a caller-supplied UnixMS stamp, or a dash when the record
+// was stored without one.
+func msTime(ms int64) string {
+	if ms == 0 {
+		return "—"
+	}
+	// Render as raw epoch milliseconds: the store has no clock and takes no
+	// timezone dependency; the stamp is for ordering, not for prose.
+	return strconv.FormatInt(ms, 10) + " ms"
+}
+
+const dashTemplates = `
+{{define "style"}}<style>
+body { font: 14px/1.5 system-ui, sans-serif; margin: 2rem; color: #123; }
+h1, h2 { font-weight: 600; }
+table { border-collapse: collapse; margin: 1rem 0; }
+th, td { border: 1px solid #cdd; padding: .3rem .7rem; text-align: left; }
+th { background: #eef3f3; }
+code { background: #f2f5f5; padding: 0 .2rem; }
+.spark { vertical-align: middle; background: #fafcfc; border: 1px solid #e0e8e8; }
+.anchor { color: #a60; font-weight: 600; }
+a { color: #167; }
+</style>{{end}}
+
+{{define "index"}}<!doctype html><html><head><title>bhss result store</title>{{template "style"}}</head><body>
+<h1>bhss result store</h1>
+<p>{{.Total}} records, {{len .Series}} series. A series is one experiment key minus the git revision;
+its trajectory is the same measurement repeated across revisions.</p>
+<table>
+<tr><th>series</th><th>records</th><th>latest rev</th><th>anchor</th><th>headline</th><th>trajectory</th></tr>
+{{range .Series}}<tr>
+<td><a href="/series?id={{.ID}}">{{.ID}}</a></td>
+<td>{{len .Records}}</td>
+<td><code>{{short .Latest.Key.GitRev}}</code></td>
+<td>{{if .HasAnch}}<span class="anchor">seq {{.Anchored.Seq}} @ {{short .Anchored.Key.GitRev}}</span>{{else}}—{{end}}</td>
+<td>{{if .Latest.Metrics}}{{with index .Latest.Metrics 0}}{{.Name}} = {{numf .Value}} {{.Unit}}{{end}}{{end}}</td>
+<td>{{if .Trajectories}}{{with index .Trajectories 0}}{{spark .}}{{end}}{{end}}</td>
+</tr>{{end}}
+</table>
+</body></html>{{end}}
+
+{{define "series"}}<!doctype html><html><head><title>{{.ID}}</title>{{template "style"}}</head><body>
+<p><a href="/">← all series</a></p>
+<h1>{{.ID}}</h1>
+{{if .HasAnch}}<p>anchored baseline: <span class="anchor">seq {{.Anchored.Seq}} @ <code>{{short .Anchored.Key.GitRev}}</code></span></p>
+{{else}}<p>no anchored baseline — mark one with <code>bhssbench -store &lt;dir&gt; -store-anchor</code></p>{{end}}
+<h2>metric trajectories</h2>
+<table>
+<tr><th>metric</th><th>latest</th><th>trajectory (append order)</th></tr>
+{{range .Trajectories}}<tr>
+<td>{{.Metric.Name}}{{with .Metric.Unit}} [{{.}}]{{end}}</td>
+<td>{{numf .Metric.Value}}</td>
+<td>{{spark .}}</td>
+</tr>{{end}}
+</table>
+<h2>records</h2>
+<table>
+<tr><th>seq</th><th>rev</th><th>stored</th>{{range .Trajectories}}<th>{{.Metric.Name}}</th>{{end}}</tr>
+{{$t := .Trajectories}}{{$anch := .Anchored}}{{$hasAnch := .HasAnch}}
+{{range $i, $r := .Records}}<tr>
+<td><a href="/record?seq={{$r.Seq}}">{{$r.Seq}}</a>{{if and $hasAnch (eq $r.Seq $anch.Seq)}} <span class="anchor">⚓</span>{{end}}</td>
+<td><code>{{short $r.Key.GitRev}}</code></td>
+<td>{{msTime $r.UnixMS}}</td>
+{{range $t}}<td>{{if index .Have $i}}{{numf (index .Values $i)}}{{else}}—{{end}}</td>{{end}}
+</tr>{{end}}
+</table>
+</body></html>{{end}}
+
+{{define "record"}}<!doctype html><html><head><title>record {{.Seq}}</title>{{template "style"}}</head><body>
+<p><a href="/series?id={{.Key.Series}}">← series {{.Key.Series}}</a></p>
+<h1>record {{.Seq}} <code>{{short .Key.GitRev}}</code></h1>
+<table>
+<tr><th>experiment</th><td>{{.Key.Experiment}}</td></tr>
+<tr><th>scale</th><td>{{.Key.Scale}}</td></tr>
+<tr><th>seed</th><td>{{.Key.Seed}}</td></tr>
+<tr><th>impair</th><td>{{if .Key.Impair}}<code>{{.Key.Impair}}</code>{{else}}—{{end}}</td></tr>
+<tr><th>chaos</th><td>{{if .Key.Chaos}}<code>{{.Key.Chaos}}</code>{{else}}—{{end}}</td></tr>
+<tr><th>stored</th><td>{{msTime .UnixMS}}</td></tr>
+<tr><th>schema</th><td>{{.Schema}}</td></tr>
+</table>
+<h2>metrics</h2>
+<table>
+<tr><th>name</th><th>value</th><th>unit</th><th>orientation</th></tr>
+{{range .Metrics}}<tr><td>{{.Name}}</td><td>{{numf .Value}}</td><td>{{.Unit}}</td>
+<td>{{if .HigherIsBetter}}higher is better{{else}}lower is better{{end}}</td></tr>{{end}}
+</table>
+{{with .Obs}}
+<h2>obs snapshot</h2>
+<p>uptime {{.UptimeNS}} ns · schema {{.Schema}}</p>
+<h3>counters</h3>
+<table><tr><th>name</th><th>value</th></tr>
+{{range .Counters}}<tr><td><code>{{.Name}}</code></td><td>{{.Value}}</td></tr>{{end}}</table>
+<h3>gauges</h3>
+<table><tr><th>name</th><th>value</th></tr>
+{{range .Gauges}}<tr><td><code>{{.Name}}</code></td><td>{{numf .Value}}</td></tr>{{end}}</table>
+<h3>histograms</h3>
+<table><tr><th>name</th><th>count</th><th>mean</th><th>p50</th><th>p90</th><th>p99</th><th>max</th></tr>
+{{range .Histograms}}<tr><td><code>{{.Name}}</code></td><td>{{.Count}}</td><td>{{numf .Mean}}</td>
+<td>{{.P50}}</td><td>{{.P90}}</td><td>{{.P99}}</td><td>{{.Max}}</td></tr>{{end}}</table>
+{{else}}<p>no obs snapshot stored.</p>{{end}}
+</body></html>{{end}}
+`

@@ -1,0 +1,129 @@
+package resultstore
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"bhss/internal/obs"
+)
+
+// openDashboard builds a store with a three-revision fig13 trajectory (the
+// newest record anchored) plus one throughput record, and returns the
+// handler over it.
+func openDashboard(t *testing.T) http.Handler {
+	t.Helper()
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	var last Record
+	for i, adv := range []float64{15.21, 15.47, 15.47} {
+		rec := fig13Record("rev"+strings.Repeat("f", i+1), adv, -0.12, 0.31, 0.91)
+		rec.UnixMS = 1754600000000 + int64(i)
+		if i == 1 {
+			p := obs.NewPipeline()
+			p.Exp.Frames.Add(4116)
+			p.Exp.FramesLost.Add(1276)
+			snap := p.Snapshot()
+			rec.Obs = &snap
+		}
+		last, err = s.Append(rec)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Anchor(last.Seq); err != nil {
+		t.Fatal(err)
+	}
+	tp := Record{
+		Key: Key{GitRev: "revff", Experiment: "throughput", Scale: "quick", Seed: 1},
+		Metrics: []Metric{
+			{Name: "serial_msps", Value: 64.5, Unit: "MS/s", HigherIsBetter: true},
+		},
+	}
+	if _, err := s.Append(tp); err != nil {
+		t.Fatal(err)
+	}
+	h, err := NewDashboard(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+func get(t *testing.T, h http.Handler, url string) (int, string) {
+	t.Helper()
+	rr := httptest.NewRecorder()
+	h.ServeHTTP(rr, httptest.NewRequest("GET", url, nil))
+	return rr.Code, rr.Body.String()
+}
+
+func TestDashboardIndex(t *testing.T) {
+	h := openDashboard(t)
+	code, body := get(t, h, "/")
+	if code != http.StatusOK {
+		t.Fatalf("status = %d", code)
+	}
+	for _, want := range []string{
+		"fig13/quick/seed=1", "throughput/quick/seed=1",
+		"<svg", "seq 3", // sparkline and the anchor marker
+	} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("index missing %q:\n%s", want, body)
+		}
+	}
+	if code, _ := get(t, h, "/nope"); code != http.StatusNotFound {
+		t.Fatalf("unknown path status = %d", code)
+	}
+}
+
+func TestDashboardSeriesTrajectory(t *testing.T) {
+	h := openDashboard(t)
+	code, body := get(t, h, "/series?id=fig13/quick/seed=1/impair=/chaos=")
+	if code != http.StatusOK {
+		t.Fatalf("status = %d", code)
+	}
+	for _, want := range []string{
+		"adv_db", "packet_loss", "carrier_lock", // metric trajectories
+		"15.21", "15.47", // values across revs
+		"<svg", "⚓", // sparkline, anchored row marker
+		`/record?seq=1`, `/record?seq=2`, `/record?seq=3`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("series page missing %q:\n%s", want, body)
+		}
+	}
+	if code, _ := get(t, h, "/series?id=unknown"); code != http.StatusNotFound {
+		t.Fatalf("unknown series status = %d", code)
+	}
+}
+
+func TestDashboardRecordDrilldown(t *testing.T) {
+	h := openDashboard(t)
+	code, body := get(t, h, "/record?seq=2")
+	if code != http.StatusOK {
+		t.Fatalf("status = %d", code)
+	}
+	for _, want := range []string{
+		"record 2", "fig13", "quick",
+		"obs snapshot", "exp.frames", "4116", // drill-down into the stored snapshot
+		"higher is better",
+	} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("record page missing %q:\n%s", want, body)
+		}
+	}
+	// A record stored without a snapshot renders the placeholder.
+	if _, body := get(t, h, "/record?seq=1"); !strings.Contains(body, "no obs snapshot") {
+		t.Fatal("snapshot placeholder missing")
+	}
+	if code, _ := get(t, h, "/record?seq=99"); code != http.StatusNotFound {
+		t.Fatalf("missing record status = %d", code)
+	}
+	if code, _ := get(t, h, "/record?seq=x"); code != http.StatusBadRequest {
+		t.Fatalf("bad seq status = %d", code)
+	}
+}

@@ -1,0 +1,346 @@
+package resultstore
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"bhss/internal/obs"
+)
+
+func testKey(rev string) Key {
+	return Key{
+		GitRev:     rev,
+		Experiment: "fig13",
+		Scale:      "quick",
+		Seed:       1,
+	}
+}
+
+func testRecord(rev string, adv float64) Record {
+	return Record{
+		Key:    testKey(rev),
+		UnixMS: 1754600000000,
+		Metrics: []Metric{
+			{Name: "adv_db", Value: adv, Unit: "dB", HigherIsBetter: true},
+			{Name: "packet_loss", Value: 0.31, HigherIsBetter: false},
+		},
+	}
+}
+
+func TestAppendReopenRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := make([]Record, 0, 3)
+	for i := 0; i < 3; i++ {
+		rec, err := s.Append(testRecord(fmt.Sprintf("rev%d", i), 15.0+float64(i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rec.Seq != uint64(i+1) {
+			t.Fatalf("seq = %d, want %d", rec.Seq, i+1)
+		}
+		want = append(want, rec)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	got := s2.Records()
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("reopen mismatch:\ngot  %+v\nwant %+v", got, want)
+	}
+	// Appends must continue the sequence after reopen.
+	rec, err := s2.Append(testRecord("rev3", 18))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Seq != 4 {
+		t.Fatalf("post-reopen seq = %d, want 4", rec.Seq)
+	}
+}
+
+// TestTornTailRecovery is the durability property test: whatever byte
+// offset a crash tears the final record at, reopening recovers every prior
+// record bit-identically and the torn bytes are cut off so the next append
+// lands on a clean frame boundary.
+func TestTornTailRecovery(t *testing.T) {
+	// Build a reference log with three records, remember the file length
+	// after the second: everything past it belongs to the torn record.
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want []Record
+	for i := 0; i < 2; i++ {
+		rec, err := s.Append(testRecord(fmt.Sprintf("rev%d", i), 15.0+float64(i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		want = append(want, rec)
+	}
+	logPath := filepath.Join(dir, logName)
+	intact, err := os.ReadFile(logPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Append(testRecord("rev2", 17)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	full, err := os.ReadFile(logPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(full) <= len(intact) {
+		t.Fatalf("third append did not grow the log (%d -> %d bytes)", len(intact), len(full))
+	}
+
+	for cut := len(intact); cut < len(full); cut++ {
+		dir2 := t.TempDir()
+		torn := append([]byte(nil), full[:cut]...)
+		if err := os.WriteFile(filepath.Join(dir2, logName), torn, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		s2, err := Open(dir2)
+		if err != nil {
+			t.Fatalf("cut at %d: reopen: %v", cut, err)
+		}
+		if got := s2.Records(); !reflect.DeepEqual(got, want) {
+			t.Fatalf("cut at %d: recovered %d records, want the 2 intact ones", cut, len(got))
+		}
+		// The torn bytes must be gone from disk so the next append starts a
+		// valid frame.
+		onDisk, err := os.ReadFile(filepath.Join(dir2, logName))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(onDisk, intact) {
+			t.Fatalf("cut at %d: log not truncated to last intact frame (%d bytes, want %d)",
+				cut, len(onDisk), len(intact))
+		}
+		rec, err := s2.Append(testRecord("rev2b", 17.5))
+		if err != nil {
+			t.Fatalf("cut at %d: append after recovery: %v", cut, err)
+		}
+		if rec.Seq != 3 {
+			t.Fatalf("cut at %d: post-recovery seq = %d, want 3", cut, rec.Seq)
+		}
+		if err := s2.Close(); err != nil {
+			t.Fatal(err)
+		}
+		s3, err := Open(dir2)
+		if err != nil {
+			t.Fatalf("cut at %d: second reopen: %v", cut, err)
+		}
+		if got := s3.Len(); got != 3 {
+			t.Fatalf("cut at %d: after recovery append, %d records, want 3", cut, got)
+		}
+		s3.Close()
+	}
+}
+
+// TestCorruptMidFrameStopsAtFlip guards the recovery rule's scope: a flipped
+// byte inside an earlier record (not a torn tail) still truncates at the
+// first bad frame rather than decoding garbage.
+func TestCorruptMidFrameStopsAtFlip(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, err := s.Append(testRecord("rev0", 15))
+	if err != nil {
+		t.Fatal(err)
+	}
+	firstLen, err := s.f.Seek(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Append(testRecord("rev1", 16)); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+
+	logPath := filepath.Join(dir, logName)
+	data, err := os.ReadFile(logPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[firstLen+frameHeaderSize+3] ^= 0xff // flip a payload byte of record 2
+	if err := os.WriteFile(logPath, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	got := s2.Records()
+	if len(got) != 1 || !reflect.DeepEqual(got[0], first) {
+		t.Fatalf("recovered %+v, want only the first record", got)
+	}
+}
+
+// TestObsSnapshotRoundTrip pins the storage contract for drill-down data: a
+// stored obs.Snapshot decodes bit-identically — every counter, gauge,
+// histogram quantile and the schema stamp — through the full frame encode/
+// decode path, not just through encoding/json in isolation.
+func TestObsSnapshotRoundTrip(t *testing.T) {
+	p := obs.NewPipeline()
+	p.Tx.Frames.Add(17)
+	p.Rx.Decoded.Add(13)
+	p.Exp.LastPLR.Store(0.4375)
+	p.Exp.LastSNRdB.Store(-3.21e-7) // exercise float round-trip off the easy path
+	p.Exp.PointNS.Observe(12345)
+	p.Exp.PointNS.Observe(999999999)
+	// SnapshotLight is the stored form (bhssbench drops the transient span
+	// trace); a full Snapshot's empty-but-non-nil Spans slice would not
+	// survive the omitempty round trip, and has no business being durable.
+	snap := p.SnapshotLight()
+	if snap.Schema != obs.SnapshotSchema {
+		t.Fatalf("snapshot schema = %d, want %d", snap.Schema, obs.SnapshotSchema)
+	}
+
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := testRecord("rev0", 15)
+	rec.Obs = &snap
+	if _, err := s.Append(rec); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	got, ok := s2.Get(1)
+	if !ok || got.Obs == nil {
+		t.Fatal("stored snapshot missing after reopen")
+	}
+	if !reflect.DeepEqual(*got.Obs, snap) {
+		t.Fatalf("snapshot round trip not bit-identical:\ngot  %+v\nwant %+v", *got.Obs, snap)
+	}
+	// Belt and braces: the JSON re-encoding of the decoded snapshot must be
+	// byte-identical to the original encoding (no float drift).
+	a, err := json.Marshal(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := json.Marshal(*got.Obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatal("snapshot JSON encoding drifted across the round trip")
+	}
+}
+
+func TestAnchorAndLastAnchored(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	r1, err := s.Append(testRecord("rev0", 15))
+	if err != nil {
+		t.Fatal(err)
+	}
+	series := r1.Key.Series()
+	if _, ok := s.LastAnchored(series); ok {
+		t.Fatal("anchor reported before any was set")
+	}
+	if err := s.Anchor(r1.Seq); err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := s.LastAnchored(series); !ok || got.Seq != r1.Seq {
+		t.Fatalf("LastAnchored = %+v, %v; want seq %d", got, ok, r1.Seq)
+	}
+	// A newer anchor supersedes; records from other series don't interfere.
+	r2, err := s.Append(testRecord("rev1", 16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	other := testRecord("rev1", 3)
+	other.Key.Experiment = "fig14"
+	if _, err := s.Append(other); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Anchor(r2.Seq); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := s.LastAnchored(series); got.Seq != r2.Seq {
+		t.Fatalf("newest anchor seq = %d, want %d", got.Seq, r2.Seq)
+	}
+	// Anchoring an anchor or a missing seq is an error.
+	if err := s.Anchor(9999); err == nil {
+		t.Fatal("anchored a missing seq")
+	}
+	recs := s.Records()
+	if err := s.Anchor(recs[1].Seq); err == nil { // recs[1] is the first anchor record
+		t.Fatal("anchored an anchor record")
+	}
+	if got := len(s.SeriesList()); got != 2 {
+		t.Fatalf("series count = %d, want 2", got)
+	}
+	if got := len(s.SeriesRecords(series)); got != 2 {
+		t.Fatalf("series records = %d, want 2", got)
+	}
+}
+
+func TestSchemaFromTheFutureRejected(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := testRecord("rev0", 15)
+	if _, err := s.Append(rec); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+
+	// Hand-craft a future-schema frame and append it to the log.
+	future := testRecord("rev1", 16)
+	future.Schema = Schema + 1
+	future.Seq = 2
+	payload, err := json.Marshal(future)
+	if err != nil {
+		t.Fatal(err)
+	}
+	logPath := filepath.Join(dir, logName)
+	f, err := os.OpenFile(logPath, os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frame := make([]byte, frameHeaderSize+len(payload))
+	putFrame(frame, payload)
+	if _, err := f.Write(frame); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	if _, err := Open(dir); err == nil {
+		t.Fatal("future-schema record accepted")
+	}
+}
