@@ -7,13 +7,18 @@
 //
 //	bhssair -listen 127.0.0.1:4200 -noise 0.01
 //	bhssair -chaos resetevery=500,trunc=0.01,seed=9   # fault-injecting air
+//	bhssair -jam jam=reactive,delay=256,sense=1024,power=100
 //
 // With -chaos the hub itself moves to an ephemeral port and a fault
 // injecting proxy (internal/iqstream.ChaosProxy) serves -listen instead,
 // so every client experiences the configured resets, stalls, truncations
-// and latency while the hub stays honest. SIGINT/SIGTERM trigger a
-// graceful Shutdown that drains pending transmitter samples to the
-// receivers before closing.
+// and latency while the hub stays honest. With -jam the hub hosts the
+// adversary itself: the jammer overhears each clean mixed block (before
+// its own interference and the impairment chain) and its waveform is added
+// to what every receiver gets — the strongest sensing position, since a
+// bhssjam client's sense stream loops its own transmission back.
+// SIGINT/SIGTERM trigger a graceful Shutdown that drains pending
+// transmitter samples to the receivers before closing.
 package main
 
 import (
@@ -27,6 +32,7 @@ import (
 
 	"bhss/internal/impair"
 	"bhss/internal/iqstream"
+	"bhss/internal/jammer"
 	"bhss/internal/obs"
 )
 
@@ -45,6 +51,7 @@ func run() error {
 		block      = flag.Int("block", 4096, "mixing block size in samples")
 		seed       = flag.Uint64("seed", 1, "noise seed")
 		impairSpec = flag.String("impair", "", "RF front-end impairment spec, e.g. cfo=2e3,ppm=20,phnoise=-80,quant=8 (empty = ideal)")
+		jamSpec    = flag.String("jam", "", "hub-side adversary spec (jammer.ParseSpec grammar), e.g. jam=reactive,delay=256,sense=1024,power=100; senses the clean pre-jamming mix (empty = none)")
 		rate       = flag.Float64("rate", 20, "nominal sample rate in MHz (scales the impairment spec's physical units)")
 		quiet      = flag.Bool("quiet", false, "suppress connection logs")
 		debugAddr  = flag.String("debug-addr", "", "serve /debug/bhss, /debug/vars and /debug/pprof on this address (empty = off)")
@@ -84,9 +91,27 @@ func run() error {
 	if !*quiet {
 		cfg.Logf = log.Printf
 	}
+	// The hub-side adversary: a sensing follower jams what it overhears,
+	// anything else free-runs against the mix clock.
+	var follower jammer.TxAware
+	if *jamSpec != "" {
+		src, err := jammer.NewFromSpec(*jamSpec, *rate, *seed)
+		if err != nil {
+			return err
+		}
+		if f, ok := src.(jammer.TxAware); ok {
+			follower = f
+			cfg.Jam = f.Jam
+		} else {
+			cfg.Jam = func(heard []complex128) []complex128 { return src.Emit(len(heard)) }
+		}
+	}
 	if *debugAddr != "" {
 		p := obs.NewPipeline()
 		front.SetObserver(&p.Impair)
+		if follower != nil {
+			follower.SetObserver(&p.Jam)
+		}
 		cfg.Metrics = &p.Hub
 		srv, addr, err := obs.ServeDebug(*debugAddr, p)
 		if err != nil {
@@ -129,6 +154,6 @@ func run() error {
 		}
 	}()
 
-	log.Printf("virtual air hub listening on %s (noise %.4g, block %d, impair %q)", *listen, *noise, *block, *impairSpec)
+	log.Printf("virtual air hub listening on %s (noise %.4g, block %d, impair %q, jam %q)", *listen, *noise, *block, *impairSpec, *jamSpec)
 	return hub.Serve()
 }

@@ -8,7 +8,7 @@
 //	bhssbench -exp fig13 -scale full -csv out.csv
 //
 // Experiments: fig5, fig7, fig8, fig9, fig10, fig11, fig13, fig14, table1,
-// table1opt, table2, patternstats, ablation-dwell, ablation-taps.
+// table1opt, table2, patternstats, arms, ablation-dwell, ablation-taps.
 // Theoretical figures (7-11, table1) are instant; the measured ones (13,
 // 14, table2, ablations) drive the full sample-level pipeline and take
 // seconds to minutes depending on -scale.
@@ -36,7 +36,7 @@ import (
 
 func main() {
 	var (
-		exp         = flag.String("exp", "all", "experiment id (fig5..fig14, table1, table1opt, table2, patternstats, ablation-dwell, ablation-taps, fidelity, soak, all)")
+		exp         = flag.String("exp", "all", "experiment id (fig5..fig14, table1, table1opt, table2, patternstats, arms, ablation-dwell, ablation-taps, fidelity, soak, all)")
 		impairSpec  = flag.String("impair", "", "RF front-end impairment spec applied to every measured trial, e.g. cfo=2e3,ppm=20,phnoise=-80,quant=8 (empty = ideal; headline figures are pinned with it empty)")
 		chaosSpec   = flag.String("chaos", "", "fault-injection spec for -exp soak, e.g. resetevery=700,trunc=0.001,seed=9 (empty = clean link)")
 		soakSecs    = flag.Float64("soak-seconds", 0, "simulated seconds of traffic for -exp soak (0 = default)")
@@ -72,6 +72,7 @@ func main() {
   fig13           measured power advantage vs bandwidth ratio  (minutes)
   fig14           measured power advantage per hop pattern     (minutes)
   table2          hopping signal vs hopping jammer             (minutes)
+  arms            advantage vs jammer reaction delay × smarts  (minutes)
   ablation-dwell  power advantage vs symbols per hop           (minutes)
   ablation-taps   power advantage vs filter tap budget         (minutes)
   fidelity        packet loss vs front-end impairment severity (minutes)
@@ -580,6 +581,8 @@ func run(id string, sc experiment.Scale) (experiment.Result, error) {
 		return experiment.Table1(), nil
 	case "table2":
 		return experiment.Table2(sc)
+	case "arms":
+		return experiment.ArmsRaceSweep(sc, nil, nil)
 	case "ablation-dwell":
 		return experiment.AblationHopDwell(sc, nil)
 	case "ablation-taps":

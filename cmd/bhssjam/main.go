@@ -9,9 +9,19 @@
 //	bhssjam -hub 127.0.0.1:4200 -kind bandlimited -bw 2.5 -power 20
 //	bhssjam -kind hopping -pattern exponential -power 20
 //	bhssjam -kind sweep -bw 10 -period 65536
+//	bhssjam -jam jam=reactive,delay=256,sense=1024,power=100
+//
+// The -jam flag takes a jammer spec (jammer.ParseSpec grammar) naming any
+// adversary in the zoo and overrides the legacy -kind flag set. Sensing
+// kinds (reactive, multitone, adaptive) additionally open a receive stream
+// from the hub and follow what they overhear. Caveat: the hub's mix
+// includes this jammer's own transmission, so the follower partly senses
+// itself — hub-side adversaries (bhssair -jam) sense the clean pre-jamming
+// mix instead.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -34,15 +44,16 @@ func main() {
 // an error, so deferred cleanup actually runs (log.Fatalf skips defers).
 func run() (err error) {
 	var (
-		hubAddr   = flag.String("hub", "127.0.0.1:4200", "bhssair hub address")
-		kind      = flag.String("kind", "bandlimited", "jammer kind: bandlimited, tone, sweep, hopping, pulsed")
-		bwMHz     = flag.Float64("bw", 2.5, "jammer bandwidth in MHz (sweep: span)")
-		rate      = flag.Float64("rate", 20, "sample rate in MHz")
-		powerDB   = flag.Float64("power", 20, "jammer power in dB relative to a unit signal")
-		pattern   = flag.String("pattern", "linear", "hopping jammer pattern")
-		period    = flag.Int("period", 65536, "sweep period / pulse period / hop dwell in samples")
-		duty      = flag.Float64("duty", 0.5, "pulsed jammer duty cycle")
-		seed      = flag.Uint64("seed", 7, "jammer noise seed")
+		hubAddr    = flag.String("hub", "127.0.0.1:4200", "bhssair hub address")
+		jamSpec    = flag.String("jam", "", "jammer spec (jammer.ParseSpec grammar), e.g. jam=reactive,delay=256,sense=1024,power=100; overrides -kind/-bw/-pattern/-period/-duty/-power (spec power is linear)")
+		kind       = flag.String("kind", "bandlimited", "jammer kind: bandlimited, tone, sweep, hopping, pulsed")
+		bwMHz      = flag.Float64("bw", 2.5, "jammer bandwidth in MHz (sweep: span)")
+		rate       = flag.Float64("rate", 20, "sample rate in MHz")
+		powerDB    = flag.Float64("power", 20, "jammer power in dB relative to a unit signal")
+		pattern    = flag.String("pattern", "linear", "hopping jammer pattern")
+		period     = flag.Int("period", 65536, "sweep period / pulse period / hop dwell in samples")
+		duty       = flag.Float64("duty", 0.5, "pulsed jammer duty cycle")
+		seed       = flag.Uint64("seed", 7, "jammer noise seed")
 		blocks     = flag.Int("blocks", 0, "number of 4096-sample blocks to emit (0 = forever)")
 		impairSpec = flag.String("impair", "", "jammer hardware impairment spec, e.g. cfo=5e3,quant=8 (empty = ideal)")
 		retries    = flag.Int("retries", 0, "dial attempts per (re)connect cycle (0 = default, negative = forever)")
@@ -58,38 +69,44 @@ func run() (err error) {
 
 	power := stats.FromDB(*powerDB)
 	var src jammer.Source
-	switch *kind {
-	case "bandlimited":
-		src, err = jammer.NewBandlimited(*bwMHz / *rate, power, *seed)
-	case "tone":
-		src, err = jammer.NewTone(0, power)
-	case "sweep":
-		src, err = jammer.NewSweep(*bwMHz / *rate, *period, power)
-	case "pulsed":
-		var inner jammer.Source
-		inner, err = jammer.NewBandlimited(*bwMHz / *rate, power, *seed)
-		if err == nil {
-			src, err = jammer.NewPulsed(inner, *duty, *period)
-		}
-	case "hopping":
-		var p hop.Pattern
-		switch *pattern {
-		case "linear":
-			p = hop.Linear
-		case "exponential":
-			p = hop.Exponential
-		case "parabolic":
-			p = hop.Parabolic
+	if *jamSpec != "" {
+		// The spec grammar names any adversary in the zoo, including the
+		// sensing followers the legacy flags cannot build.
+		src, err = jammer.NewFromSpec(*jamSpec, *rate, *seed)
+	} else {
+		switch *kind {
+		case "bandlimited":
+			src, err = jammer.NewBandlimited(*bwMHz / *rate, power, *seed)
+		case "tone":
+			src, err = jammer.NewTone(0, power)
+		case "sweep":
+			src, err = jammer.NewSweep(*bwMHz / *rate, *period, power)
+		case "pulsed":
+			var inner jammer.Source
+			inner, err = jammer.NewBandlimited(*bwMHz / *rate, power, *seed)
+			if err == nil {
+				src, err = jammer.NewPulsed(inner, *duty, *period)
+			}
+		case "hopping":
+			var p hop.Pattern
+			switch *pattern {
+			case "linear":
+				p = hop.Linear
+			case "exponential":
+				p = hop.Exponential
+			case "parabolic":
+				p = hop.Parabolic
+			default:
+				return fmt.Errorf("unknown pattern %q", *pattern)
+			}
+			var dist hop.Distribution
+			dist, err = hop.NewDistribution(p, hop.DefaultBandwidths())
+			if err == nil {
+				src, err = jammer.NewHopping(dist, *rate, *period, power, *seed)
+			}
 		default:
-			return fmt.Errorf("unknown pattern %q", *pattern)
+			return fmt.Errorf("unknown kind %q", *kind)
 		}
-		var dist hop.Distribution
-		dist, err = hop.NewDistribution(p, hop.DefaultBandwidths())
-		if err == nil {
-			src, err = jammer.NewHopping(dist, *rate, *period, power, *seed)
-		}
-	default:
-		return fmt.Errorf("unknown kind %q", *kind)
 	}
 	if err != nil {
 		return err
@@ -123,12 +140,57 @@ func run() (err error) {
 		}
 	}()
 
-	log.Printf("jamming: %s, %.3f MHz, %.1f dB", *kind, *bwMHz, *powerDB)
+	// A sensing adversary also opens a receive stream and follows the
+	// medium. Self-hearing caveat: the hub mixes every client, so the
+	// follower's estimate includes its own transmission once the hub loops
+	// it back; a hub-side adversary (bhssair -jam) senses the clean mix.
+	follower, _ := src.(jammer.TxAware)
+	var sense *iqstream.ReconnectingClient
+	if follower != nil {
+		sense, err = iqstream.DialRxReconnecting(*hubAddr, iqstream.ReconnectConfig{
+			BackoffBase: *backoff,
+			MaxAttempts: *retries,
+			Seed:        *seed + 1,
+			Metrics:     &met.Net,
+			Logf:        log.Printf,
+		})
+		if err != nil {
+			return fmt.Errorf("dial sense: %w", err)
+		}
+		defer func() {
+			if cerr := sense.Close(); cerr != nil && err == nil {
+				err = fmt.Errorf("close sense: %w", cerr)
+			}
+		}()
+	}
+
+	if *jamSpec != "" {
+		log.Printf("jamming: %s", *jamSpec)
+	} else {
+		log.Printf("jamming: %s, %.3f MHz, %.1f dB", *kind, *bwMHz, *powerDB)
+	}
 	const block = 4096
 	for i := 0; *blocks == 0 || i < *blocks; i++ {
+		var out []complex128
+		if follower != nil {
+			heard, rerr := sense.Recv()
+			if errors.Is(rerr, iqstream.ErrStreamGap) {
+				// The overheard stream is discontinuous across a gap:
+				// re-synchronize the follower instead of feeding it a
+				// spliced window.
+				follower.NewBurst()
+				i--
+				continue
+			}
+			if rerr != nil {
+				return fmt.Errorf("sense: %w", rerr)
+			}
+			out = follower.Jam(heard)
+		} else {
+			out = src.Emit(block)
+		}
 		// Even the attacker's hardware is imperfect; stream its blocks
 		// through the impairment chain so oscillator state persists.
-		out := src.Emit(block)
 		if front.Len() > 0 {
 			out = front.Process(out)
 		}

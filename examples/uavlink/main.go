@@ -64,7 +64,9 @@ func flyMission(name string, cfg bhss.Config, reactionDelay int) {
 		for k := range rxSamples {
 			rxSamples[k] *= linkMargin
 		}
-		// The jammer overhears the on-air transmission and reacts.
+		// The jammer overhears the on-air transmission and reacts; each
+		// frame is a separate burst on the adversary's clock.
+		jam.NewBurst()
 		j := jam.Jam(rxSamples)
 		for k := range rxSamples {
 			rxSamples[k] += j[k]

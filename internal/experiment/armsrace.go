@@ -1,0 +1,169 @@
+package experiment
+
+import (
+	"fmt"
+	"strconv"
+
+	"bhss/internal/hop"
+	"bhss/internal/jammer"
+)
+
+// The arms-race sweep extends the paper's Fig 13/14 question — how much does
+// randomized bandwidth hopping buy against a jammer of fixed intelligence —
+// to the adversary dimension the paper's §7 only argues qualitatively: what
+// survives against a jammer that *senses* the transmission and retunes? Each
+// cell measures the hopping link's power advantage over the §6.4.2 fixed
+// 10 MHz baseline (the Fig 14 reference) while an estimator-follower
+// adversary (internal/jammer, DESIGN.md §16) jams it, across a grid of
+// reaction delays × jammer intelligence levels. The followers run
+// memoryless: every burst they must re-sense before they can jam, so the
+// reaction delay directly bounds the fraction of each frame they corrupt —
+// the burst-synchronized threat model (a follower that never loses the
+// transmission is a matched static jammer and carries no delay axis; frame
+// loss is binary, so a carried stale tuning flattens the grid).
+//
+// The expected shape, pinned by the committed BENCH_arms.json anchor: at
+// zero reaction delay the follower tunes within one sense window of each
+// burst and erases most of the hopping advantage; as the delay approaches
+// the frame length the advantage recovers toward the static-jammer value.
+
+// armsSenseWindow is the followers' Welch sense window (samples). 512 is
+// 1/16 of the quick-scale hop dwell: fine enough to catch mid-frame hops,
+// coarse enough that the occupied-bandwidth estimate is stable.
+const armsSenseWindow = 512
+
+// DefaultArmsDelays returns the reaction-delay axis (samples at 20 MS/s).
+// The quick-scale hopping frame is ~17k samples and the hop dwell half
+// that, so the grid brackets the crossover: 0 and 256 react well within a
+// dwell, 16384 spans nearly a whole frame.
+func DefaultArmsDelays() []int { return []int{0, 256, 1024, 4096, 16384} }
+
+// DefaultArmsKinds returns the jammer intelligence ladder, ordered by how
+// much structure the adversary extracts from what it overhears: reactive
+// (bandwidth only), multitone (spectral peaks), adaptive (the hop
+// distribution itself — its learned histogram persists across bursts even
+// though its waveform re-synchronizes).
+func DefaultArmsKinds() []string { return []string{"reactive", "multitone", "adaptive"} }
+
+// specJammer builds a NewJammerFunc from a jammer spec string (the
+// jammer.ParseSpec grammar), so the sweep constructs its adversaries through
+// exactly the surface the bhssjam/bhssbench -jam flags expose.
+func specJammer(spec string, sampleRateMHz float64) NewJammerFunc {
+	return func(seed uint64) (jammer.Source, error) {
+		return jammer.NewFromSpec(spec, sampleRateMHz, seed)
+	}
+}
+
+// ArmsRaceSweep measures the power advantage of the parabolic hopping link
+// over the fixed 10 MHz baseline for every (reaction delay × jammer kind)
+// cell, plus a static band-limited 2.5 MHz jammer as intelligence level
+// zero. nil axes use the defaults.
+func ArmsRaceSweep(sc Scale, delays []int, kinds []string) (Result, error) {
+	if delays == nil {
+		delays = DefaultArmsDelays()
+	}
+	if kinds == nil {
+		kinds = DefaultArmsKinds()
+	}
+	if len(delays) == 0 || len(kinds) == 0 {
+		return Result{}, fmt.Errorf("arms: empty delay or kind axis")
+	}
+	const sampleRate = 20.0
+	power := strconv.FormatFloat(sc.JammerPower, 'g', -1, 64)
+
+	// Cell 0 is the static jammer; followers follow in kind-major order.
+	specs := make([]string, 0, 1+len(kinds)*len(delays))
+	specs = append(specs, "jam=bandlimited,bw=2.5,power="+power)
+	for _, k := range kinds {
+		for _, d := range delays {
+			specs = append(specs, fmt.Sprintf("jam=%s,delay=%d,sense=%d,memory=0,power=%s",
+				k, d, armsSenseWindow, power))
+		}
+	}
+	// A bad kind axis must fail before the minutes-long sweep starts.
+	for _, s := range specs {
+		if _, err := jammer.ParseSpec(s); err != nil {
+			return Result{}, fmt.Errorf("arms: %w", err)
+		}
+	}
+
+	if sc.Obs != nil {
+		sc.Obs.Exp.Cells.Add(int64(1 + len(specs)))
+	}
+	base := baselineTrial(sc)
+	baseSNR, err := base.MinSNR()
+	if err != nil {
+		return Result{}, fmt.Errorf("arms baseline: %w", err)
+	}
+	if sc.Obs != nil {
+		sc.Obs.Exp.CellsDone.Inc()
+	}
+	advs := make([]float64, len(specs))
+	err = forEach(len(specs), func(i int) error {
+		t := Trial{
+			Config:      hoppingLinkConfig(hop.Parabolic, sc),
+			NewJammer:   specJammer(specs[i], sampleRate),
+			RandomPhase: true, CFO: testbedCFO,
+			Scale: sc,
+		}
+		snr, err := t.MinSNR()
+		if err != nil {
+			return fmt.Errorf("arms %s: %w", specs[i], err)
+		}
+		advs[i] = baseSNR - snr
+		if sc.Obs != nil {
+			sc.Obs.Exp.CellsDone.Inc()
+		}
+		return nil
+	})
+	if err != nil {
+		return Result{}, err
+	}
+
+	res := Result{
+		ID:      "arms",
+		Caption: "power advantage of bandwidth hopping vs jammer reaction delay × intelligence",
+	}
+	tab := Table{
+		Title:   "power advantage [dB] over the fixed 10 MHz baseline (Fig 14 reference)",
+		Columns: append([]string{"delay[samples]", "static-2.5MHz"}, kinds...),
+	}
+	static := advs[0]
+	staticSeries := Series{Name: "static"}
+	series := make([]Series, len(kinds))
+	for ki, k := range kinds {
+		series[ki].Name = k
+	}
+	for di, d := range delays {
+		// The static column repeats the one delay-independent measurement:
+		// it is the row's intelligence-zero reference, not a new cell.
+		row := []string{strconv.Itoa(d), f2(static)}
+		staticSeries.X = append(staticSeries.X, float64(d))
+		staticSeries.Y = append(staticSeries.Y, static)
+		for ki := range kinds {
+			adv := advs[1+ki*len(delays)+di]
+			row = append(row, f2(adv))
+			series[ki].X = append(series[ki].X, float64(d))
+			series[ki].Y = append(series[ki].Y, adv)
+		}
+		tab.Rows = append(tab.Rows, row)
+	}
+	res.Tables = []Table{tab}
+	res.Series = append([]Series{staticSeries}, series...)
+
+	// Canonical gated metrics (adv_db, adv_db_worst) over every cell, plus
+	// ungated context scalars documenting the crossover: the mean advantage
+	// against the fastest and slowest adversaries of the grid.
+	res.Metrics = advSummary(advs)
+	fastest, slowest := 0.0, 0.0
+	for ki := range kinds {
+		fastest += advs[1+ki*len(delays)]
+		slowest += advs[1+ki*len(delays)+len(delays)-1]
+	}
+	res.Metrics = append(res.Metrics,
+		Metric{Name: "adv_db_static", Value: static, Unit: "dB", HigherIsBetter: true},
+		Metric{Name: "adv_db_fastest", Value: fastest / float64(len(kinds)), Unit: "dB", HigherIsBetter: true},
+		Metric{Name: "adv_db_slowest", Value: slowest / float64(len(kinds)), Unit: "dB", HigherIsBetter: true},
+	)
+	return res, nil
+}

@@ -1,0 +1,73 @@
+package experiment
+
+import (
+	"testing"
+)
+
+// TestArmsRaceSmoke runs a reduced arms-race grid end to end and pins the
+// trend the sweep exists to measure: a follower reacting within the hop
+// dwell erases more of the hopping advantage than one that is a whole frame
+// behind. The exact dB values are anchored at quick scale in BENCH_arms.json
+// (CI's results-regression job); this test only asserts shape so it stays
+// robust at tiny averaging depth.
+func TestArmsRaceSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("arms-race sweep drives full packet-loss bisections")
+	}
+	sc := tinyScale()
+	delays := []int{0, 16384}
+	kinds := []string{"reactive"}
+	res, err := ArmsRaceSweep(sc, delays, kinds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ID != "arms" {
+		t.Fatalf("ID = %q", res.ID)
+	}
+	// Series: static + one per kind; table rows: one per delay.
+	if len(res.Series) != 2 || len(res.Tables) != 1 || len(res.Tables[0].Rows) != len(delays) {
+		t.Fatalf("unexpected result shape: %d series, %d tables", len(res.Series), len(res.Tables))
+	}
+	reactive := res.Series[1]
+	if reactive.Name != "reactive" || len(reactive.Y) != len(delays) {
+		t.Fatalf("reactive series malformed: %+v", reactive)
+	}
+	atZero, atFrame := reactive.Y[0], reactive.Y[1]
+	// The arms-race trend: a zero-delay follower retunes within one sense
+	// window of each burst, so hopping buys clearly less against it than
+	// against a follower lagging nearly a full frame.
+	if atZero >= atFrame {
+		t.Fatalf("advantage vs zero-delay follower (%v dB) should be below the full-frame-lag cell (%v dB)",
+			atZero, atFrame)
+	}
+	// And the slow follower must leave a solidly positive advantage — the
+	// headline survives when the adversary cannot keep up.
+	if atFrame < 2 {
+		t.Fatalf("advantage vs slow follower = %v dB, want clearly positive", atFrame)
+	}
+	// Canonical + context metrics, in stable order for the store gate.
+	names := []string{"adv_db", "adv_db_worst", "adv_db_static", "adv_db_fastest", "adv_db_slowest"}
+	if len(res.Metrics) != len(names) {
+		t.Fatalf("metrics = %+v", res.Metrics)
+	}
+	for i, want := range names {
+		if res.Metrics[i].Name != want {
+			t.Fatalf("metric[%d] = %q, want %q", i, res.Metrics[i].Name, want)
+		}
+	}
+}
+
+// TestArmsRaceRejectsBadAxes: a misspelled kind must fail in the spec
+// pre-pass, before any bisection runs.
+func TestArmsRaceRejectsBadAxes(t *testing.T) {
+	sc := tinyScale()
+	if _, err := ArmsRaceSweep(sc, []int{0}, []string{"psychic"}); err == nil {
+		t.Fatal("unknown jammer kind accepted")
+	}
+	if _, err := ArmsRaceSweep(sc, []int{}, nil); err == nil {
+		t.Fatal("empty delay axis accepted")
+	}
+	if _, err := ArmsRaceSweep(sc, []int{-5}, []string{"reactive"}); err == nil {
+		t.Fatal("negative delay accepted")
+	}
+}

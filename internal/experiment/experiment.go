@@ -150,10 +150,21 @@ func (t Trial) PacketLossDetail(snrDB float64, pointSeed uint64) (plr, meanLock 
 	tx.SetObserver(met)
 	rx.SetObserver(met)
 	var jam jammer.Source
+	var sensing jammer.TxAware
 	if t.NewJammer != nil {
 		jam, err = t.NewJammer(pointSeed ^ 0xa5a5a5a5)
 		if err != nil {
 			return 0, 0, err
+		}
+		// Sensing adversaries (the reactive/multitone/adaptive followers)
+		// overhear the over-the-air burst — gain, phase and CFO applied,
+		// before noise — and jam sample-aligned with it, exactly the
+		// estimator-follower threat model of DESIGN.md §16.
+		if ta, ok := jam.(jammer.TxAware); ok {
+			sensing = ta
+			if met != nil {
+				ta.SetObserver(&met.Jam)
+			}
 		}
 	}
 	noise := channel.NewAWGN(t.Scale.NoiseVar, pointSeed^0x5a5a5a5a)
@@ -215,7 +226,13 @@ func (t Trial) PacketLossDetail(snrDB float64, pointSeed uint64) (plr, meanLock 
 			dsp.Mix(rxSamples, cfo, phase)
 		}
 		if jam != nil {
-			j := jam.Emit(len(rxSamples))
+			var j []complex128
+			if sensing != nil {
+				sensing.NewBurst()
+				j = sensing.Jam(rxSamples)
+			} else {
+				j = jam.Emit(len(rxSamples))
+			}
 			for k := range rxSamples {
 				rxSamples[k] += j[k]
 			}

@@ -1,8 +1,9 @@
-// Package golden pins three end-to-end IQ vectors — a clean transmit
-// burst, the same burst through the canonical testbed impairment chain,
-// and the burst under band-limited jamming — as byte-exact files with
-// SHA-256 checksums. Any change to the modulator, the impairment stages,
-// the jammer noise shaping, or the PRNG alters a hash and fails here:
+// Package golden pins end-to-end IQ vectors — a clean transmit burst, the
+// same burst through the canonical testbed impairment chain, the burst
+// under band-limited jamming, and each follower jammer's waveform over the
+// burst at two seeds — as byte-exact files with SHA-256 checksums. Any
+// change to the modulator, the impairment stages, the jammer noise
+// shaping, the follower estimator, or the PRNG alters a hash and fails here:
 // the test distinguishes "intentional waveform change" (regenerate with
 // -update and review the diff) from "accidental numerical drift".
 //
@@ -74,7 +75,7 @@ func vectors(t *testing.T) []struct {
 		jammed[i] = burst.Samples[i] + noise[i]
 	}
 
-	return []struct {
+	vecs := []struct {
 		name string
 		iq   []complex128
 	}{
@@ -82,6 +83,35 @@ func vectors(t *testing.T) []struct {
 		{"impaired_burst", impaired},
 		{"jammed_burst", jammed},
 	}
+
+	// The follower zoo: each sensing adversary overhears the same pinned
+	// burst and its jamming waveform is pinned at two seeds. Built through
+	// the spec grammar, so these hashes also pin ParseSpec→Build end to end.
+	for _, spec := range []string{
+		"jam=reactive,delay=256,sense=512,power=10",
+		"jam=multitone,tones=4,delay=256,sense=512,power=10",
+		"jam=adaptive,delay=256,sense=512,power=10",
+	} {
+		kind := strings.TrimPrefix(strings.SplitN(spec, ",", 2)[0], "jam=")
+		for _, seed := range []uint64{goldenSeed, goldenSeed + 1000} {
+			src, err := jammer.NewFromSpec(spec, cfg.SampleRate, seed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			follower, ok := src.(jammer.TxAware)
+			if !ok {
+				t.Fatalf("%s did not build a TxAware jammer", spec)
+			}
+			vecs = append(vecs, struct {
+				name string
+				iq   []complex128
+			}{
+				fmt.Sprintf("follower_%s_s%d", kind, seed),
+				follower.Jam(burst.Samples),
+			})
+		}
+	}
+	return vecs
 }
 
 func serialize(iq []complex128) []byte {

@@ -88,6 +88,14 @@ type HubConfig struct {
 	// shared front end of the testbed. Only the mixing goroutine touches
 	// it.
 	Impair *impair.Chain
+	// Jam, when non-nil, is a hub-side adversary: the mixer hands it each
+	// clean mixed block (after the AWGN floor, before the Impair chain) and
+	// adds the interference it returns, truncated to the block. Unlike a
+	// bhssjam client — whose sense stream loops its own transmission back —
+	// a hub-side adversary overhears the pre-jamming mix, so a sensing
+	// follower (wire up jammer.TxAware.Jam) estimates the victims cleanly.
+	// Only the mixing goroutine calls it; stateful jammers need no locking.
+	Jam func(heard []complex128) []complex128
 	// MaxPending bounds each transmitter's pending queue in samples (a
 	// soft bound: it may be exceeded by at most one wire block). Zero
 	// means DefaultMaxPending.
@@ -646,6 +654,18 @@ func (h *Hub) mixOnce(block []complex128, impaired *[]complex128, txIDs *[]int, 
 		}
 	}
 	h.mu.Unlock()
+	// The hub-side adversary runs outside the lock: its state is owned by
+	// this goroutine, and it only reads the freshly mixed scratch block.
+	if h.cfg.Jam != nil {
+		j := h.cfg.Jam(block)
+		n := len(j)
+		if n > len(block) {
+			n = len(block)
+		}
+		for i := 0; i < n; i++ {
+			block[i] += j[i]
+		}
+	}
 	out := block
 	if h.cfg.Impair.Len() > 0 {
 		*impaired = h.cfg.Impair.ProcessAppend((*impaired)[:0], block)

@@ -512,6 +512,61 @@ func TestHubConnectionChurn(t *testing.T) {
 	}
 }
 
+// TestHubJamHook pins the hub-side adversary semantics (bhssair -jam): the
+// hook overhears the clean mixed block — its own interference is NOT looped
+// back into what it senses, unlike a bhssjam client — and the returned
+// waveform rides on top of the mix that every receiver sees.
+func TestHubJamHook(t *testing.T) {
+	checkGoroutines(t)
+	var heard []complex128
+	h := startHub(t, HubConfig{
+		BlockSize: 64,
+		Jam: func(mix []complex128) []complex128 {
+			heard = append(heard[:0], mix...)
+			j := make([]complex128, len(mix))
+			for i := range j {
+				j[i] = complex(0, 3)
+			}
+			return j
+		},
+	})
+	addr := h.Addr().String()
+	rx, err := DialRx(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rx.Close()
+	tx, err := DialTx(addr, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tx.Close()
+
+	block := make([]complex128, 64)
+	for i := range block {
+		block[i] = 1
+	}
+	if err := tx.Send(block); err != nil {
+		t.Fatal(err)
+	}
+	got := recvN(t, rx, 64)
+	for i, v := range got {
+		if v != complex(1, 3) {
+			t.Fatalf("sample %d = %v, want (1+3i): jam waveform missing from the mix", i, v)
+		}
+	}
+	// The receive above happens-after the mixer's Jam call (channel send +
+	// socket write), so reading the captured sense buffer here is ordered.
+	if len(heard) != 64 {
+		t.Fatalf("adversary heard %d samples, want 64", len(heard))
+	}
+	for i, v := range heard {
+		if v != 1 {
+			t.Fatalf("heard[%d] = %v, want the clean pre-jam mix (1)", i, v)
+		}
+	}
+}
+
 // TestOverflowPolicyStrings pins the flag round-trip.
 func TestOverflowPolicyStrings(t *testing.T) {
 	for _, p := range []OverflowPolicy{OverflowBlock, OverflowDropOldest} {

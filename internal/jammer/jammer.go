@@ -18,7 +18,6 @@ import (
 	"bhss/internal/dsp"
 	"bhss/internal/hop"
 	"bhss/internal/prng"
-	"bhss/internal/spectral"
 )
 
 // Source produces jamming samples with a fixed average power budget.
@@ -29,6 +28,9 @@ type Source interface {
 	Emit(n int) []complex128
 	// Power returns the configured average transmit power.
 	Power() float64
+	// Reset rewinds the jammer to its exact construction state, so a
+	// replayed call sequence reproduces the output stream bit-for-bit.
+	Reset()
 }
 
 // Bandlimited is the paper's canonical jammer: white Gaussian noise
@@ -36,6 +38,7 @@ type Source interface {
 type Bandlimited struct {
 	bw    float64
 	power float64
+	seed0 uint64
 	src   *prng.Source
 	fir   *dsp.FIR
 	scale float64
@@ -68,7 +71,7 @@ func NewBandlimited(bw, power float64, seed uint64) (*Bandlimited, error) {
 	if power < 0 {
 		return nil, fmt.Errorf("jammer: negative power %v", power)
 	}
-	b := &Bandlimited{bw: bw, power: power, src: prng.New(seed), fir: filterTapsForBW(bw)}
+	b := &Bandlimited{bw: bw, power: power, seed0: seed, src: prng.New(seed), fir: filterTapsForBW(bw)}
 	b.calibrate()
 	b.warm()
 	return b, nil
@@ -101,6 +104,9 @@ func (b *Bandlimited) Reseed(seed uint64) {
 	}
 	b.warm()
 }
+
+// Reset rewinds to the construction seed (Reseed with the original seed).
+func (b *Bandlimited) Reset() { b.Reseed(b.seed0) }
 
 // calibrate computes the filter's noise power gain so the emitted power
 // hits the budget regardless of bandwidth: white noise of unit variance
@@ -171,14 +177,22 @@ func NewTone(freq, power float64) (*Tone, error) {
 // Power returns the tone power.
 func (t *Tone) Power() float64 { return t.power }
 
-// Emit returns the next n samples of the tone, phase-continuous.
+// Reset rewinds the tone to phase zero.
+func (t *Tone) Reset() { t.phase = 0 }
+
+// Emit returns the next n samples of the tone, phase-continuous. The phase
+// accumulates without modular reduction so the stream is bit-identical
+// under any chunking of Emit calls (the zoo determinism property).
 func (t *Tone) Emit(n int) []complex128 {
 	out := make([]complex128, n)
-	amp := complex(math.Sqrt(t.power), 0)
+	amp := math.Sqrt(t.power)
+	step := 2 * math.Pi * t.freq
+	ph := t.phase
 	for i := range out {
-		out[i] = amp
+		out[i] = complex(amp*math.Cos(ph), amp*math.Sin(ph))
+		ph += step
 	}
-	t.phase = dsp.Mix(out, t.freq, t.phase)
+	t.phase = ph
 	return out
 }
 
@@ -209,6 +223,9 @@ func NewSweep(span float64, period int, power float64) (*Sweep, error) {
 
 // Power returns the sweep power.
 func (s *Sweep) Power() float64 { return s.power }
+
+// Reset rewinds the chirp to the start of its sweep.
+func (s *Sweep) Reset() { s.pos, s.phase = 0, 0 }
 
 // Emit returns the next n chirp samples.
 func (s *Sweep) Emit(n int) []complex128 {
@@ -252,6 +269,12 @@ func (p *Pulsed) Power() float64 {
 	return p.inner.Power() * float64(p.on) / float64(p.period)
 }
 
+// Reset rewinds the gate and the inner jammer.
+func (p *Pulsed) Reset() {
+	p.pos = 0
+	p.inner.Reset()
+}
+
 // Emit returns the next n samples, zero while gated off.
 func (p *Pulsed) Emit(n int) []complex128 {
 	out := p.inner.Emit(n)
@@ -276,6 +299,7 @@ type Hopping struct {
 	sampleRate    float64
 	samplesPerHop int
 	power         float64
+	seed0         uint64
 	src           *prng.Source
 	seedBase      uint64
 	remaining     int
@@ -310,12 +334,20 @@ func NewHopping(dist hop.Distribution, sampleRate float64, samplesPerHop int, po
 	}
 	return &Hopping{
 		dist: dist, sampleRate: sampleRate, samplesPerHop: samplesPerHop,
-		power: power, src: prng.New(seed), seedBase: seed, pool: pool,
+		power: power, seed0: seed, src: prng.New(seed), seedBase: seed, pool: pool,
 	}, nil
 }
 
 // Power returns the jammer's average power.
 func (h *Hopping) Power() float64 { return h.power }
+
+// Reset rewinds the hop sequence and the seed chain to construction state.
+func (h *Hopping) Reset() {
+	h.src.Reseed(h.seed0)
+	h.seedBase = h.seed0
+	h.remaining = 0
+	h.cur = nil
+}
 
 // Emit returns the next n samples, hopping bandwidth as it goes.
 func (h *Hopping) Emit(n int) []complex128 {
@@ -342,100 +374,5 @@ func (h *Hopping) Emit(n int) []complex128 {
 	return out
 }
 
-// Reactive senses the transmitted signal's occupied bandwidth and answers
-// with matched band-limited noise after a reaction delay τ — the strong
-// attacker of §2 (Wilhelm et al.'s reactive jammer). Jam consumes the clean
-// over-the-air transmit samples (what the jammer overhears) and returns the
-// time-aligned jamming waveform.
-type Reactive struct {
-	// ReactionDelay τ in samples: the jamming that answers the signal
-	// observed at time t starts at t + τ.
-	ReactionDelay int
-	// SenseWindow is how many samples the jammer integrates per bandwidth
-	// estimate (it re-estimates every window).
-	SenseWindow int
-	// PowerBudget is the jammer's average transmit power.
-	PowerBudget float64
-	// Memory carries the last bandwidth estimate across Jam calls: a
-	// returning target that never changed its bandwidth is jammed from
-	// the first sample of its next burst, with no reaction lag. Against
-	// a hopping target the remembered bandwidth is stale and the
-	// receiver's filters remove it.
-	Memory bool
-
-	lastBW float64
-	seed   uint64
-}
-
-// NewReactive returns a reactive jammer. senseWindow must be a power of two
-// >= 64 (it is used as the PSD segment length).
-func NewReactive(reactionDelay, senseWindow int, power float64, seed uint64) (*Reactive, error) {
-	if reactionDelay < 0 {
-		return nil, fmt.Errorf("jammer: negative reaction delay")
-	}
-	if senseWindow < 64 || senseWindow&(senseWindow-1) != 0 {
-		return nil, fmt.Errorf("jammer: sense window %d must be a power of two >= 64", senseWindow)
-	}
-	if power < 0 {
-		return nil, fmt.Errorf("jammer: negative power")
-	}
-	return &Reactive{ReactionDelay: reactionDelay, SenseWindow: senseWindow, PowerBudget: power, seed: seed}, nil
-}
-
-// Jam returns jamming samples aligned to tx: for each sense window the
-// jammer estimates the occupied bandwidth and, ReactionDelay samples later,
-// emits matched band-limited noise. Before the first estimate matures the
-// jammer is silent.
-func (r *Reactive) Jam(tx []complex128) []complex128 {
-	out := make([]complex128, len(tx))
-	if len(tx) < r.SenseWindow || r.PowerBudget == 0 {
-		return out
-	}
-	est := spectral.Welch(r.SenseWindow / 2)
-	seed := r.seed
-	if r.Memory && r.lastBW > 0 {
-		// Jam the head of the burst with the remembered bandwidth until
-		// the first fresh estimate matures.
-		head := r.SenseWindow + r.ReactionDelay
-		if head > len(tx) {
-			head = len(tx)
-		}
-		seed = seed*0x9e3779b97f4a7c15 + 0x2545f4914f6cdd1d
-		if src, err := NewBandlimited(r.lastBW, r.PowerBudget, seed); err == nil {
-			copy(out[:head], src.Emit(head))
-		}
-	}
-	for start := 0; start+r.SenseWindow <= len(tx); start += r.SenseWindow {
-		window := tx[start : start+r.SenseWindow]
-		psd, err := est.PSD(window)
-		if err != nil {
-			continue
-		}
-		bw := spectral.OccupiedBandwidth(psd, 0.95)
-		if bw <= 0 {
-			continue
-		}
-		if bw > 1 {
-			bw = 1
-		}
-		seed = seed*0x9e3779b97f4a7c15 + 0xbf58476d1ce4e5b9
-		src, err := NewBandlimited(bw, r.PowerBudget, seed)
-		if err != nil {
-			continue
-		}
-		r.lastBW = bw
-		// The jam reacting to this window starts ReactionDelay samples
-		// after the window has been fully observed (causality) and covers
-		// one window's worth of time.
-		jamStart := start + r.SenseWindow + r.ReactionDelay
-		if jamStart >= len(tx) {
-			break
-		}
-		jamEnd := jamStart + r.SenseWindow
-		if jamEnd > len(tx) {
-			jamEnd = len(tx)
-		}
-		copy(out[jamStart:jamEnd], src.Emit(jamEnd-jamStart))
-	}
-	return out
-}
+// The reactive, multitone and adaptive estimator-follower jammers live in
+// follower.go; they share the streaming Welch sensing core defined there.

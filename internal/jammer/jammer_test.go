@@ -298,7 +298,8 @@ func TestReactiveMemoryJamsFromFirstSample(t *testing.T) {
 			t.Fatalf("first burst jammed at %d before any estimate", i)
 		}
 	}
-	// Second burst: the remembered bandwidth covers the head immediately.
+	// Second burst: the remembered tuning covers the head immediately.
+	r.NewBurst()
 	second := r.Jam(tx)
 	head := second[:1024]
 	if p := dsp.Power(head); math.Abs(p-4)/4 > 0.4 {
@@ -315,6 +316,7 @@ func TestReactiveWithoutMemoryStaysSilentAtHead(t *testing.T) {
 	tx := pulse.Modulate(chips, pulse.Taps(pulse.HalfSine, 8))
 	r, _ := NewReactive(256, 1024, 4, 9)
 	r.Jam(tx)
+	r.NewBurst()
 	second := r.Jam(tx)
 	for i := 0; i < 1024+256-1; i++ {
 		if second[i] != 0 {

@@ -1,0 +1,470 @@
+package jammer
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+
+	"bhss/internal/hop"
+)
+
+// Spec grammar (documented in README.md and EXPERIMENTS.md), in the
+// internal/impair ParseSpec style: one comma-separated key=value list names
+// any adversary in the zoo, so every jammer is reachable from the
+// bhssjam/bhssbench command lines and the arms-race sweep.
+//
+//	spec    := entry { "," entry }
+//	entry   := key "=" value
+//	key     := jam | bw | freq | span | period | pattern | dwell
+//	         | delay | sense | tones | memory | duty | power | seed
+//
+//	jam=<kind>       required: bandlimited | tone | sweep | hopping
+//	                 | reactive | multitone | adaptive
+//	bw=<MHz>         two-sided bandwidth (bandlimited; default 2.5)
+//	freq=<MHz>       tone center frequency (tone; default 0)
+//	span=<MHz>       chirp span (sweep; default 10)
+//	period=<samples> chirp period (sweep; default 4096)
+//	pattern=<name>   hop distribution over the paper's bandwidth set:
+//	                 linear | exponential | parabolic (hopping;
+//	                 default parabolic)
+//	dwell=<samples>  samples per hop (hopping; default 4096)
+//	delay=<samples>  reaction delay τ (followers; default 512)
+//	sense=<samples>  sense window, power of two >= 64 (followers;
+//	                 default 512)
+//	tones=<n>        tone count (multitone; default 4, max sense/8)
+//	memory=<0|1>     carry tuning across bursts (followers; default 0,
+//	                 except adaptive: 1)
+//	duty=<p>[:<len>] duty cycle: on-fraction p in (0,1] over a period of
+//	                 len samples (default 4096). Non-follower kinds only —
+//	                 gating a sensing adversary would break its Jam
+//	                 alignment. duty=1 is identity and omitted.
+//	power=<linear>   average transmit power (default 1)
+//	seed=<uint64>    seed override (default: the seed passed to Build)
+//
+// Frequencies and bandwidths are in the same unit as Build's sample rate
+// (MHz against 20 MS/s, the repo convention). Unknown keys, keys that do
+// not apply to the kind, malformed numbers and out-of-range values are
+// errors. String renders the canonical form — fixed key order, defaults
+// omitted — and ParseSpec(String()) reproduces the config exactly (the
+// round-trip property FuzzParseJamSpec pins).
+
+// Spec limits: a hostile spec must not make Build allocate unbounded
+// memory or spin a degenerate emitter.
+const (
+	maxSpecSamples = 1 << 24 // delay, dwell, period, sense
+	maxSpecPower   = 1e12
+	maxSpecMHz     = 1e6
+	minSenseWindow = 64
+)
+
+// Kind defaults, shared by ParseSpec (filling) and String (omitting).
+const (
+	defaultBWMHz   = 2.5
+	defaultSpanMHz = 10.0
+	defaultPeriod  = 4096
+	defaultDwell   = 4096
+	defaultDelay   = 512
+	defaultSense   = 512
+	defaultTones   = 4
+	defaultPattern = "parabolic"
+)
+
+// SpecConfig is the parsed form of a jammer spec string.
+type SpecConfig struct {
+	// Kind names the adversary: bandlimited, tone, sweep, hopping,
+	// reactive, multitone or adaptive.
+	Kind string
+
+	BWMHz   float64 // bandlimited
+	FreqMHz float64 // tone
+	SpanMHz float64 // sweep
+	Period  int     // sweep
+	Pattern string  // hopping
+	Dwell   int     // hopping
+
+	Delay  int  // followers
+	Sense  int  // followers
+	Tones  int  // multitone
+	Memory bool // followers
+
+	// Duty gates the emitter: on-fraction DutyOn over DutyPeriod samples.
+	// DutyOn == 1 means no gating.
+	DutyOn     float64
+	DutyPeriod int
+
+	Power float64
+
+	Seed    uint64
+	HasSeed bool
+}
+
+// followerKind reports whether the kind is a sensing (TxAware) adversary.
+func followerKind(kind string) bool {
+	return kind == "reactive" || kind == "multitone" || kind == "adaptive"
+}
+
+// defaultMemory is the kind's Memory default: the adaptive jammer keeps its
+// learned mixture across bursts by construction.
+func defaultMemory(kind string) bool { return kind == "adaptive" }
+
+// specKeyAllowed lists which keys apply to which kind (jam, duty, power and
+// seed apply everywhere except duty on followers).
+func specKeyAllowed(kind, key string) bool {
+	switch key {
+	case "jam", "power", "seed":
+		return true
+	case "duty":
+		return !followerKind(kind)
+	case "bw":
+		return kind == "bandlimited"
+	case "freq":
+		return kind == "tone"
+	case "span", "period":
+		return kind == "sweep"
+	case "pattern", "dwell":
+		return kind == "hopping"
+	case "delay", "sense", "memory":
+		return followerKind(kind)
+	case "tones":
+		return kind == "multitone"
+	}
+	return false
+}
+
+// ParseSpec parses a jammer spec string, filling kind defaults so the
+// returned config is fully resolved. It never panics, whatever the input.
+func ParseSpec(spec string) (SpecConfig, error) {
+	var c SpecConfig
+	spec = strings.TrimSpace(spec)
+	if spec == "" {
+		return c, fmt.Errorf("jammer: empty spec (need jam=<kind>)")
+	}
+	entries := strings.Split(spec, ",")
+	// The kind gates which keys are legal, so resolve it first wherever it
+	// appears in the list.
+	seenJam := false
+	for _, entry := range entries {
+		key, val, ok := strings.Cut(entry, "=")
+		if ok && strings.TrimSpace(key) == "jam" {
+			if seenJam {
+				return c, fmt.Errorf("jammer: duplicate jam= key")
+			}
+			seenJam = true
+			c.Kind = strings.TrimSpace(val)
+		}
+	}
+	switch c.Kind {
+	case "bandlimited", "tone", "sweep", "hopping", "reactive", "multitone", "adaptive":
+	case "":
+		if !seenJam {
+			return c, fmt.Errorf("jammer: spec %q missing jam=<kind>", spec)
+		}
+		return c, fmt.Errorf("jammer: empty jam= kind")
+	default:
+		return c, fmt.Errorf("jammer: unknown kind %q", c.Kind)
+	}
+	// Kind defaults; explicit entries below overwrite them.
+	c.BWMHz = defaultBWMHz
+	c.SpanMHz = defaultSpanMHz
+	c.Period = defaultPeriod
+	c.Pattern = defaultPattern
+	c.Dwell = defaultDwell
+	c.Delay = defaultDelay
+	c.Sense = defaultSense
+	c.Tones = defaultTones
+	c.Memory = defaultMemory(c.Kind)
+	c.DutyOn = 1
+	c.DutyPeriod = defaultPeriod
+	c.Power = 1
+
+	seen := map[string]bool{}
+	for _, entry := range entries {
+		entry = strings.TrimSpace(entry)
+		if entry == "" {
+			return SpecConfig{}, fmt.Errorf("jammer: empty entry in spec %q", spec)
+		}
+		key, val, ok := strings.Cut(entry, "=")
+		if !ok {
+			return SpecConfig{}, fmt.Errorf("jammer: entry %q is not key=value", entry)
+		}
+		key = strings.TrimSpace(key)
+		val = strings.TrimSpace(val)
+		if key != "jam" {
+			if !specKeyAllowed(c.Kind, key) {
+				if specKeyAllowed("bandlimited", key) || specKeyAllowed("sweep", key) ||
+					specKeyAllowed("tone", key) || specKeyAllowed("hopping", key) ||
+					specKeyAllowed("multitone", key) {
+					return SpecConfig{}, fmt.Errorf("jammer: key %q does not apply to kind %q", key, c.Kind)
+				}
+				return SpecConfig{}, fmt.Errorf("jammer: unknown key %q", key)
+			}
+			if seen[key] {
+				return SpecConfig{}, fmt.Errorf("jammer: duplicate key %q", key)
+			}
+			seen[key] = true
+		}
+		var err error
+		switch key {
+		case "jam": // already resolved
+		case "bw":
+			c.BWMHz, err = parsePositiveMHz(key, val)
+		case "freq":
+			c.FreqMHz, err = parseFiniteMHz(key, val)
+		case "span":
+			c.SpanMHz, err = parsePositiveMHz(key, val)
+		case "period":
+			c.Period, err = parseSamples(key, val, 2)
+		case "pattern":
+			switch val {
+			case "linear", "exponential", "parabolic":
+				c.Pattern = val
+			default:
+				err = fmt.Errorf("jammer: pattern=%q is not linear, exponential or parabolic", val)
+			}
+		case "dwell":
+			c.Dwell, err = parseSamples(key, val, 1)
+		case "delay":
+			c.Delay, err = parseSamples(key, val, 0)
+		case "sense":
+			c.Sense, err = parseSamples(key, val, minSenseWindow)
+			if err == nil && c.Sense&(c.Sense-1) != 0 {
+				err = fmt.Errorf("jammer: sense=%d must be a power of two", c.Sense)
+			}
+		case "tones":
+			c.Tones, err = parseSamples(key, val, 1)
+		case "memory":
+			c.Memory, err = strconv.ParseBool(val)
+			if err != nil {
+				err = fmt.Errorf("jammer: memory=%q is not a boolean", val)
+			}
+		case "duty":
+			c.DutyOn, c.DutyPeriod, err = parseDuty(val)
+			if err == nil && c.DutyOn == 1 {
+				// duty=1 is identity: normalize the period away so the
+				// canonical form (which omits the key) round-trips.
+				c.DutyPeriod = defaultPeriod
+			}
+		case "power":
+			var p float64
+			p, err = strconv.ParseFloat(val, 64)
+			if err != nil || math.IsNaN(p) || math.IsInf(p, 0) || p < 0 || p > maxSpecPower {
+				err = fmt.Errorf("jammer: power=%q out of [0, %g]", val, maxSpecPower)
+			} else {
+				c.Power = p
+			}
+		case "seed":
+			c.Seed, err = strconv.ParseUint(val, 10, 64)
+			if err != nil {
+				err = fmt.Errorf("jammer: seed=%q is not a uint64", val)
+			} else {
+				c.HasSeed = true
+			}
+		}
+		if err != nil {
+			return SpecConfig{}, err
+		}
+	}
+	if c.Kind == "multitone" && c.Tones > c.Sense/8 {
+		return SpecConfig{}, fmt.Errorf("jammer: tones=%d exceeds sense resolution (max %d for sense=%d)",
+			c.Tones, c.Sense/8, c.Sense)
+	}
+	return c, nil
+}
+
+func parsePositiveMHz(key, val string) (float64, error) {
+	f, err := strconv.ParseFloat(val, 64)
+	if err != nil || math.IsNaN(f) || math.IsInf(f, 0) || f <= 0 || f > maxSpecMHz {
+		return 0, fmt.Errorf("jammer: %s=%q out of (0, %g]", key, val, maxSpecMHz)
+	}
+	return f, nil
+}
+
+func parseFiniteMHz(key, val string) (float64, error) {
+	f, err := strconv.ParseFloat(val, 64)
+	if err != nil || math.IsNaN(f) || math.IsInf(f, 0) || math.Abs(f) > maxSpecMHz {
+		return 0, fmt.Errorf("jammer: %s=%q exceeds ±%g", key, val, maxSpecMHz)
+	}
+	return f, nil
+}
+
+func parseSamples(key, val string, min int) (int, error) {
+	n, err := strconv.ParseInt(val, 10, 64)
+	if err != nil || n < int64(min) || n > maxSpecSamples {
+		return 0, fmt.Errorf("jammer: %s=%q out of [%d, %d]", key, val, min, maxSpecSamples)
+	}
+	return int(n), nil
+}
+
+// parseDuty parses "p" or "p:period": on-fraction in (0, 1], period >= 2.
+func parseDuty(val string) (on float64, period int, err error) {
+	first, second, has := strings.Cut(val, ":")
+	on, err = strconv.ParseFloat(first, 64)
+	if err != nil || math.IsNaN(on) || on <= 0 || on > 1 {
+		return 0, 0, fmt.Errorf("jammer: duty=%q on-fraction out of (0, 1]", val)
+	}
+	period = defaultPeriod
+	if has {
+		period, err = parseSamples("duty period", second, 2)
+		if err != nil {
+			return 0, 0, err
+		}
+	}
+	return on, period, nil
+}
+
+// String renders the config in canonical spec form: jam= first, fixed key
+// order, kind defaults omitted. ParseSpec(String()) reproduces the config.
+func (c SpecConfig) String() string {
+	var b strings.Builder
+	add := func(key, val string) {
+		if b.Len() > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(key)
+		b.WriteByte('=')
+		b.WriteString(val)
+	}
+	g := func(f float64) string { return strconv.FormatFloat(f, 'g', -1, 64) }
+	add("jam", c.Kind)
+	switch c.Kind {
+	case "bandlimited":
+		if c.BWMHz != defaultBWMHz {
+			add("bw", g(c.BWMHz))
+		}
+	case "tone":
+		if c.FreqMHz != 0 {
+			add("freq", g(c.FreqMHz))
+		}
+	case "sweep":
+		if c.SpanMHz != defaultSpanMHz {
+			add("span", g(c.SpanMHz))
+		}
+		if c.Period != defaultPeriod {
+			add("period", strconv.Itoa(c.Period))
+		}
+	case "hopping":
+		if c.Pattern != defaultPattern {
+			add("pattern", c.Pattern)
+		}
+		if c.Dwell != defaultDwell {
+			add("dwell", strconv.Itoa(c.Dwell))
+		}
+	}
+	if followerKind(c.Kind) {
+		if c.Delay != defaultDelay {
+			add("delay", strconv.Itoa(c.Delay))
+		}
+		if c.Sense != defaultSense {
+			add("sense", strconv.Itoa(c.Sense))
+		}
+		if c.Kind == "multitone" && c.Tones != defaultTones {
+			add("tones", strconv.Itoa(c.Tones))
+		}
+		if c.Memory != defaultMemory(c.Kind) {
+			if c.Memory {
+				add("memory", "1")
+			} else {
+				add("memory", "0")
+			}
+		}
+	} else if c.DutyOn != 1 {
+		if c.DutyPeriod != defaultPeriod {
+			add("duty", g(c.DutyOn)+":"+strconv.Itoa(c.DutyPeriod))
+		} else {
+			add("duty", g(c.DutyOn))
+		}
+	}
+	if c.Power != 1 {
+		add("power", g(c.Power))
+	}
+	if c.HasSeed {
+		add("seed", strconv.FormatUint(c.Seed, 10))
+	}
+	return b.String()
+}
+
+// Build constructs the configured jammer for a medium running at
+// sampleRateMHz (the repo convention: 20 = 20 MS/s). The spec's seed= key,
+// when present, overrides the seed argument. Follower kinds return a
+// TxAware adversary; callers that only Emit get its hears-silence behavior.
+func (c SpecConfig) Build(sampleRateMHz float64, seed uint64) (Source, error) {
+	if sampleRateMHz <= 0 || math.IsNaN(sampleRateMHz) || math.IsInf(sampleRateMHz, 0) {
+		return nil, fmt.Errorf("jammer: sample rate %v MHz must be positive and finite", sampleRateMHz)
+	}
+	if c.HasSeed {
+		seed = c.Seed
+	}
+	var src Source
+	var err error
+	switch c.Kind {
+	case "bandlimited":
+		if c.BWMHz > sampleRateMHz {
+			return nil, fmt.Errorf("jammer: bw=%g MHz exceeds sample rate %g", c.BWMHz, sampleRateMHz)
+		}
+		src, err = NewBandlimited(c.BWMHz/sampleRateMHz, c.Power, seed)
+	case "tone":
+		src, err = NewTone(c.FreqMHz/sampleRateMHz, c.Power)
+	case "sweep":
+		if c.SpanMHz > sampleRateMHz {
+			return nil, fmt.Errorf("jammer: span=%g MHz exceeds sample rate %g", c.SpanMHz, sampleRateMHz)
+		}
+		src, err = NewSweep(c.SpanMHz/sampleRateMHz, c.Period, c.Power)
+	case "hopping":
+		var p hop.Pattern
+		switch c.Pattern {
+		case "linear":
+			p = hop.Linear
+		case "exponential":
+			p = hop.Exponential
+		case "parabolic":
+			p = hop.Parabolic
+		}
+		var dist hop.Distribution
+		dist, err = hop.NewDistribution(p, hop.DefaultBandwidths())
+		if err != nil {
+			return nil, err
+		}
+		src, err = NewHopping(dist, sampleRateMHz, c.Dwell, c.Power, seed)
+	case "reactive":
+		var r *Reactive
+		r, err = NewReactive(c.Delay, c.Sense, c.Power, seed)
+		if err == nil {
+			r.Memory = c.Memory
+			src = r
+		}
+	case "multitone":
+		var m *Multitone
+		m, err = NewMultitone(c.Tones, c.Delay, c.Sense, c.Power, seed)
+		if err == nil {
+			m.Memory = c.Memory
+			src = m
+		}
+	case "adaptive":
+		var a *Adaptive
+		a, err = NewAdaptive(c.Delay, c.Sense, c.Power, seed)
+		if err == nil {
+			a.Memory = c.Memory
+			src = a
+		}
+	default:
+		return nil, fmt.Errorf("jammer: spec has no kind (use ParseSpec)")
+	}
+	if err != nil {
+		return nil, err
+	}
+	if c.DutyOn < 1 && !followerKind(c.Kind) {
+		return NewPulsed(src, c.DutyOn, c.DutyPeriod)
+	}
+	return src, nil
+}
+
+// NewFromSpec parses spec and builds the jammer in one step; the common
+// entry point for the cmd tools' -jam flags.
+func NewFromSpec(spec string, sampleRateMHz float64, seed uint64) (Source, error) {
+	cfg, err := ParseSpec(spec)
+	if err != nil {
+		return nil, err
+	}
+	return cfg.Build(sampleRateMHz, seed)
+}

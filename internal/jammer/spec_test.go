@@ -1,0 +1,185 @@
+package jammer
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseSpecRoundTrip(t *testing.T) {
+	// Each spec must re-render canonically and re-parse to the same config.
+	cases := []struct {
+		in    string
+		canon string
+	}{
+		{"jam=bandlimited", "jam=bandlimited"},
+		{"jam=bandlimited,bw=2.5,power=1", "jam=bandlimited"},
+		{"jam=bandlimited,bw=0.625,power=100", "jam=bandlimited,bw=0.625,power=100"},
+		{"jam=tone,freq=-3.5", "jam=tone,freq=-3.5"},
+		{"jam=sweep,span=5,period=8192", "jam=sweep,span=5,period=8192"},
+		{"jam=hopping,pattern=linear,dwell=2048", "jam=hopping,pattern=linear,dwell=2048"},
+		{"jam=reactive,delay=256,sense=1024,power=2", "jam=reactive,delay=256,sense=1024,power=2"},
+		{"jam=reactive,memory=true", "jam=reactive,memory=1"},
+		{"jam=multitone,tones=8,sense=1024", "jam=multitone,sense=1024,tones=8"},
+		{"jam=adaptive,memory=0,delay=0", "jam=adaptive,delay=0,memory=0"},
+		{"jam=adaptive", "jam=adaptive"},
+		{"power=2 , jam=bandlimited , duty=0.5:2048", "jam=bandlimited,duty=0.5:2048,power=2"},
+		{"jam=bandlimited,duty=0.5", "jam=bandlimited,duty=0.5"},
+		{"jam=bandlimited,seed=42", "jam=bandlimited,seed=42"},
+	}
+	for _, tc := range cases {
+		c, err := ParseSpec(tc.in)
+		if err != nil {
+			t.Fatalf("ParseSpec(%q): %v", tc.in, err)
+		}
+		if got := c.String(); got != tc.canon {
+			t.Fatalf("ParseSpec(%q).String() = %q, want %q", tc.in, got, tc.canon)
+		}
+		c2, err := ParseSpec(c.String())
+		if err != nil {
+			t.Fatalf("re-parse of %q: %v", c.String(), err)
+		}
+		if c2 != c {
+			t.Fatalf("round trip of %q: %+v != %+v", tc.in, c2, c)
+		}
+	}
+}
+
+func TestParseSpecDefaults(t *testing.T) {
+	c, err := ParseSpec("jam=reactive")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Delay != 512 || c.Sense != 512 || c.Power != 1 || c.Memory {
+		t.Fatalf("reactive defaults wrong: %+v", c)
+	}
+	a, err := ParseSpec("jam=adaptive")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Memory {
+		t.Fatal("adaptive must default to memory=1")
+	}
+}
+
+func TestParseSpecErrors(t *testing.T) {
+	bad := []string{
+		"",                                 // no kind
+		"delay=3",                          // missing jam=
+		"jam=",                             // empty kind
+		"jam=laser",                        // unknown kind
+		"jam=reactive,jam=tone",            // duplicate jam
+		"jam=reactive,delay=1,delay=2",     // duplicate key
+		"jam=reactive,bw=5",                // key for another kind
+		"jam=bandlimited,delay=5",          // follower key on static kind
+		"jam=reactive,duty=0.5",            // duty on a follower
+		"jam=bandlimited,zap=1",            // unknown key
+		"jam=bandlimited,bw",               // not key=value
+		"jam=bandlimited,bw=",              // empty value
+		"jam=bandlimited,bw=NaN",           // non-finite
+		"jam=bandlimited,bw=-1",            // non-positive
+		"jam=bandlimited,power=-2",         // negative power
+		"jam=reactive,sense=100",           // not a power of two
+		"jam=reactive,sense=32",            // too small
+		"jam=reactive,delay=-1",            // negative delay
+		"jam=multitone,tones=0",            // no tones
+		"jam=multitone,tones=999,sense=64", // beyond resolution
+		"jam=hopping,pattern=zigzag",       // unknown pattern
+		"jam=hopping,dwell=0",              // dwell too short
+		"jam=sweep,period=1",               // period too short
+		"jam=bandlimited,duty=0",           // zero duty
+		"jam=bandlimited,duty=1.5",         // duty > 1
+		"jam=bandlimited,duty=0.5:1",       // duty period too short
+		"jam=bandlimited,seed=-1",          // negative seed
+		"jam=bandlimited,,power=2",         // empty entry
+		"jam=reactive,memory=maybe",        // non-boolean
+	}
+	for _, spec := range bad {
+		if _, err := ParseSpec(spec); err == nil {
+			t.Fatalf("ParseSpec(%q) accepted", spec)
+		}
+	}
+}
+
+func TestSpecBuildKinds(t *testing.T) {
+	cases := []struct {
+		spec    string
+		txAware bool
+		power   float64
+	}{
+		{"jam=bandlimited,bw=2.5,power=100", false, 100},
+		{"jam=tone,freq=1.25,power=2", false, 2},
+		{"jam=sweep", false, 1},
+		{"jam=hopping,pattern=exponential", false, 1},
+		{"jam=bandlimited,duty=0.5", false, 0.5}, // duty-weighted
+		{"jam=reactive,delay=256,sense=1024,power=2", true, 2},
+		{"jam=multitone,tones=3", true, 1},
+		{"jam=adaptive,power=4", true, 4},
+	}
+	for _, tc := range cases {
+		src, err := NewFromSpec(tc.spec, 20, 7)
+		if err != nil {
+			t.Fatalf("NewFromSpec(%q): %v", tc.spec, err)
+		}
+		if _, ok := src.(TxAware); ok != tc.txAware {
+			t.Fatalf("%q: TxAware = %v, want %v", tc.spec, ok, tc.txAware)
+		}
+		if src.Power() != tc.power {
+			t.Fatalf("%q: power %v, want %v", tc.spec, src.Power(), tc.power)
+		}
+		if out := src.Emit(256); len(out) != 256 {
+			t.Fatalf("%q: Emit returned %d samples", tc.spec, len(out))
+		}
+	}
+}
+
+func TestSpecBuildValidatesRates(t *testing.T) {
+	if _, err := NewFromSpec("jam=bandlimited,bw=30", 20, 1); err == nil {
+		t.Fatal("bw above the sample rate should fail at build")
+	}
+	if _, err := NewFromSpec("jam=sweep,span=30", 20, 1); err == nil {
+		t.Fatal("span above the sample rate should fail at build")
+	}
+	if _, err := NewFromSpec("jam=tone,freq=11", 20, 1); err == nil {
+		t.Fatal("tone outside Nyquist should fail at build")
+	}
+	if _, err := NewFromSpec("jam=bandlimited", 0, 1); err == nil {
+		t.Fatal("zero sample rate should fail")
+	}
+	if _, err := (SpecConfig{}).Build(20, 1); err == nil {
+		t.Fatal("zero config (no kind) should fail")
+	}
+}
+
+func TestSpecSeedOverride(t *testing.T) {
+	// seed= pins the stream regardless of the Build seed argument.
+	a, err := NewFromSpec("jam=bandlimited,seed=5", 20, 111)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewFromSpec("jam=bandlimited,seed=5", 20, 222)
+	if err != nil {
+		t.Fatal(err)
+	}
+	xa, xb := a.Emit(512), b.Emit(512)
+	for i := range xa {
+		if xa[i] != xb[i] {
+			t.Fatal("seed= did not override the build seed")
+		}
+	}
+}
+
+func TestSpecCanonicalFormIsStable(t *testing.T) {
+	// The README example must stay parseable and canonical-stable: this is
+	// the public grammar contract.
+	const example = "jam=reactive,delay=256,sense=1024,power=2"
+	c, err := ParseSpec(example)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.String() != example {
+		t.Fatalf("canonical form of the documented example drifted: %q", c.String())
+	}
+	if !strings.Contains(c.String(), "jam=reactive") {
+		t.Fatal("canonical form must lead with the kind")
+	}
+}

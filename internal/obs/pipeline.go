@@ -129,6 +129,21 @@ type PSDMetrics struct {
 	EstimateNS Histogram
 }
 
+// JamMetrics counts the estimator-follower jammers' sensing work
+// (internal/jammer Reactive/Multitone/Adaptive): how often the adversary
+// produced a bandwidth estimate, how often that estimate changed its
+// waveform, and how often it had to hold a stale tuning because the
+// sensed window carried no energy.
+type JamMetrics struct {
+	// Estimates counts matured sense windows (one PSD + occupied-bandwidth
+	// measurement each); Retunes counts the estimates that scheduled a new
+	// jamming waveform; Holds counts silent windows where the follower kept
+	// its previous tuning instead.
+	Estimates, Retunes, Holds Counter
+	// LastBW is the most recent bandwidth estimate, in cycles/sample.
+	LastBW Gauge
+}
+
 // ExpMetrics tracks experiment-harness progress: sweep cells, measurement
 // points and per-point packet-loss results.
 type ExpMetrics struct {
@@ -161,6 +176,7 @@ type Pipeline struct {
 	Chan   ChanMetrics
 	Impair ImpairMetrics
 	PSD    PSDMetrics
+	Jam    JamMetrics
 	Exp    ExpMetrics
 	Hub    HubMetrics
 	Net    NetMetrics
@@ -281,6 +297,9 @@ func (p *Pipeline) snapshot(withSpans bool) Snapshot {
 	}
 	c("psd.calls", &p.PSD.Calls)
 	c("psd.segments", &p.PSD.Segments)
+	c("jam.estimates", &p.Jam.Estimates)
+	c("jam.retunes", &p.Jam.Retunes)
+	c("jam.holds", &p.Jam.Holds)
 	c("hub.tx_accepted", &p.Hub.TxAccepted)
 	c("hub.rx_accepted", &p.Hub.RxAccepted)
 	c("hub.handshake_rejects", &p.Hub.HandshakeRejects)
@@ -308,6 +327,7 @@ func (p *Pipeline) snapshot(withSpans bool) Snapshot {
 		GaugeStat{Name: "exp.last_plr", Value: p.Exp.LastPLR.Load()},
 		GaugeStat{Name: "exp.last_snr_db", Value: p.Exp.LastSNRdB.Load()},
 		GaugeStat{Name: "hub.queue_high_water", Value: p.Hub.QueueHighWater.Load()},
+		GaugeStat{Name: "jam.last_bw", Value: p.Jam.LastBW.Load()},
 	)
 	// Derived mean carrier lock across every measurement point so far.
 	if pts := p.Exp.Points.Load(); pts > 0 {
