@@ -13,12 +13,20 @@
 // injecting proxy (internal/iqstream.ChaosProxy) serves -listen instead,
 // so every client experiences the configured resets, stalls, truncations
 // and latency while the hub stays honest. With -jam the hub hosts the
-// adversary itself: the jammer overhears each clean mixed block (before
-// its own interference and the impairment chain) and its waveform is added
-// to what every receiver gets — the strongest sensing position, since a
-// bhssjam client's sense stream loops its own transmission back.
-// SIGINT/SIGTERM trigger a graceful Shutdown that drains pending
-// transmitter samples to the receivers before closing.
+// adversary itself on the default link: the jammer overhears each clean
+// mixed block (before its own interference and the impairment chain) and
+// its waveform is added to what every receiver gets. A bhssjam client gets
+// the same self-hearing-free geometry over the wire — its sense stream
+// excludes its own tagged contribution — so the hub-side position now
+// differs mainly in seeing the mix before the front-end impairment chain.
+//
+// The hub carries many concurrent links (RF sessions): clients address one
+// with -link, links are partitioned across -shards mixer goroutines, and
+// admission past -max-links/-max-links-per-shard is refused with "ERR hub
+// full". A supervisor watchdog restarts wedged shards and re-homes their
+// links, and sustained receiver-queue overflow sheds the worst
+// drop-majority link. SIGINT/SIGTERM trigger a graceful Shutdown that
+// drains pending transmitter samples to the receivers before closing.
 package main
 
 import (
@@ -64,6 +72,12 @@ func run() error {
 		stallBudget = flag.Duration("stall-budget", 0, "slow-consumer eviction window (0 = default, negative = never evict)")
 		writeDL     = flag.Duration("write-deadline", 0, "per-write socket deadline toward receivers (0 = default, negative = none)")
 		drainWait   = flag.Duration("drain", 10*time.Second, "graceful-shutdown drain budget on SIGINT/SIGTERM")
+
+		shards      = flag.Int("shards", 0, "mixer shards links are partitioned across (0 = min(GOMAXPROCS, 8))")
+		maxLinks    = flag.Int("max-links", 0, "admission cap on concurrent links hub-wide (0 = default, negative = unlimited)")
+		maxPerShard = flag.Int("max-links-per-shard", 0, "admission cap per mixer shard (0 = default, negative = unlimited)")
+		watchdog    = flag.Duration("watchdog", 0, "wedged-shard heartbeat poll period (0 = default, negative = off)")
+		shedBudget  = flag.Duration("shed-budget", 0, "sustained-overflow window before the worst link is shed (0 = default, negative = never shed)")
 	)
 	flag.Parse()
 
@@ -87,6 +101,11 @@ func run() error {
 		RxBuffer:         *rxBuffer,
 		StallBudget:      *stallBudget,
 		WriteDeadline:    *writeDL,
+		Shards:           *shards,
+		MaxLinks:         *maxLinks,
+		MaxLinksPerShard: *maxPerShard,
+		WatchdogInterval: *watchdog,
+		ShedBudget:       *shedBudget,
 	}
 	if !*quiet {
 		cfg.Logf = log.Printf

@@ -36,7 +36,7 @@ import (
 
 func main() {
 	var (
-		exp         = flag.String("exp", "all", "experiment id (fig5..fig14, table1, table1opt, table2, patternstats, arms, ablation-dwell, ablation-taps, fidelity, soak, all)")
+		exp         = flag.String("exp", "all", "experiment id (fig5..fig14, table1, table1opt, table2, patternstats, arms, ablation-dwell, ablation-taps, fidelity, soak, capacity, all)")
 		impairSpec  = flag.String("impair", "", "RF front-end impairment spec applied to every measured trial, e.g. cfo=2e3,ppm=20,phnoise=-80,quant=8 (empty = ideal; headline figures are pinned with it empty)")
 		chaosSpec   = flag.String("chaos", "", "fault-injection spec for -exp soak, e.g. resetevery=700,trunc=0.001,seed=9 (empty = clean link)")
 		soakSecs    = flag.Float64("soak-seconds", 0, "simulated seconds of traffic for -exp soak (0 = default)")
@@ -77,8 +77,9 @@ func main() {
   ablation-taps   power advantage vs filter tap budget         (minutes)
   fidelity        packet loss vs front-end impairment severity (minutes)
   soak            transport-resilience soak over a chaos proxy (seconds)
+  capacity        concurrent verified links vs real-time factor (seconds)
   throughput      end-to-end link rate, serial + pipelined     (seconds)
-  all             every paper artifact above (soak and throughput excluded)`)
+  all             every paper artifact above (soak, capacity and throughput excluded)`)
 		return
 	}
 
@@ -287,7 +288,7 @@ func main() {
 			continue
 		}
 		before := camp.counters()
-		res, err := run(id, sc)
+		res, err := run(id, sc, *scale == "full")
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "%s: %v\n", id, err)
 			os.Exit(1)
@@ -553,8 +554,10 @@ func gitRev() string {
 	return "unknown"
 }
 
-func run(id string, sc experiment.Scale) (experiment.Result, error) {
+func run(id string, sc experiment.Scale, full bool) (experiment.Result, error) {
 	switch id {
+	case "capacity":
+		return experiment.CapacitySweep(sc, experiment.DefaultCapacityOptions(full))
 	case "fig5":
 		return experiment.Fig5(sc.Seed), nil
 	case "fig7":

@@ -14,10 +14,12 @@
 // The -jam flag takes a jammer spec (jammer.ParseSpec grammar) naming any
 // adversary in the zoo and overrides the legacy -kind flag set. Sensing
 // kinds (reactive, multitone, adaptive) additionally open a receive stream
-// from the hub and follow what they overhear. Caveat: the hub's mix
-// includes this jammer's own transmission, so the follower partly senses
-// itself — hub-side adversaries (bhssair -jam) sense the clean pre-jamming
-// mix instead.
+// from the hub and follow what they overhear. The jammer connects with the
+// hub's jam role under a per-process tag, and its sense stream excludes
+// that tag (EXCL in the handshake), so the follower hears the victim's
+// transmission without its own interference looped back — the same
+// overhearing geometry as the paper's testbed attacker, whose sense
+// antenna sat outside its own transmit beam.
 package main
 
 import (
@@ -54,6 +56,7 @@ func run() (err error) {
 		period     = flag.Int("period", 65536, "sweep period / pulse period / hop dwell in samples")
 		duty       = flag.Float64("duty", 0.5, "pulsed jammer duty cycle")
 		seed       = flag.Uint64("seed", 7, "jammer noise seed")
+		linkID     = flag.Uint("link", 0, "hub link (RF session) to jam; 0 is the default shared medium")
 		blocks     = flag.Int("blocks", 0, "number of 4096-sample blocks to emit (0 = forever)")
 		impairSpec = flag.String("impair", "", "jammer hardware impairment spec, e.g. cfo=5e3,quant=8 (empty = ideal)")
 		retries    = flag.Int("retries", 0, "dial attempts per (re)connect cycle (0 = default, negative = forever)")
@@ -124,7 +127,14 @@ func run() (err error) {
 		log.Printf("debug server on http://%s/debug/bhss", addr)
 	}
 
-	client, err := iqstream.DialTxReconnecting(*hubAddr, 0, iqstream.ReconnectConfig{
+	// The jam role tags this jammer's contribution so its own sense stream
+	// can exclude it; the seed disambiguates multiple jammers on one link.
+	tag := fmt.Sprintf("jam.%d", *seed)
+	client, err := iqstream.DialTxLinkReconnecting(*hubAddr, 0, iqstream.LinkOpts{
+		Link: uint32(*linkID),
+		Tag:  tag,
+		Jam:  true,
+	}, iqstream.ReconnectConfig{
 		BackoffBase: *backoff,
 		MaxAttempts: *retries,
 		Seed:        *seed,
@@ -141,13 +151,18 @@ func run() (err error) {
 	}()
 
 	// A sensing adversary also opens a receive stream and follows the
-	// medium. Self-hearing caveat: the hub mixes every client, so the
-	// follower's estimate includes its own transmission once the hub loops
-	// it back; a hub-side adversary (bhssair -jam) senses the clean mix.
+	// medium. The stream excludes this jammer's own tagged contribution
+	// (EXCL in the handshake), so the follower estimates the victim's
+	// signal rather than chasing its own interference looped back. The
+	// exclusion bypasses the hub's front-end impairment chain: it models
+	// the sensing client's own receive front end, not the victim's.
 	follower, _ := src.(jammer.TxAware)
 	var sense *iqstream.ReconnectingClient
 	if follower != nil {
-		sense, err = iqstream.DialRxReconnecting(*hubAddr, iqstream.ReconnectConfig{
+		sense, err = iqstream.DialRxLinkReconnecting(*hubAddr, iqstream.LinkOpts{
+			Link:    uint32(*linkID),
+			Exclude: tag,
+		}, iqstream.ReconnectConfig{
 			BackoffBase: *backoff,
 			MaxAttempts: *retries,
 			Seed:        *seed + 1,

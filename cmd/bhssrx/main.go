@@ -50,6 +50,7 @@ func run() (err error) {
 		pattern    = flag.String("pattern", "linear", "hopping pattern: fixed, linear, exponential, parabolic")
 		count      = flag.Int("count", 10, "frames to receive before reporting (0 = forever)")
 		idleMS     = flag.Int("idle", 150, "stream-idle time in ms after which a decode is attempted")
+		linkID     = flag.Uint("link", 0, "hub link (RF session) to receive from; 0 is the default shared medium")
 		impairSpec = flag.String("impair", "", "receiver front-end impairment spec, e.g. cfo=2e3,ppm=20,quant=8 (empty = ideal)")
 		retries    = flag.Int("retries", 0, "dial attempts per (re)connect cycle (0 = default, negative = forever)")
 		backoff    = flag.Duration("backoff", 0, "first reconnect backoff delay (0 = default)")
@@ -91,7 +92,7 @@ func run() (err error) {
 		defer srv.Close()
 		log.Printf("debug server on http://%s/debug/bhss", addr)
 	}
-	client, err := iqstream.DialRxReconnecting(*hubAddr, iqstream.ReconnectConfig{
+	client, err := iqstream.DialRxLinkReconnecting(*hubAddr, iqstream.LinkOpts{Link: uint32(*linkID)}, iqstream.ReconnectConfig{
 		BackoffBase: *backoff,
 		MaxAttempts: *retries,
 		Seed:        *seed,

@@ -48,12 +48,13 @@ func main() {
 // an error, so deferred cleanup actually runs (log.Fatalf skips defers).
 func run() (err error) {
 	var (
-		hubAddr   = flag.String("hub", "127.0.0.1:4200", "bhssair hub address")
-		seed      = flag.Uint64("seed", 42, "pre-shared link seed")
-		pattern   = flag.String("pattern", "linear", "hopping pattern: fixed, linear, exponential, parabolic")
-		count     = flag.Int("count", 10, "number of frames to send (0 = forever)")
-		payload   = flag.String("payload", "bandwidth hopping spread spectrum", "frame payload")
-		gainDB    = flag.Float64("gain", 0, "transmit gain in dB at the hub port")
+		hubAddr    = flag.String("hub", "127.0.0.1:4200", "bhssair hub address")
+		seed       = flag.Uint64("seed", 42, "pre-shared link seed")
+		pattern    = flag.String("pattern", "linear", "hopping pattern: fixed, linear, exponential, parabolic")
+		count      = flag.Int("count", 10, "number of frames to send (0 = forever)")
+		payload    = flag.String("payload", "bandwidth hopping spread spectrum", "frame payload")
+		gainDB     = flag.Float64("gain", 0, "transmit gain in dB at the hub port")
+		linkID     = flag.Uint("link", 0, "hub link (RF session) to transmit on; 0 is the default shared medium")
 		gapMS      = flag.Int("gap", 50, "inter-frame gap in milliseconds")
 		impairSpec = flag.String("impair", "", "transmit-chain impairment spec, e.g. cfo=2e3,ppm=20 (empty = ideal)")
 		retries    = flag.Int("retries", 0, "dial attempts per (re)connect cycle (0 = default, negative = forever)")
@@ -86,7 +87,7 @@ func run() (err error) {
 		defer srv.Close()
 		log.Printf("debug server on http://%s/debug/bhss", addr)
 	}
-	client, err := iqstream.DialTxReconnecting(*hubAddr, *gainDB, iqstream.ReconnectConfig{
+	client, err := iqstream.DialTxLinkReconnecting(*hubAddr, *gainDB, iqstream.LinkOpts{Link: uint32(*linkID)}, iqstream.ReconnectConfig{
 		BackoffBase: *backoff,
 		MaxAttempts: *retries,
 		Seed:        *seed,

@@ -1,0 +1,91 @@
+package experiment
+
+import (
+	"fmt"
+
+	"bhss/internal/soak"
+)
+
+// CapacityOptions parameterizes the multi-link capacity sweep.
+type CapacityOptions struct {
+	// Ladder is the ascending list of concurrent-link counts to measure.
+	Ladder []int
+	// LinkRate is the nominal per-link rate in samples per second.
+	LinkRate float64
+	// SimSeconds is the simulated traffic per link at LinkRate.
+	SimSeconds float64
+}
+
+// DefaultCapacityOptions returns the sweep ladder for the given depth. The
+// quick ladder tops out at 64 links of 50 kS/s — modest per-link rates so
+// the RTF >= 1 verdict holds on a two-core CI runner; the full ladder
+// pushes 256 links at the soak's nominal 100 kS/s.
+func DefaultCapacityOptions(full bool) *CapacityOptions {
+	if full {
+		return &CapacityOptions{Ladder: []int{64, 128, 256}, LinkRate: 100e3, SimSeconds: 5}
+	}
+	return &CapacityOptions{Ladder: []int{16, 64}, LinkRate: 50e3, SimSeconds: 2}
+}
+
+// CapacitySweep measures the hub's concurrent-link capacity: for each rung
+// of the ladder it runs soak.MultiLink — N lockstep links pushing verified
+// traffic, unpaced — and records the real-time factor. The headline
+// capacity_links metric is the largest rung every sample of which was
+// delivered bit-exactly at RTF >= 1; it is gated with zero tolerance in the
+// campaign store, so a refactor that silently halves how many sessions the
+// hub carries fails CI the same way a lost dB of power advantage does.
+// capacity_rtf (the top rung's real-time factor) is stored ungated: it is
+// machine-dependent throughput, tracked for trajectory, not gated.
+func CapacitySweep(sc Scale, opt *CapacityOptions) (Result, error) {
+	if opt == nil {
+		opt = DefaultCapacityOptions(false)
+	}
+	if len(opt.Ladder) == 0 {
+		return Result{}, fmt.Errorf("capacity: empty ladder")
+	}
+	res := Result{
+		ID:      "capacity",
+		Caption: "concurrent verified links vs real-time factor (session/link hub)",
+	}
+	tbl := Table{
+		Title:   "multi-link capacity",
+		Columns: []string{"links", "sim s/link", "wall s", "RTF", "samples"},
+	}
+	var xs, ys []float64
+	capacity := 0
+	lastRTF := 0.0
+	for _, n := range opt.Ladder {
+		rep, err := soak.MultiLink(soak.MultiLinkConfig{
+			Seed:       sc.Seed,
+			Links:      n,
+			LinkRate:   opt.LinkRate,
+			SimSeconds: opt.SimSeconds,
+			Metrics:    sc.Obs,
+		})
+		if err != nil {
+			// A rung that fails verification is a correctness bug, not a
+			// capacity limit: fail the sweep loudly.
+			return Result{}, fmt.Errorf("capacity: %d links: %w", n, err)
+		}
+		tbl.Rows = append(tbl.Rows, []string{
+			fmt.Sprintf("%d", rep.Links),
+			fmt.Sprintf("%.1f", rep.SimSeconds),
+			fmt.Sprintf("%.2f", rep.WallSeconds),
+			fmt.Sprintf("%.2f", rep.RTF),
+			fmt.Sprintf("%d", rep.TotalSamples),
+		})
+		xs = append(xs, float64(n))
+		ys = append(ys, rep.RTF)
+		lastRTF = rep.RTF
+		if rep.RTF >= 1 {
+			capacity = n
+		}
+	}
+	res.Tables = []Table{tbl}
+	res.Series = []Series{{Name: "rtf_vs_links", X: xs, Y: ys}}
+	res.Metrics = []Metric{
+		{Name: "capacity_links", Value: float64(capacity), Unit: "links", HigherIsBetter: true},
+		{Name: "capacity_rtf", Value: lastRTF, Unit: "x", HigherIsBetter: true},
+	}
+	return res, nil
+}

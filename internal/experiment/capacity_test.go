@@ -1,0 +1,47 @@
+package experiment
+
+import "testing"
+
+// TestCapacitySweepSmoke runs a miniature ladder and checks the headline
+// metrics the campaign store gates on.
+func TestCapacitySweepSmoke(t *testing.T) {
+	sc := QuickScale()
+	res, err := CapacitySweep(sc, &CapacityOptions{
+		Ladder:     []int{2, 4},
+		LinkRate:   20e3,
+		SimSeconds: 0.5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ID != "capacity" {
+		t.Fatalf("ID = %q, want capacity", res.ID)
+	}
+	got := map[string]float64{}
+	for _, m := range res.Metrics {
+		got[m.Name] = m.Value
+	}
+	if _, ok := got["capacity_rtf"]; !ok {
+		t.Fatal("capacity_rtf metric missing")
+	}
+	// A 4-link ladder at 20 kS/s is far below any machine's mixing rate:
+	// the verdict must be the top rung.
+	if got["capacity_links"] != 4 {
+		t.Fatalf("capacity_links = %v, want 4", got["capacity_links"])
+	}
+	if len(res.Series) != 1 || len(res.Series[0].X) != 2 {
+		t.Fatalf("series malformed: %+v", res.Series)
+	}
+}
+
+// TestDefaultCapacityOptions pins the published ladders.
+func TestDefaultCapacityOptions(t *testing.T) {
+	q := DefaultCapacityOptions(false)
+	if q.Ladder[len(q.Ladder)-1] != 64 {
+		t.Fatalf("quick ladder must top out at 64 links, got %v", q.Ladder)
+	}
+	f := DefaultCapacityOptions(true)
+	if f.Ladder[len(f.Ladder)-1] != 256 {
+		t.Fatalf("full ladder must top out at 256 links, got %v", f.Ladder)
+	}
+}

@@ -3,6 +3,7 @@ package iqstream
 import (
 	"bytes"
 	"io"
+	"strings"
 	"testing"
 )
 
@@ -29,6 +30,68 @@ func FuzzReadBlock(f *testing.F) {
 			if len(block) > MaxBlock {
 				t.Fatalf("accepted oversize block of %d samples", len(block))
 			}
+		}
+	})
+}
+
+// FuzzHandshake throws arbitrary lines at the handshake parser: it must
+// never panic, every rejection must carry a one-line "ERR ..." reply, and
+// every accepted line must survive a canonical round trip — re-rendering
+// the parsed fields through the dialer's line builders and re-parsing must
+// reproduce the same handshake, so client and hub can never drift apart on
+// the grammar.
+func FuzzHandshake(f *testing.F) {
+	f.Add("IQHUB tx 3.5")
+	f.Add("IQHUB tx")
+	f.Add("IQHUB rx")
+	f.Add("IQHUB jam -10 LINK 2 TAG j1")
+	f.Add("IQHUB tx 0 LINK 4294967295 TAG a.b-c_d")
+	f.Add("IQHUB rx LINK 7 EXCL jam")
+	f.Add("IQHUB rx LINK 1 LINK 2")
+	f.Add("IQHUB tx LINK banana")
+	f.Add("IQHUB tx NaN")
+	f.Add("IQHUB spectator")
+	f.Add("IQHUB tx 3.5 whatever")
+	f.Add("HELLO world")
+	f.Add("")
+	f.Add("IQHUB")
+	f.Fuzz(func(t *testing.T, line string) {
+		hs, herr := parseHandshake(line)
+		if herr != nil {
+			if !strings.HasPrefix(herr.reply, "ERR ") || strings.ContainsAny(herr.reply, "\r\n") {
+				t.Fatalf("rejection of %q carries malformed reply %q", line, herr.reply)
+			}
+			return
+		}
+		switch hs.role {
+		case "tx", "jam", "rx":
+		default:
+			t.Fatalf("accepted %q with impossible role %q", line, hs.role)
+		}
+		if hs.tag != "" && !validTag(hs.tag) {
+			t.Fatalf("accepted %q with invalid tag %q", line, hs.tag)
+		}
+		if hs.excl != "" && !validTag(hs.excl) {
+			t.Fatalf("accepted %q with invalid excl %q", line, hs.excl)
+		}
+		// Canonical round trip through the client-side line builders. The
+		// jam role's implied default tag renders as no TAG option.
+		var canon string
+		if hs.role == "rx" {
+			canon = rxHandshakeLine(LinkOpts{Link: hs.link, Exclude: hs.excl})
+		} else {
+			tag := hs.tag
+			if hs.role == "jam" && tag == "jam" {
+				tag = ""
+			}
+			canon = txHandshakeLine(hs.gainDB, LinkOpts{Link: hs.link, Tag: tag, Jam: hs.role == "jam"})
+		}
+		hs2, herr2 := parseHandshake(canon)
+		if herr2 != nil {
+			t.Fatalf("canonical form %q of accepted line %q rejected: %v", canon, line, herr2)
+		}
+		if hs2 != hs {
+			t.Fatalf("canonical round trip of %q changed the handshake: %+v -> %+v", line, hs, hs2)
 		}
 	})
 }

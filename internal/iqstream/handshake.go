@@ -1,0 +1,178 @@
+package iqstream
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// The hub handshake is one text line, answered with "OK\n" or "ERR ...\n":
+//
+//	IQHUB tx [<gain_db>] [LINK <id>] [TAG <tag>]
+//	IQHUB jam [<gain_db>] [LINK <id>] [TAG <tag>]
+//	IQHUB rx [LINK <id>] [EXCL <tag>]
+//
+// LINK selects the session the peer joins; omitting it joins link 0, so the
+// legacy single-link lines ("IQHUB tx 3.5", "IQHUB rx") keep their exact
+// meaning. TAG labels a transmitter's contribution within its link; a
+// receiver naming that tag with EXCL gets the link's mix with the tagged
+// contribution subtracted — how a jammer senses the medium without hearing
+// its own transmission looped back. The jam role is a tx whose contribution
+// defaults to the tag "jam" so a plain "EXCL jam" receiver filters it.
+// Key/value options may appear in any order but at most once each; unknown
+// or dangling tokens are rejected ("ERR bad handshake") rather than ignored,
+// so a typo cannot silently run a whole experiment with the wrong topology.
+
+// MaxTagLen bounds a TAG/EXCL token; tags are 1..MaxTagLen characters from
+// [A-Za-z0-9._-].
+const MaxTagLen = 32
+
+// handshake is one parsed hub handshake line.
+type handshake struct {
+	role   string // "tx", "jam" or "rx"
+	gainDB float64
+	link   uint32
+	tag    string // tx/jam contribution tag ("" = untagged)
+	excl   string // rx: subtract same-link contributions carrying this tag
+}
+
+// handshakeError carries the exact one-line ERR reply the hub sends for a
+// rejected handshake.
+type handshakeError struct{ reply string }
+
+func (e *handshakeError) Error() string { return "iqstream: " + e.reply }
+
+// parseHandshake parses one handshake line (trailing newline optional). It
+// is a pure function so the grammar can be fuzzed without a socket.
+func parseHandshake(line string) (handshake, *handshakeError) {
+	bad := func(reply string) (handshake, *handshakeError) {
+		return handshake{}, &handshakeError{reply: reply}
+	}
+	fields := strings.Fields(strings.TrimSpace(line))
+	if len(fields) < 2 || fields[0] != "IQHUB" {
+		return bad("ERR bad handshake")
+	}
+	hs := handshake{role: fields[1]}
+	rest := fields[2:]
+	switch hs.role {
+	case "tx", "jam":
+		// The gain is positional and optional: the next token is a gain
+		// unless it opens a key/value option. A malformed gain is a hard
+		// error, not a silent 0 dB fallback — a transmitter whose gain did
+		// not parse would otherwise run an entire experiment at the wrong
+		// power.
+		if len(rest) > 0 && rest[0] != "LINK" && rest[0] != "TAG" && rest[0] != "EXCL" {
+			g, err := strconv.ParseFloat(rest[0], 64)
+			if err != nil || math.IsNaN(g) || math.IsInf(g, 0) {
+				return bad("ERR bad gain")
+			}
+			hs.gainDB = g
+			rest = rest[1:]
+		}
+	case "rx":
+	default:
+		return bad(fmt.Sprintf("ERR unknown role %q", hs.role))
+	}
+	var seenLink, seenTag, seenExcl bool
+	for len(rest) > 0 {
+		if len(rest) < 2 {
+			return bad("ERR bad handshake")
+		}
+		key, val := rest[0], rest[1]
+		rest = rest[2:]
+		switch {
+		case key == "LINK" && !seenLink:
+			seenLink = true
+			id, err := strconv.ParseUint(val, 10, 32)
+			if err != nil {
+				return bad("ERR bad link")
+			}
+			hs.link = uint32(id)
+		case key == "TAG" && hs.role != "rx" && !seenTag:
+			seenTag = true
+			if !validTag(val) {
+				return bad("ERR bad tag")
+			}
+			hs.tag = val
+		case key == "EXCL" && hs.role == "rx" && !seenExcl:
+			seenExcl = true
+			if !validTag(val) {
+				return bad("ERR bad tag")
+			}
+			hs.excl = val
+		default:
+			return bad("ERR bad handshake")
+		}
+	}
+	if hs.role == "jam" && hs.tag == "" {
+		hs.tag = "jam"
+	}
+	return hs, nil
+}
+
+// validTag reports whether s is a legal TAG/EXCL token.
+func validTag(s string) bool {
+	if len(s) == 0 || len(s) > MaxTagLen {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case 'a' <= c && c <= 'z', 'A' <= c && c <= 'Z', '0' <= c && c <= '9',
+			c == '.', c == '_', c == '-':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// LinkOpts addresses one RF session on a multi-link hub. The zero value is
+// the legacy single-link medium: link 0, no tag, no exclusion.
+type LinkOpts struct {
+	// Link is the session ID. Every link is an independent medium — its own
+	// transmitters, receivers, noise process and mixer — and 0 is the
+	// default link that legacy handshake lines join.
+	Link uint32
+	// Tag labels a transmitter's contribution within its link so receivers
+	// can exclude it (tx/jam roles).
+	Tag string
+	// Exclude subtracts same-link transmitter contributions carrying this
+	// tag from the received mix (rx role) — a jammer's sense stream names
+	// its own tag here so it does not hear its transmission looped back.
+	Exclude string
+	// Jam dials the jam role: a transmitter whose contribution defaults to
+	// the tag "jam" when Tag is empty.
+	Jam bool
+}
+
+// txHandshakeLine renders the tx/jam handshake (no trailing newline). Zero
+// opts reproduce the legacy line byte-for-byte.
+func txHandshakeLine(gainDB float64, o LinkOpts) string {
+	role := "tx"
+	if o.Jam {
+		role = "jam"
+	}
+	line := fmt.Sprintf("IQHUB %s %g", role, gainDB)
+	if o.Link != 0 {
+		line += fmt.Sprintf(" LINK %d", o.Link)
+	}
+	if o.Tag != "" {
+		line += " TAG " + o.Tag
+	}
+	return line
+}
+
+// rxHandshakeLine renders the rx handshake (no trailing newline). Zero opts
+// reproduce the legacy line byte-for-byte.
+func rxHandshakeLine(o LinkOpts) string {
+	line := "IQHUB rx"
+	if o.Link != 0 {
+		line += fmt.Sprintf(" LINK %d", o.Link)
+	}
+	if o.Exclude != "" {
+		line += " EXCL " + o.Exclude
+	}
+	return line
+}

@@ -8,15 +8,14 @@ import (
 	"log"
 	"math"
 	"net"
-	"sort"
-	"strconv"
+	"runtime"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"bhss/internal/impair"
 	"bhss/internal/obs"
-	"bhss/internal/prng"
 )
 
 // OverflowPolicy selects what the hub does when a transmitter's pending
@@ -56,8 +55,9 @@ func ParseOverflowPolicy(s string) (OverflowPolicy, error) {
 	return 0, fmt.Errorf("iqstream: unknown overflow policy %q (want block or drop-oldest)", s)
 }
 
-// Transport-resilience defaults (DESIGN.md §12). Zero config fields take
-// these values; negative durations disable the corresponding bound.
+// Transport-resilience defaults (DESIGN.md §12, §17). Zero config fields
+// take these values; negative durations/counts disable the corresponding
+// bound.
 const (
 	// DefaultMaxPending bounds each transmitter's pending queue at 1 Mi
 	// samples (16 MiB of complex128).
@@ -72,29 +72,48 @@ const (
 	DefaultStallBudget = 5 * time.Second
 	// DefaultWriteDeadline bounds each socket write to a receiver.
 	DefaultWriteDeadline = 10 * time.Second
+	// DefaultHandshakeTimeout bounds the handshake exchange in both
+	// directions, so a slowloris peer (or one that never reads the reply)
+	// cannot pin an accept goroutine.
+	DefaultHandshakeTimeout = 5 * time.Second
+	// DefaultMaxLinks is the per-hub admission cap on concurrent links.
+	DefaultMaxLinks = 4096
+	// DefaultMaxLinksPerShard is the admission cap per mixer shard.
+	DefaultMaxLinksPerShard = 1024
+	// DefaultWatchdogInterval is the supervisor's shard-heartbeat poll; a
+	// shard frozen on one link for two consecutive polls is restarted.
+	DefaultWatchdogInterval = 500 * time.Millisecond
+	// DefaultShedBudget is how long receiver-queue drops must grow on
+	// every supervisor poll before the worst drop-majority link is shed.
+	// It is deliberately longer than DefaultStallBudget so per-receiver
+	// eviction gets first crack and shedding stays the backstop.
+	DefaultShedBudget = 10 * time.Second
+	// maxShards bounds the mixer-shard count.
+	maxShards = 64
 )
 
 // HubConfig parameterizes the virtual RF medium.
 type HubConfig struct {
 	// BlockSize is the mixing granularity in samples.
 	BlockSize int
-	// NoiseVar is the AWGN floor added to the mixed signal.
+	// NoiseVar is the AWGN floor added to every link's mixed signal.
 	NoiseVar float64
-	// Seed drives the noise generator.
+	// Seed drives the noise generators: link 0 consumes prng.New(Seed)
+	// exactly (the legacy stream), other links derive private seeds from
+	// (Seed, link ID).
 	Seed uint64
 	// Impair, when non-nil, is the receiver front-end impairment chain
-	// (internal/impair) applied to each mixed block after the noise floor,
-	// so every receiver sees the same distorted stream — the hub plays the
-	// shared front end of the testbed. Only the mixing goroutine touches
-	// it.
+	// (internal/impair) applied to each of link 0's mixed blocks after the
+	// noise floor, so every legacy receiver sees the same distorted stream
+	// — the hub plays the shared front end of the testbed. Only link 0's
+	// mixer goroutine touches it.
 	Impair *impair.Chain
-	// Jam, when non-nil, is a hub-side adversary: the mixer hands it each
-	// clean mixed block (after the AWGN floor, before the Impair chain) and
-	// adds the interference it returns, truncated to the block. Unlike a
-	// bhssjam client — whose sense stream loops its own transmission back —
-	// a hub-side adversary overhears the pre-jamming mix, so a sensing
-	// follower (wire up jammer.TxAware.Jam) estimates the victims cleanly.
-	// Only the mixing goroutine calls it; stateful jammers need no locking.
+	// Jam, when non-nil, is a hub-side adversary on link 0: the mixer
+	// hands it each clean mixed block (after the AWGN floor, before the
+	// Impair chain) and adds the interference it returns, truncated to the
+	// block. Unlike a bhssjam client, a hub-side adversary overhears the
+	// pre-jamming mix directly. Only link 0's mixer calls it; stateful
+	// jammers need no locking.
 	Jam func(heard []complex128) []complex128
 	// MaxPending bounds each transmitter's pending queue in samples (a
 	// soft bound: it may be exceeded by at most one wire block). Zero
@@ -119,6 +138,27 @@ type HubConfig struct {
 	// peer cannot pin its writer goroutine forever. Zero means
 	// DefaultWriteDeadline; negative disables the deadline.
 	WriteDeadline time.Duration
+	// HandshakeTimeout bounds both the handshake-line read and the ERR
+	// reply write. Zero means DefaultHandshakeTimeout; negative disables
+	// the bound.
+	HandshakeTimeout time.Duration
+	// Shards is the number of mixer goroutines links are partitioned
+	// across. Zero picks min(GOMAXPROCS, 8).
+	Shards int
+	// MaxLinks caps concurrent links hub-wide; past it handshakes are
+	// refused with "ERR hub full". Zero means DefaultMaxLinks; negative
+	// removes the cap.
+	MaxLinks int
+	// MaxLinksPerShard caps links per mixer shard. Zero means
+	// DefaultMaxLinksPerShard; negative removes the cap.
+	MaxLinksPerShard int
+	// WatchdogInterval is the supervisor's shard-heartbeat poll period.
+	// Zero means DefaultWatchdogInterval; negative disables the watchdog.
+	WatchdogInterval time.Duration
+	// ShedBudget is the sustained-overflow window after which the worst
+	// drop-majority link is evicted (load shedding). Zero means
+	// DefaultShedBudget; negative disables shedding.
+	ShedBudget time.Duration
 	// Metrics, when non-nil, receives hub transport counters (typically
 	// &pipeline.Hub of an obs.Pipeline).
 	Metrics *obs.HubMetrics
@@ -126,68 +166,50 @@ type HubConfig struct {
 	Logf func(format string, args ...any)
 }
 
-// Hub is the T-connector of the simulated testbed: it accepts transmitter
-// and receiver connections over TCP, sums all transmitter streams
-// block-by-block with per-port gain, adds AWGN and broadcasts the mixture
-// to every receiver. Transmitters that have no data pending contribute
-// silence for that block, so receivers observe a continuous stream.
+// Hub is the T-connector of the simulated testbed, generalized to many
+// concurrent links: it accepts transmitter and receiver connections over
+// TCP, and per link sums that link's transmitter streams block-by-block
+// with per-port gain, adds AWGN and broadcasts the mixture to that link's
+// receivers. Transmitters that have no data pending contribute silence for
+// that block, so receivers observe a continuous stream.
 //
-// Resilience properties (DESIGN.md §12): per-transmitter pending queues
-// are bounded with a configurable overflow policy; every receiver is
+// Resilience properties (DESIGN.md §12, §17): per-transmitter pending
+// queues are bounded with a configurable overflow policy; every receiver is
 // served by its own buffered writer goroutine, so one slow or wedged
-// receiver never stalls the mixer or its peers — it is evicted once it
-// has dropped the majority of a whole StallBudget window's blocks.
+// receiver never stalls the mixer or its peers — it is evicted once it has
+// dropped the majority of a whole StallBudget window's blocks. Links are
+// partitioned across per-shard mixer goroutines and are the fault-isolation
+// unit: a panicking hook or byte-garbage peer tears down only its own link,
+// admission control refuses links past the configured caps, a supervisor
+// watchdog restarts wedged shards with link re-homing, and sustained
+// overflow sheds the worst drop-majority link instead of stalling the mix.
 type Hub struct {
 	cfg HubConfig
 	ln  net.Listener
 	met *obs.HubMetrics
 
-	mu        sync.Mutex
-	txQueues  map[int]*txQueue
-	txConns   map[int]net.Conn
-	rxConns   map[int]*rxConn
-	nextID    int
-	closed    bool
-	draining  bool
-	highWater int
-	wake      chan struct{}
-	noise     *prng.Source
+	shards      []*shard
+	maxLinks    int // normalized: 0 = unlimited
+	maxPerShard int // normalized: 0 = unlimited
+	ships       sync.Pool
+	highWater   atomic.Int64
+
+	mu       sync.Mutex
+	links    map[uint32]*link
+	nextPort int
+	closed   bool
+	draining bool
+
+	serveOnce sync.Once
 	closeOnce sync.Once
 	done      chan struct{}
 }
 
-type txQueue struct {
-	gain    float64
-	pending []complex128
-	active  bool
-	warned  bool
-	// space (capacity 1) is signalled by the mixer whenever it drains
-	// samples from this queue; blocked enqueues wait on it.
-	space chan struct{}
-}
-
-type rxConn struct {
-	id int
-	c  net.Conn
-	w  *Writer
-	// out carries mixed blocks to this receiver's writer goroutine. The
-	// mixer's sends are non-blocking; closed exactly once via gone.
-	out  chan []complex128
-	gone bool
-	// Stall accounting (mixer-owned, under Hub.mu). A receiver whose
-	// socket drains slower than the mix rate still frees a queue slot
-	// every time its writer pops a block, so "queue continuously full" is
-	// never observable; instead each StallBudget-long window tallies
-	// accepted vs dropped blocks and the receiver is evicted when drops
-	// win the majority.
-	epochStart int64 // obs.Now() when the current window opened (0 = idle)
-	epochOK    int64 // blocks accepted this window
-	epochDrops int64 // blocks dropped this window
-}
-
-// Errors surfaced in hub logs and returned by Shutdown.
+// Errors surfaced in hub logs and handshake replies.
 var (
 	errHubClosed        = errors.New("iqstream: hub closed")
+	errHubFull          = errors.New("iqstream: hub full")
+	errLinkEvicted      = errors.New("iqstream: link evicted")
 	errOverflowDeadline = errors.New("iqstream: tx overflow deadline exceeded")
 )
 
@@ -203,8 +225,20 @@ func normDur(v, def time.Duration) time.Duration {
 	return v
 }
 
+// normCount maps the config convention (zero = default, negative =
+// unlimited) onto a plain count (0 = unlimited).
+func normCount(v, def int) int {
+	if v == 0 {
+		return def
+	}
+	if v < 0 {
+		return 0
+	}
+	return v
+}
+
 // NewHub starts a hub listening on addr ("127.0.0.1:0" for an ephemeral
-// port). Call Serve to run the mixing loop.
+// port). Call Serve to run the mixer shards and supervisor.
 func NewHub(addr string, cfg HubConfig) (*Hub, error) {
 	if cfg.BlockSize <= 0 {
 		cfg.BlockSize = 4096
@@ -232,9 +266,24 @@ func NewHub(addr string, cfg HubConfig) (*Hub, error) {
 	default:
 		return nil, fmt.Errorf("iqstream: unknown overflow policy %d", cfg.Overflow)
 	}
+	if cfg.Shards < 0 || cfg.Shards > maxShards {
+		return nil, fmt.Errorf("iqstream: shard count %d out of range [0, %d]", cfg.Shards, maxShards)
+	}
+	if cfg.Shards == 0 {
+		cfg.Shards = runtime.GOMAXPROCS(0)
+		if cfg.Shards > 8 {
+			cfg.Shards = 8
+		}
+		if cfg.Shards < 1 {
+			cfg.Shards = 1
+		}
+	}
 	cfg.OverflowDeadline = normDur(cfg.OverflowDeadline, DefaultOverflowDeadline)
 	cfg.StallBudget = normDur(cfg.StallBudget, DefaultStallBudget)
 	cfg.WriteDeadline = normDur(cfg.WriteDeadline, DefaultWriteDeadline)
+	cfg.HandshakeTimeout = normDur(cfg.HandshakeTimeout, DefaultHandshakeTimeout)
+	cfg.WatchdogInterval = normDur(cfg.WatchdogInterval, DefaultWatchdogInterval)
+	cfg.ShedBudget = normDur(cfg.ShedBudget, DefaultShedBudget)
 	if cfg.Logf == nil {
 		cfg.Logf = func(string, ...any) {}
 	}
@@ -247,15 +296,18 @@ func NewHub(addr string, cfg HubConfig) (*Hub, error) {
 		return nil, err
 	}
 	h := &Hub{
-		cfg:      cfg,
-		ln:       ln,
-		met:      met,
-		txQueues: map[int]*txQueue{},
-		txConns:  map[int]net.Conn{},
-		rxConns:  map[int]*rxConn{},
-		wake:     make(chan struct{}, 1),
-		noise:    prng.New(cfg.Seed),
-		done:     make(chan struct{}),
+		cfg:         cfg,
+		ln:          ln,
+		met:         met,
+		maxLinks:    normCount(cfg.MaxLinks, DefaultMaxLinks),
+		maxPerShard: normCount(cfg.MaxLinksPerShard, DefaultMaxLinksPerShard),
+		links:       map[uint32]*link{},
+		done:        make(chan struct{}),
+	}
+	h.ships.New = func() any { return new(shipBuf) }
+	h.shards = make([]*shard, cfg.Shards)
+	for i := range h.shards {
+		h.shards[i] = newShard(i)
 	}
 	return h, nil
 }
@@ -270,13 +322,10 @@ func (h *Hub) Close() error {
 	h.closeOnce.Do(func() {
 		h.mu.Lock()
 		h.closed = true
-		for _, rx := range h.rxConns {
-			h.removeRxLocked(rx, "hub closed")
-		}
-		for _, c := range h.txConns {
-			c.Close()
-		}
 		h.mu.Unlock()
+		for _, lk := range h.linksSnapshot() {
+			h.evictLink(lk, "hub closed")
+		}
 		h.ln.Close()
 		close(h.done)
 	})
@@ -286,8 +335,8 @@ func (h *Hub) Close() error {
 // Shutdown gracefully stops the hub: it stops accepting connections,
 // disconnects the transmitters, keeps mixing until every pending sample has
 // been mixed and handed to the receivers' writers (or until ctx expires),
-// then closes. Pending samples are undrainable without receivers; in that
-// case Shutdown closes immediately.
+// then closes. Pending samples are undrainable without receivers; links
+// with no receivers are skipped.
 func (h *Hub) Shutdown(ctx context.Context) error {
 	h.mu.Lock()
 	if h.closed {
@@ -295,19 +344,23 @@ func (h *Hub) Shutdown(ctx context.Context) error {
 		return nil
 	}
 	h.draining = true
-	conns := make([]net.Conn, 0, len(h.txConns))
-	for _, c := range h.txConns {
-		conns = append(conns, c)
-	}
 	h.mu.Unlock()
 	h.ln.Close()
-	for _, c := range conns {
-		c.Close()
+	for _, lk := range h.linksSnapshot() {
+		lk.mu.Lock()
+		conns := make([]net.Conn, 0, len(lk.txConns))
+		for _, c := range lk.txConns {
+			conns = append(conns, c)
+		}
+		lk.mu.Unlock()
+		for _, c := range conns {
+			c.Close()
+		}
 	}
 	tick := time.NewTicker(5 * time.Millisecond)
 	defer tick.Stop()
 	for !h.drained() {
-		h.kick()
+		h.kickAll()
 		select {
 		case <-ctx.Done():
 			h.Close()
@@ -319,30 +372,84 @@ func (h *Hub) Shutdown(ctx context.Context) error {
 }
 
 // drained reports whether every pending sample has been mixed and flushed
-// out of the receivers' queues (vacuously true without receivers).
+// out of the receivers' queues (vacuously true for links without
+// receivers).
 func (h *Hub) drained() bool {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	if len(h.rxConns) == 0 {
-		return true
-	}
-	for _, q := range h.txQueues {
-		if len(q.pending) > 0 {
-			return false
+	for _, lk := range h.linksSnapshot() {
+		lk.mu.Lock()
+		ok := true
+		if len(lk.rxs) > 0 {
+			if lk.pendingLocked() > 0 {
+				ok = false
+			}
+			for _, rx := range lk.rxs {
+				if len(rx.out) > 0 {
+					ok = false
+					break
+				}
+			}
 		}
-	}
-	for _, rx := range h.rxConns {
-		if len(rx.out) > 0 {
+		lk.mu.Unlock()
+		if !ok {
 			return false
 		}
 	}
 	return true
 }
 
-// Serve accepts clients and runs the mixer until Close. It returns after
-// the listener shuts down.
+// pendingSamples totals undelivered pending samples across every link
+// (drain diagnostics and tests).
+func (h *Hub) pendingSamples() int {
+	n := 0
+	for _, lk := range h.linksSnapshot() {
+		lk.mu.Lock()
+		n += lk.pendingLocked()
+		lk.mu.Unlock()
+	}
+	return n
+}
+
+// kickAll wakes every mixer shard.
+func (h *Hub) kickAll() {
+	for _, sh := range h.shards {
+		sh.kick()
+	}
+}
+
+// kickLink wakes the shard currently owning lk.
+func (h *Hub) kickLink(lk *link) {
+	si := int(lk.shard.Load())
+	if si >= 0 && si < len(h.shards) {
+		h.shards[si].kick()
+	}
+}
+
+// noteHighWater records a pending-queue depth into the monotonic
+// high-water gauge.
+func (h *Hub) noteHighWater(n int) {
+	for {
+		cur := h.highWater.Load()
+		if int64(n) <= cur {
+			return
+		}
+		if h.highWater.CompareAndSwap(cur, int64(n)) {
+			h.met.QueueHighWater.Store(float64(n))
+			return
+		}
+	}
+}
+
+// Serve accepts clients and runs the mixer shards and supervisor until
+// Close. It returns after the listener shuts down.
 func (h *Hub) Serve() error {
-	go h.mixLoop()
+	h.serveOnce.Do(func() {
+		for _, sh := range h.shards {
+			go sh.run(h, sh.epoch.Load())
+		}
+		if h.cfg.WatchdogInterval > 0 || h.cfg.ShedBudget > 0 {
+			go h.supervise()
+		}
+	})
 	for {
 		conn, err := h.ln.Accept()
 		if err != nil {
@@ -358,66 +465,150 @@ func (h *Hub) Serve() error {
 	}
 }
 
-// handle performs the one-line handshake and registers the client.
-// Handshake: "IQHUB tx <gain_db>\n" or "IQHUB rx\n". A malformed gain is a
-// hard error ("ERR bad gain"), not a silent 0 dB fallback: a transmitter
-// whose gain did not parse would otherwise run an entire experiment at the
-// wrong power.
+// handle performs the one-line handshake (see handshake.go for the
+// grammar) and serves the client's role. The handshake read is bounded in
+// both size (one bufio buffer; an oversized line is hostile, not slow) and
+// time (HandshakeTimeout), so a slowloris peer cannot pin this goroutine.
+// A panic anywhere in the handler is contained to this connection.
 func (h *Hub) handle(conn net.Conn) {
-	br := bufio.NewReader(conn)
-	line, err := br.ReadString('\n')
-	if err != nil {
-		conn.Close()
-		return
-	}
-	fields := strings.Fields(strings.TrimSpace(line))
-	if len(fields) < 2 || fields[0] != "IQHUB" {
-		h.reject(conn, "ERR bad handshake")
-		return
-	}
-	switch fields[1] {
-	case "tx":
-		gainDB := 0.0
-		if len(fields) >= 3 {
-			g, err := strconv.ParseFloat(fields[2], 64)
-			if err != nil || math.IsNaN(g) || math.IsInf(g, 0) {
-				h.reject(conn, "ERR bad gain")
-				return
-			}
-			gainDB = g
+	defer func() {
+		if r := recover(); r != nil {
+			h.met.RecoveredPanics.Inc()
+			h.cfg.Logf("connection handler panic recovered: %v", r)
+			conn.Close()
 		}
-		fmt.Fprintf(conn, "OK\n")
-		h.serveTx(conn, br, gainDB)
+	}()
+	if ht := h.cfg.HandshakeTimeout; ht > 0 {
+		//bhss:allow(detrand) transport deadline: wall clock bounds the handshake read and never feeds the simulation
+		_ = conn.SetReadDeadline(time.Now().Add(ht))
+	}
+	br := bufio.NewReader(conn)
+	raw, err := br.ReadSlice('\n')
+	if err != nil {
+		if errors.Is(err, bufio.ErrBufferFull) {
+			h.reject(conn, "ERR bad handshake")
+		} else {
+			conn.Close()
+		}
+		return
+	}
+	_ = conn.SetReadDeadline(time.Time{})
+	hs, herr := parseHandshake(string(raw))
+	if herr != nil {
+		h.reject(conn, herr.reply)
+		return
+	}
+	switch hs.role {
+	case "tx", "jam":
+		lk, port, q, err := h.attachTx(conn, hs)
+		if err != nil {
+			h.rejectAttach(conn, err)
+			return
+		}
+		// The OK reply follows registration so admission failures surface
+		// as ERR, never as an accepted-then-dropped connection.
+		if _, err := fmt.Fprintf(conn, "OK\n"); err != nil {
+			h.detachTx(lk, port, "handshake reply failed")
+			conn.Close()
+			return
+		}
+		h.runTx(conn, br, lk, port, q, hs)
 	case "rx":
-		fmt.Fprintf(conn, "OK\n")
-		h.serveRx(conn)
-	default:
-		h.reject(conn, fmt.Sprintf("ERR unknown role %q", fields[1]))
+		lk, rx, err := h.attachRx(conn, hs)
+		if err != nil {
+			h.rejectAttach(conn, err)
+			return
+		}
+		if _, err := fmt.Fprintf(conn, "OK\n"); err != nil {
+			h.detachRx(lk, rx, "handshake reply failed")
+			return
+		}
+		// The writer starts only after the OK reply is on the wire, so the
+		// first mixed block can never precede it.
+		go h.rxWriter(lk, rx)
+		h.runRx(conn, lk, rx)
 	}
 }
 
+// reject answers a failed handshake and hangs up. The reply write is
+// deadline-bounded: a peer that never reads cannot pin this goroutine.
 func (h *Hub) reject(conn net.Conn, reply string) {
 	h.met.HandshakeRejects.Inc()
+	if ht := h.cfg.HandshakeTimeout; ht > 0 {
+		//bhss:allow(detrand) transport deadline: wall clock bounds the reject write and never feeds the simulation
+		_ = conn.SetWriteDeadline(time.Now().Add(ht))
+	}
 	fmt.Fprintf(conn, "%s\n", reply)
 	conn.Close()
 }
 
-func (h *Hub) serveTx(conn net.Conn, br *bufio.Reader, gainDB float64) {
-	h.mu.Lock()
-	if h.closed || h.draining {
-		h.mu.Unlock()
-		conn.Close()
-		return
+// rejectAttach maps registration errors onto handshake replies.
+func (h *Hub) rejectAttach(conn net.Conn, err error) {
+	switch {
+	case errors.Is(err, errHubFull):
+		h.met.LinkRejectsFull.Inc()
+		h.reject(conn, "ERR hub full")
+	default:
+		h.reject(conn, "ERR hub closed")
 	}
-	id := h.nextID
-	h.nextID++
-	q := &txQueue{gain: dbToAmp(gainDB), active: true, space: make(chan struct{}, 1)}
-	h.txQueues[id] = q
-	h.txConns[id] = conn
-	h.mu.Unlock()
-	h.met.TxAccepted.Inc()
-	h.cfg.Logf("tx %d connected (gain %.1f dB)", id, gainDB)
+}
 
+// attachTx admits the handshake's link and registers a transmitter on it.
+func (h *Hub) attachTx(conn net.Conn, hs handshake) (*link, int, *txQueue, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.closed || h.draining {
+		return nil, 0, nil, errHubClosed
+	}
+	lk, err := h.admitLocked(hs.link)
+	if err != nil {
+		return nil, 0, nil, err
+	}
+	port := h.nextPort
+	h.nextPort++
+	q := &txQueue{gain: dbToAmp(hs.gainDB), tag: hs.tag, active: true, space: make(chan struct{}, 1)}
+	lk.mu.Lock()
+	lk.txs[port] = q
+	lk.txConns[port] = conn
+	if lk.state == LinkDraining {
+		lk.state = LinkLive
+	}
+	lk.mu.Unlock()
+	return lk, port, q, nil
+}
+
+// attachRx admits the handshake's link and registers a receiver on it.
+func (h *Hub) attachRx(conn net.Conn, hs handshake) (*link, *rxConn, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.closed || h.draining {
+		return nil, nil, errHubClosed
+	}
+	lk, err := h.admitLocked(hs.link)
+	if err != nil {
+		return nil, nil, err
+	}
+	port := h.nextPort
+	h.nextPort++
+	rx := &rxConn{
+		id:   port,
+		c:    conn,
+		w:    NewWriter(conn),
+		excl: hs.excl,
+		out:  make(chan outBlock, h.cfg.RxBuffer),
+	}
+	lk.mu.Lock()
+	lk.rxs[port] = rx
+	lk.mu.Unlock()
+	return lk, rx, nil
+}
+
+// runTx reads the transmitter's sample stream into its pending queue until
+// the peer disconnects, misbehaves (garbage framing) or overruns its
+// bounds; any of those tears down only this session.
+func (h *Hub) runTx(conn net.Conn, br *bufio.Reader, lk *link, port int, q *txQueue, hs handshake) {
+	h.met.TxAccepted.Inc()
+	h.cfg.Logf("link %d %s %d connected (gain %.1f dB)", lk.id, hs.role, port, hs.gainDB)
 	r := NewReader(br)
 	reason := "stream ended"
 	for {
@@ -426,23 +617,61 @@ func (h *Hub) serveTx(conn net.Conn, br *bufio.Reader, gainDB float64) {
 			reason = err.Error()
 			break
 		}
-		if err := h.enqueueTx(id, q, block); err != nil {
+		if err := h.enqueueTx(lk, port, q, block); err != nil {
 			reason = err.Error()
 			break
 		}
 	}
-	h.mu.Lock()
-	q.active = false
-	delete(h.txConns, id)
-	h.mu.Unlock()
+	h.detachTx(lk, port, reason)
 	conn.Close()
-	h.kick()
-	h.cfg.Logf("tx %d disconnected (%s)", id, reason)
+	h.kickLink(lk)
+	h.cfg.Logf("link %d %s %d disconnected (%s)", lk.id, hs.role, port, reason)
+}
+
+// detachTx marks the transmitter inactive (its queued samples keep
+// draining) and updates the link lifecycle: a link whose last active
+// transmitter leaves with samples still pending drains; a link whose last
+// peer leaves is evicted (link 0 excepted).
+func (h *Hub) detachTx(lk *link, port int, reason string) {
+	lk.mu.Lock()
+	if q, ok := lk.txs[port]; ok {
+		q.active = false
+	}
+	delete(lk.txConns, port)
+	if lk.state == LinkLive && len(lk.txConns) == 0 && len(lk.rxs) > 0 && lk.pendingLocked() > 0 {
+		lk.state = LinkDraining
+		h.cfg.Logf("link %d draining (%s)", lk.id, reason)
+	}
+	lk.mu.Unlock()
+	h.maybeEvictEmpty(lk)
+}
+
+// runRx parks on the receiver's connection until the peer hangs up; the
+// writer goroutine does all the sending.
+func (h *Hub) runRx(conn net.Conn, lk *link, rx *rxConn) {
+	h.met.RxAccepted.Inc()
+	h.cfg.Logf("link %d rx %d connected", lk.id, rx.id)
+	buf := make([]byte, 1)
+	for {
+		if _, err := conn.Read(buf); err != nil {
+			break
+		}
+	}
+	h.detachRx(lk, rx, "peer closed")
+}
+
+// detachRx unregisters a receiver and evicts its link if that was the last
+// peer (link 0 excepted).
+func (h *Hub) detachRx(lk *link, rx *rxConn, reason string) {
+	lk.mu.Lock()
+	h.removeRxLocked(lk, rx, reason)
+	lk.mu.Unlock()
+	h.maybeEvictEmpty(lk)
 }
 
 // enqueueTx appends one decoded block to the transmitter's pending queue,
 // honouring the MaxPending bound and the configured overflow policy.
-func (h *Hub) enqueueTx(id int, q *txQueue, block []complex128) error {
+func (h *Hub) enqueueTx(lk *link, port int, q *txQueue, block []complex128) error {
 	if len(block) == 0 {
 		return nil
 	}
@@ -454,10 +683,15 @@ func (h *Hub) enqueueTx(id int, q *txQueue, block []complex128) error {
 		}
 	}()
 	for {
-		h.mu.Lock()
-		if h.closed {
-			h.mu.Unlock()
+		select {
+		case <-h.done:
 			return errHubClosed
+		default:
+		}
+		lk.mu.Lock()
+		if lk.state == LinkEvicted {
+			lk.mu.Unlock()
+			return errLinkEvicted
 		}
 		// An oversized single block is admitted into an empty queue so it
 		// cannot deadlock the bound.
@@ -471,21 +705,19 @@ func (h *Hub) enqueueTx(id int, q *txQueue, block []complex128) error {
 			h.met.TxOverflowDrops.Add(int64(over))
 			if !q.warned {
 				q.warned = true
-				h.cfg.Logf("tx %d overflow: dropping oldest pending samples (queue bound %d)", id, h.cfg.MaxPending)
+				h.cfg.Logf("link %d tx %d overflow: dropping oldest pending samples (queue bound %d)", lk.id, port, h.cfg.MaxPending)
 			}
 			fits = true
 		}
 		if fits {
 			q.pending = append(q.pending, block...)
-			if n := len(q.pending); n > h.highWater {
-				h.highWater = n
-				h.met.QueueHighWater.Store(float64(n))
-			}
-			h.mu.Unlock()
-			h.kick()
+			n := len(q.pending)
+			lk.mu.Unlock()
+			h.noteHighWater(n)
+			h.kickLink(lk)
 			return nil
 		}
-		h.mu.Unlock()
+		lk.mu.Unlock()
 		h.met.TxOverflowWaits.Inc()
 		if timer == nil && h.cfg.OverflowDeadline > 0 {
 			timer = time.NewTimer(h.cfg.OverflowDeadline)
@@ -495,7 +727,7 @@ func (h *Hub) enqueueTx(id int, q *txQueue, block []complex128) error {
 		case <-q.space:
 		case <-expired:
 			h.met.TxOverflowKills.Inc()
-			h.cfg.Logf("tx %d overflow: blocked past %v deadline, closing", id, h.cfg.OverflowDeadline)
+			h.cfg.Logf("link %d tx %d overflow: blocked past %v deadline, closing", lk.id, port, h.cfg.OverflowDeadline)
 			return errOverflowDeadline
 		case <-h.done:
 			return errHubClosed
@@ -503,239 +735,57 @@ func (h *Hub) enqueueTx(id int, q *txQueue, block []complex128) error {
 	}
 }
 
-func (h *Hub) serveRx(conn net.Conn) {
-	h.mu.Lock()
-	if h.closed || h.draining {
-		h.mu.Unlock()
-		conn.Close()
-		return
-	}
-	id := h.nextID
-	h.nextID++
-	rx := &rxConn{id: id, c: conn, w: NewWriter(conn), out: make(chan []complex128, h.cfg.RxBuffer)}
-	h.rxConns[id] = rx
-	h.mu.Unlock()
-	h.met.RxAccepted.Inc()
-	h.cfg.Logf("rx %d connected", id)
-	go h.rxWriter(rx)
-	// The writer goroutine pushes; the handler just waits for the
-	// connection to die.
-	buf := make([]byte, 1)
-	for {
-		if _, err := conn.Read(buf); err != nil {
-			break
-		}
-	}
-	h.mu.Lock()
-	h.removeRxLocked(rx, "peer closed")
-	h.mu.Unlock()
-}
-
 // rxWriter drains one receiver's outbound queue onto its socket. It is the
 // only goroutine that writes to the connection, so the mixer never blocks
-// on a peer's TCP window.
-func (h *Hub) rxWriter(rx *rxConn) {
-	for block := range rx.out {
+// on a peer's TCP window. Fan-out is batched: after each block it greedily
+// drains whatever else is already queued before paying the flush syscall.
+func (h *Hub) rxWriter(lk *link, rx *rxConn) {
+	write := func(ob outBlock) error {
+		err := rx.w.writeBlockBuffered(ob.buf.s[ob.off : ob.off+ob.n])
+		h.releaseShip(ob.buf)
+		return err
+	}
+	bail := func(err error) {
+		lk.mu.Lock()
+		h.removeRxLocked(lk, rx, "write failed: "+err.Error())
+		lk.mu.Unlock()
+		// Drain until the mixer's close so its non-blocking sends see
+		// queue space rather than a phantom stall.
+		for ob := range rx.out {
+			h.releaseShip(ob.buf)
+		}
+	}
+	for ob := range rx.out {
 		if wd := h.cfg.WriteDeadline; wd > 0 {
 			//bhss:allow(detrand) transport deadline: wall clock bounds socket writes and never feeds the simulation
 			_ = rx.c.SetWriteDeadline(time.Now().Add(wd))
 		}
-		if err := rx.w.WriteBlock(block); err != nil {
-			h.mu.Lock()
-			h.removeRxLocked(rx, "write failed: "+err.Error())
-			h.mu.Unlock()
-			// Drain until the mixer's close so its non-blocking sends see
-			// queue space rather than a phantom stall.
-			for range rx.out { //nolint:revive // intentional discard
+		if err := write(ob); err != nil {
+			bail(err)
+			return
+		}
+		batching := true
+		for batching {
+			select {
+			case ob2, open := <-rx.out:
+				if !open {
+					_ = rx.w.Flush()
+					return
+				}
+				if err := write(ob2); err != nil {
+					bail(err)
+					return
+				}
+			default:
+				batching = false
 			}
+		}
+		if err := rx.w.Flush(); err != nil {
+			bail(err)
 			return
 		}
 	}
-}
-
-// removeRxLocked unregisters a receiver exactly once: out of the map, out
-// channel closed (stopping the writer), socket closed. Callers hold h.mu.
-func (h *Hub) removeRxLocked(rx *rxConn, reason string) {
-	if rx.gone {
-		return
-	}
-	rx.gone = true
-	delete(h.rxConns, rx.id)
-	//bhss:allow(chandiscipline) deliver is the only sender and runs under h.mu; the rx is deleted from the map first under the same lock, so no send can follow this close
-	close(rx.out)
-	rx.c.Close()
-	h.cfg.Logf("rx %d disconnected (%s)", rx.id, reason)
-}
-
-func (h *Hub) kick() {
-	select {
-	case h.wake <- struct{}{}:
-	default:
-	}
-}
-
-// mixLoop emits one mixed block whenever any transmitter has data pending
-// (idle transmitters contribute silence) and there is at least one
-// receiver.
-func (h *Hub) mixLoop() {
-	block := make([]complex128, h.cfg.BlockSize)
-	var impaired []complex128
-	var txIDs []int
-	noiseAmp := 0.0
-	if h.cfg.NoiseVar > 0 {
-		noiseAmp = math.Sqrt(h.cfg.NoiseVar)
-	}
-	for {
-		select {
-		case <-h.done:
-			return
-		case <-h.wake:
-		}
-		for h.mixOnce(block, &impaired, &txIDs, noiseAmp) {
-		}
-	}
-}
-
-// mixOnce mixes and delivers a single block; it reports false when there is
-// nothing to do (no pending samples or no receivers).
-func (h *Hub) mixOnce(block []complex128, impaired *[]complex128, txIDs *[]int, noiseAmp float64) bool {
-	h.mu.Lock()
-	havePending := false
-	for _, q := range h.txQueues {
-		if len(q.pending) > 0 {
-			havePending = true
-			break
-		}
-	}
-	if !havePending || len(h.rxConns) == 0 {
-		// Garbage-collect drained, disconnected transmitters.
-		for id, q := range h.txQueues {
-			if !q.active && len(q.pending) == 0 {
-				delete(h.txQueues, id)
-			}
-		}
-		h.mu.Unlock()
-		return false
-	}
-	for i := range block {
-		block[i] = 0
-	}
-	// Mix in ascending port-id order: float addition is order-sensitive,
-	// and map iteration order is randomized, so summing in map order would
-	// make the mixture nondeterministic across runs of the same scenario.
-	ids := (*txIDs)[:0]
-	for id := range h.txQueues {
-		ids = append(ids, id)
-	}
-	sort.Ints(ids)
-	*txIDs = ids
-	for _, id := range ids {
-		q := h.txQueues[id]
-		n := len(q.pending)
-		if n > h.cfg.BlockSize {
-			n = h.cfg.BlockSize
-		}
-		g := complex(q.gain, 0)
-		for i := 0; i < n; i++ {
-			block[i] += q.pending[i] * g
-		}
-		q.pending = q.pending[n:]
-		if n > 0 {
-			select {
-			case q.space <- struct{}{}:
-			default:
-			}
-		}
-	}
-	if noiseAmp > 0 {
-		a := complex(noiseAmp, 0)
-		for i := range block {
-			block[i] += h.noise.ComplexNorm() * a
-		}
-	}
-	h.mu.Unlock()
-	// The hub-side adversary runs outside the lock: its state is owned by
-	// this goroutine, and it only reads the freshly mixed scratch block.
-	if h.cfg.Jam != nil {
-		j := h.cfg.Jam(block)
-		n := len(j)
-		if n > len(block) {
-			n = len(block)
-		}
-		for i := 0; i < n; i++ {
-			block[i] += j[i]
-		}
-	}
-	out := block
-	if h.cfg.Impair.Len() > 0 {
-		*impaired = h.cfg.Impair.ProcessAppend((*impaired)[:0], block)
-		out = *impaired
-	}
-	// The receivers' writer goroutines consume asynchronously, so they get
-	// their own immutable copy — the mixer is about to reuse its scratch.
-	ship := make([]complex128, len(out))
-	copy(ship, out)
-	h.met.MixedBlocks.Inc()
-	h.met.MixedSamples.Add(int64(len(ship)))
-	h.deliver(ship)
-	return true
-}
-
-// deliver fans a mixed block out to every receiver queue without ever
-// blocking: a full queue costs that receiver the block (counted), and a
-// receiver that drops more blocks than it accepts across a whole
-// StallBudget window costs it the connection. The majority test — rather
-// than "queue full for the whole budget" — is deliberate: a hopelessly
-// slow socket still dribbles a block out every few milliseconds, freeing a
-// queue slot and making momentary full/empty states useless as a health
-// signal; the accept/drop ratio over the window is robust to that.
-func (h *Hub) deliver(ship []complex128) {
-	now := obs.Now()
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	for _, rx := range h.rxConns {
-		var ok, dropped int64
-		// A clock-skew impair stage can emit slightly more than BlockSize
-		// samples; chunk to respect the wire format's MaxBlock.
-		for off := 0; off < len(ship) && dropped == 0; off += MaxBlock {
-			end := off + MaxBlock
-			if end > len(ship) {
-				end = len(ship)
-			}
-			select {
-			case rx.out <- ship[off:end]:
-				ok++
-			default:
-				dropped++
-			}
-		}
-		if dropped > 0 {
-			h.met.RxQueueDrops.Add(dropped)
-		}
-		budget := h.cfg.StallBudget
-		if budget <= 0 {
-			continue
-		}
-		if rx.epochStart == 0 {
-			if dropped == 0 {
-				continue // healthy and idle: no window to account
-			}
-			rx.epochStart = now
-		}
-		rx.epochOK += ok
-		rx.epochDrops += dropped
-		if now-rx.epochStart < int64(budget) {
-			continue
-		}
-		if rx.epochDrops > rx.epochOK {
-			h.met.RxEvictions.Inc()
-			h.removeRxLocked(rx, fmt.Sprintf(
-				"evicted: dropped %d of %d blocks over stall budget %v",
-				rx.epochDrops, rx.epochDrops+rx.epochOK, budget))
-			continue
-		}
-		rx.epochStart, rx.epochOK, rx.epochDrops = 0, 0, 0
-	}
+	_ = rx.w.Flush()
 }
 
 func dbToAmp(db float64) float64 {
@@ -772,14 +822,26 @@ func dial(addr, handshake string) (*Client, error) {
 	return &Client{conn: conn, w: NewWriter(conn), r: NewReader(br)}, nil
 }
 
-// DialTx connects as a transmitter with the given port gain in dB.
+// DialTx connects as a transmitter on the legacy link 0 with the given
+// port gain in dB.
 func DialTx(addr string, gainDB float64) (*Client, error) {
-	return dial(addr, fmt.Sprintf("IQHUB tx %g", gainDB))
+	return DialTxLink(addr, gainDB, LinkOpts{})
 }
 
-// DialRx connects as a receiver.
+// DialRx connects as a receiver on the legacy link 0.
 func DialRx(addr string) (*Client, error) {
-	return dial(addr, "IQHUB rx")
+	return DialRxLink(addr, LinkOpts{})
+}
+
+// DialTxLink connects as a transmitter (or jammer, per opts) on one link.
+func DialTxLink(addr string, gainDB float64, o LinkOpts) (*Client, error) {
+	return dial(addr, txHandshakeLine(gainDB, o))
+}
+
+// DialRxLink connects as a receiver on one link, optionally excluding a
+// tagged contribution from the received mix.
+func DialRxLink(addr string, o LinkOpts) (*Client, error) {
+	return dial(addr, rxHandshakeLine(o))
 }
 
 // Send writes one block of samples (transmitter clients).

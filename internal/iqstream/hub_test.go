@@ -80,6 +80,23 @@ func TestHubHandshakeTable(t *testing.T) {
 		{"tx Inf gain", "IQHUB tx +Inf", "ERR bad gain"},
 		{"unknown role", "IQHUB spectator", `ERR unknown role "spectator"`},
 		{"wrong magic", "HELLO world", "ERR bad handshake"},
+		{"tx with link", "IQHUB tx 3 LINK 7", "OK"},
+		{"rx with link", "IQHUB rx LINK 7", "OK"},
+		{"jam role", "IQHUB jam", "OK"},
+		{"jam with gain link tag", "IQHUB jam -10 LINK 2 TAG j1", "OK"},
+		{"tx tagged", "IQHUB tx 0 TAG probe", "OK"},
+		{"rx excluding", "IQHUB rx EXCL jam", "OK"},
+		{"bad link", "IQHUB tx LINK banana", "ERR bad link"},
+		{"link overflow", "IQHUB rx LINK 4294967296", "ERR bad link"},
+		{"negative link", "IQHUB rx LINK -1", "ERR bad link"},
+		{"bad tag", "IQHUB tx TAG *bad*", "ERR bad tag"},
+		{"tag too long", "IQHUB tx TAG " + strings.Repeat("x", MaxTagLen+1), "ERR bad tag"},
+		{"empty-ish excl", "IQHUB rx EXCL !", "ERR bad tag"},
+		{"dangling key", "IQHUB rx LINK", "ERR bad handshake"},
+		{"duplicate key", "IQHUB rx LINK 1 LINK 2", "ERR bad handshake"},
+		{"tag on rx", "IQHUB rx TAG x", "ERR bad handshake"},
+		{"excl on tx", "IQHUB tx EXCL x", "ERR bad handshake"},
+		{"trailing junk", "IQHUB tx 3.5 whatever", "ERR bad handshake"},
 	}
 	rejects := 0
 	for _, tc := range cases {
@@ -218,12 +235,7 @@ func TestHubTxOverflowDropOldest(t *testing.T) {
 		return met.TxOverflowDrops.Load() > 0
 	})
 	// The bound is soft by at most one wire block.
-	h.mu.Lock()
-	var pending int
-	for _, q := range h.txQueues {
-		pending += len(q.pending)
-	}
-	h.mu.Unlock()
+	pending := h.pendingSamples()
 	if pending > 1024+512 {
 		t.Fatalf("pending %d exceeds bound 1024 by more than one block", pending)
 	}
@@ -340,14 +352,7 @@ func TestHubShutdownDrains(t *testing.T) {
 	// No receiver yet, so nothing mixes: wait until the hub has enqueued
 	// everything, then connect the receiver and shut down.
 	waitFor(t, 5*time.Second, "tx queue fill", func() bool {
-		h.mu.Lock()
-		defer h.mu.Unlock()
-		for _, q := range h.txQueues {
-			if len(q.pending) == total {
-				return true
-			}
-		}
-		return false
+		return h.pendingSamples() == total
 	})
 	rx, err := DialRx(addr)
 	if err != nil {

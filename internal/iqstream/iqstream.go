@@ -43,6 +43,16 @@ func NewWriter(w io.Writer) *Writer {
 
 // WriteBlock writes one block of samples (as float32 I/Q pairs) and flushes.
 func (w *Writer) WriteBlock(samples []complex128) error {
+	if err := w.writeBlockBuffered(samples); err != nil {
+		return err
+	}
+	return w.w.Flush()
+}
+
+// writeBlockBuffered writes one block into the underlying buffered writer
+// without flushing. Batched fan-out (the hub's receiver writers) queues
+// several blocks and pays one Flush for all of them.
+func (w *Writer) writeBlockBuffered(samples []complex128) error {
 	if len(samples) > MaxBlock {
 		return ErrTooLarge
 	}
@@ -57,11 +67,12 @@ func (w *Writer) WriteBlock(samples []complex128) error {
 		binary.LittleEndian.PutUint32(buf[8+i*8:], math.Float32bits(float32(real(s))))
 		binary.LittleEndian.PutUint32(buf[12+i*8:], math.Float32bits(float32(imag(s))))
 	}
-	if _, err := w.w.Write(buf); err != nil {
-		return err
-	}
-	return w.w.Flush()
+	_, err := w.w.Write(buf)
+	return err
 }
+
+// Flush forces buffered block bytes onto the underlying stream.
+func (w *Writer) Flush() error { return w.w.Flush() }
 
 // Reader deserializes sample blocks from an underlying stream. It is not
 // safe for concurrent use.

@@ -94,13 +94,25 @@ type ReconnectingClient struct {
 // DialTxReconnecting connects as a transmitter with the given port gain,
 // retrying with backoff until the hub accepts (or MaxAttempts is spent).
 func DialTxReconnecting(addr string, gainDB float64, cfg ReconnectConfig) (*ReconnectingClient, error) {
-	return dialReconnecting(addr, fmt.Sprintf("IQHUB tx %g", gainDB), cfg)
+	return DialTxLinkReconnecting(addr, gainDB, LinkOpts{}, cfg)
 }
 
 // DialRxReconnecting connects as a receiver, retrying with backoff until
 // the hub accepts (or MaxAttempts is spent).
 func DialRxReconnecting(addr string, cfg ReconnectConfig) (*ReconnectingClient, error) {
-	return dialReconnecting(addr, "IQHUB rx", cfg)
+	return DialRxLinkReconnecting(addr, LinkOpts{}, cfg)
+}
+
+// DialTxLinkReconnecting is DialTxReconnecting on one link (or as a tagged
+// jammer, per opts); each redial re-sends the same link handshake.
+func DialTxLinkReconnecting(addr string, gainDB float64, o LinkOpts, cfg ReconnectConfig) (*ReconnectingClient, error) {
+	return dialReconnecting(addr, txHandshakeLine(gainDB, o), cfg)
+}
+
+// DialRxLinkReconnecting is DialRxReconnecting on one link, optionally
+// excluding a tagged contribution from the received mix.
+func DialRxLinkReconnecting(addr string, o LinkOpts, cfg ReconnectConfig) (*ReconnectingClient, error) {
+	return dialReconnecting(addr, rxHandshakeLine(o), cfg)
 }
 
 func dialReconnecting(addr, handshake string, cfg ReconnectConfig) (*ReconnectingClient, error) {

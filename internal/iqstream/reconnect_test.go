@@ -136,11 +136,13 @@ func TestReconnectingSendRecovers(t *testing.T) {
 
 	// Sever every tx connection hub-side; the client only notices on its
 	// next write (possibly the one after, thanks to kernel buffering).
-	h.mu.Lock()
-	for _, c := range h.txConns {
-		c.Close()
+	for _, lk := range h.linksSnapshot() {
+		lk.mu.Lock()
+		for _, c := range lk.txConns {
+			c.Close()
+		}
+		lk.mu.Unlock()
 	}
-	h.mu.Unlock()
 
 	deadline := time.Now().Add(5 * time.Second)
 	for tx.Reconnects() == 0 && time.Now().Before(deadline) {
@@ -202,11 +204,13 @@ func TestReconnectingRecvStreamGap(t *testing.T) {
 	}
 
 	// Sever the receiver connection hub-side.
-	h.mu.Lock()
-	for _, r := range h.rxConns {
-		h.removeRxLocked(r, "test kill")
+	for _, lk := range h.linksSnapshot() {
+		lk.mu.Lock()
+		for _, r := range lk.rxs {
+			h.removeRxLocked(lk, r, "test kill")
+		}
+		lk.mu.Unlock()
 	}
-	h.mu.Unlock()
 
 	var sawGap bool
 	deadline := time.Now().Add(5 * time.Second)

@@ -427,6 +427,7 @@ func equalFloat64s(a, b []float64) bool {
 		return false
 	}
 	for i := range a {
+		//bhss:allow(floateq) exact bin frequencies (best/k): both sides come from the same integer-ratio construction, so change detection must be exact, not tolerant
 		if a[i] != b[i] {
 			return false
 		}

@@ -91,9 +91,25 @@ type HubMetrics struct {
 	// outbound queue was full; RxEvictions counts receivers disconnected
 	// after a full stall budget.
 	RxQueueDrops, RxEvictions Counter
+	// LinksAdmitted and LinksEvicted count link-registry lifecycle
+	// transitions; LinksShed is the subset of evictions decided by the
+	// load-shedding supervisor under sustained overflow.
+	LinksAdmitted, LinksEvicted, LinksShed Counter
+	// LinkRejectsFull counts handshakes refused with "ERR hub full" by the
+	// admission-control caps.
+	LinkRejectsFull Counter
+	// RecoveredPanics counts panics contained by the per-link fault
+	// isolation (a crashing mix hook or handler tears down only its own
+	// session).
+	RecoveredPanics Counter
+	// ShardRestarts counts wedged mixer shards the supervisor watchdog
+	// detected via frozen heartbeats and restarted with link re-homing.
+	ShardRestarts Counter
 	// QueueHighWater is the largest per-transmitter pending queue depth
 	// observed, in samples.
 	QueueHighWater Gauge
+	// ActiveLinks is the current link-registry size.
+	ActiveLinks Gauge
 }
 
 // NetMetrics counts client-side transport resilience events
@@ -310,6 +326,12 @@ func (p *Pipeline) snapshot(withSpans bool) Snapshot {
 	c("hub.tx_overflow_kills", &p.Hub.TxOverflowKills)
 	c("hub.rx_queue_drops", &p.Hub.RxQueueDrops)
 	c("hub.rx_evictions", &p.Hub.RxEvictions)
+	c("hub.links_admitted", &p.Hub.LinksAdmitted)
+	c("hub.links_evicted", &p.Hub.LinksEvicted)
+	c("hub.links_shed", &p.Hub.LinksShed)
+	c("hub.link_rejects_full", &p.Hub.LinkRejectsFull)
+	c("hub.recovered_panics", &p.Hub.RecoveredPanics)
+	c("hub.shard_restarts", &p.Hub.ShardRestarts)
 	c("net.dial_attempts", &p.Net.DialAttempts)
 	c("net.dial_failures", &p.Net.DialFailures)
 	c("net.reconnects", &p.Net.Reconnects)
@@ -327,6 +349,7 @@ func (p *Pipeline) snapshot(withSpans bool) Snapshot {
 		GaugeStat{Name: "exp.last_plr", Value: p.Exp.LastPLR.Load()},
 		GaugeStat{Name: "exp.last_snr_db", Value: p.Exp.LastSNRdB.Load()},
 		GaugeStat{Name: "hub.queue_high_water", Value: p.Hub.QueueHighWater.Load()},
+		GaugeStat{Name: "hub.active_links", Value: p.Hub.ActiveLinks.Load()},
 		GaugeStat{Name: "jam.last_bw", Value: p.Jam.LastBW.Load()},
 	)
 	// Derived mean carrier lock across every measurement point so far.

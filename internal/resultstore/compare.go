@@ -18,15 +18,17 @@ type Tolerances map[string]float64
 
 // DefaultTolerances is the CI regression gate: the headline power
 // advantage may not drop more than 0.2 dB, packet loss may not grow at
-// all, and mean carrier lock may not sag more than 0.05. The measured
+// all, mean carrier lock may not sag more than 0.05, and the hub's
+// verified concurrent-link capacity may not shrink at all. The measured
 // experiments are bit-deterministic for a fixed (rev, key), so these
 // tolerances are headroom for intentional small shifts, not for noise.
 func DefaultTolerances() Tolerances {
 	return Tolerances{
-		"adv_db":       0.2,
-		"adv_db_worst": 0.2,
-		"packet_loss":  0,
-		"carrier_lock": 0.05,
+		"adv_db":         0.2,
+		"adv_db_worst":   0.2,
+		"packet_loss":    0,
+		"carrier_lock":   0.05,
+		"capacity_links": 0,
 	}
 }
 

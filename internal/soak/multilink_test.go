@@ -1,0 +1,28 @@
+package soak
+
+import "testing"
+
+// TestMultiLinkSmoke runs a small capacity measurement end to end: every
+// sample of every link verified, RTF computed, no goroutines left behind.
+func TestMultiLinkSmoke(t *testing.T) {
+	checkGoroutines(t)
+	rep, err := MultiLink(MultiLinkConfig{
+		Seed:       7,
+		Links:      4,
+		LinkRate:   20e3,
+		SimSeconds: 0.5,
+		Logf:       t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Links != 4 {
+		t.Fatalf("Links = %d, want 4", rep.Links)
+	}
+	if rep.TotalSamples != rep.SamplesPerLink*4 {
+		t.Fatalf("TotalSamples = %d, want %d", rep.TotalSamples, rep.SamplesPerLink*4)
+	}
+	if rep.RTF <= 0 {
+		t.Fatalf("RTF = %v, want > 0", rep.RTF)
+	}
+}
